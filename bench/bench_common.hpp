@@ -1,0 +1,83 @@
+// Shared machinery for the paper-reproduction benches: run the combined
+// workload through PASS into an architecture, collect meters and stats, and
+// print aligned tables.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloudprov/backend.hpp"
+#include "cloudprov/wal_backend.hpp"
+#include "pass/observer.hpp"
+#include "util/string_utils.hpp"
+#include "workloads/combined.hpp"
+
+namespace provcloud::bench {
+
+/// Workload scale: the paper's dataset is 1.27 GB / 31,180 object versions;
+/// the default here (~1/17 of the object count at paper-like object sizes)
+/// keeps a full three-architecture bench under a minute. Override with
+/// PROVCLOUD_BENCH_SCALE (e.g. 0.1 or 1.0).
+inline workloads::WorkloadOptions bench_workload_options() {
+  workloads::WorkloadOptions o;
+  o.seed = 2009;
+  o.count_scale = 1.0;
+  o.size_scale = 1.0;
+  if (const char* env = std::getenv("PROVCLOUD_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0) {
+      o.count_scale = s;
+      o.size_scale = s;
+    }
+  }
+  return o;
+}
+
+struct WorkloadRun {
+  explicit WorkloadRun(cloudprov::Architecture arch,
+                       aws::ConsistencyConfig consistency =
+                           aws::ConsistencyConfig::strong(),
+                       std::uint64_t seed = 2009)
+      : env(seed, consistency), services(env) {
+    backend = cloudprov::make_backend(arch, services);
+  }
+
+  /// Feed a trace through PASS into the backend and settle.
+  void run(const pass::SyscallTrace& trace) {
+    pass::PassObserver observer(
+        [this](const pass::FlushUnit& u) { backend->store(u); });
+    observer.apply_trace(trace);
+    observer.finish();
+    env.clock().drain();
+    backend->quiesce();
+    env.clock().drain();
+    stats = observer.stats();
+  }
+
+  aws::CloudEnv env;
+  cloudprov::CloudServices services;
+  std::unique_ptr<cloudprov::ProvenanceBackend> backend;
+  pass::ObserverStats stats;
+};
+
+// --- table printing ---
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n");
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+inline std::string fmt_bytes(std::uint64_t b) { return util::format_bytes(b); }
+inline std::string fmt_count(std::uint64_t n) { return util::format_count(n); }
+
+}  // namespace provcloud::bench

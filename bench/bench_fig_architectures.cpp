@@ -1,0 +1,85 @@
+// Reproduces Figures 1-3: the three architecture diagrams.
+//
+// The figures in the paper are block diagrams of PASS layered over the AWS
+// services. The executable equivalent: walk one file close through each
+// architecture and print the exact sequence of service operations the
+// diagram depicts (including, for Figure 3, the WAL messages and the commit
+// daemon's side of the protocol).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cloudprov/serialize.hpp"
+#include "pass/observer.hpp"
+#include "workloads/workload.hpp"
+
+using namespace provcloud;
+using namespace provcloud::cloudprov;
+
+namespace {
+
+/// Run one close through an architecture and print the metered op sequence.
+void walk(Architecture arch, const char* figure, const char* caption) {
+  bench::print_header(std::string(figure) + ": " + caption);
+
+  bench::WorkloadRun run(arch);
+  util::Rng rng(7);
+  pass::PassObserver observer(
+      [&run](const pass::FlushUnit& u) { run.backend->store(u); });
+
+  // The protocol narration comes from diffing the meter around each store.
+  observer.apply(pass::ev_exec(1, "/usr/bin/analyze", {"analyze", "census.dat"},
+                               workloads::synth_environment(rng, 1400)));
+  observer.apply(pass::ev_read(1, "census.dat"));
+
+  auto before = run.env.meter().snapshot();
+  observer.apply(pass::ev_write(1, "results.dat", "derived results\n"));
+  observer.apply(pass::ev_close(1, "results.dat"));
+  auto diff = run.env.meter().snapshot().diff(before);
+
+  std::printf("application: read census.dat, write results.dat, close\n");
+  std::printf("PASS: collected provenance, close triggers the protocol\n\n");
+  std::printf("service operations issued (ancestors first, then the file):\n");
+  for (const auto& [key, counter] : diff.counters) {
+    std::printf("  %-4s %-22s x%-4llu (in %s, out %s)\n", key.first.c_str(),
+                key.second.c_str(),
+                static_cast<unsigned long long>(counter.calls),
+                bench::fmt_bytes(counter.bytes_in).c_str(),
+                bench::fmt_bytes(counter.bytes_out).c_str());
+  }
+
+  run.backend->quiesce();
+  run.env.clock().drain();
+
+  std::printf("\nfinal state:\n");
+  std::printf("  S3 objects: %llu (data + transient pnodes%s)\n",
+              static_cast<unsigned long long>(run.services.s3.object_count()),
+              arch == Architecture::kS3Only ? ", provenance in metadata" : "");
+  if (arch != Architecture::kS3Only) {
+    std::printf("  SimpleDB items: %llu (one per object version, MD5+nonce "
+                "consistency tokens)\n",
+                static_cast<unsigned long long>(
+                    run.services.sdb.item_count(kProvenanceDomain)));
+  }
+  if (arch == Architecture::kS3SimpleDbSqs) {
+    std::printf("  SQS WAL: drained (committed transactions deleted; temp "
+                "objects promoted via COPY then removed)\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figures 1-3: the three provenance-aware cloud architectures,\n"
+              "as executable protocol walks of a single file close.\n");
+
+  walk(Architecture::kS3Only, "Figure 1",
+       "PASS with S3 as the storage substrate (provenance as S3 metadata, "
+       "single atomic PUT)");
+  walk(Architecture::kS3SimpleDb, "Figure 2",
+       "PASS layered on S3 and SimpleDB (data in S3, provenance in "
+       "SimpleDB)");
+  walk(Architecture::kS3SimpleDbSqs, "Figure 3",
+       "PASS on S3 + SimpleDB with SQS write-ahead log providing atomicity");
+  std::printf("\n");
+  return 0;
+}

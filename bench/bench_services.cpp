@@ -1,0 +1,144 @@
+// A5: google-benchmark microbenchmarks of the simulated services and the
+// core codecs -- sanity checks that the simulators are fast enough to run
+// paper-scale workloads, and a regression guard for the hot paths.
+#include <benchmark/benchmark.h>
+
+#include "aws/common/env.hpp"
+#include "aws/s3/s3.hpp"
+#include "aws/simpledb/simpledb.hpp"
+#include "aws/sqs/sqs.hpp"
+#include "cloudprov/serialize.hpp"
+#include "cloudprov/txn.hpp"
+#include "util/md5.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace provcloud;
+using namespace provcloud::aws;
+
+void BM_Md5(benchmark::State& state) {
+  const std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state)
+    benchmark::DoNotOptimize(util::Md5::digest(data));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Md5)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_S3PutGet(benchmark::State& state) {
+  CloudEnv env(1, ConsistencyConfig::strong());
+  S3Service s3(env);
+  const std::string data(static_cast<std::size_t>(state.range(0)), 'd');
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "k" + std::to_string(i++ % 1024);
+    benchmark::DoNotOptimize(s3.put("b", key, data));
+    benchmark::DoNotOptimize(s3.get("b", key));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) * 2);
+}
+BENCHMARK(BM_S3PutGet)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_S3ReplicatedPut(benchmark::State& state) {
+  ConsistencyConfig c;
+  c.replicas = static_cast<unsigned>(state.range(0));
+  c.propagation_min = sim::kMillisecond;
+  c.propagation_max = sim::kSecond;
+  CloudEnv env(1, c);
+  S3Service s3(env);
+  const std::string data(4096, 'd');
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s3.put("b", "k" + std::to_string(i++ % 256), data));
+    if (i % 64 == 0) env.clock().drain();
+  }
+}
+BENCHMARK(BM_S3ReplicatedPut)->Arg(1)->Arg(3)->Arg(8);
+
+void BM_SdbPutAttributes(benchmark::State& state) {
+  CloudEnv env(1, ConsistencyConfig::strong());
+  SimpleDbService sdb(env);
+  (void)sdb.create_domain("d");
+  std::vector<SdbReplaceableAttribute> attrs;
+  for (int i = 0; i < 10; ++i)
+    attrs.push_back({"attr" + std::to_string(i), "value" + std::to_string(i),
+                     false});
+  std::uint64_t i = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sdb.put_attributes("d", "item" + std::to_string(i++ % 4096), attrs));
+}
+BENCHMARK(BM_SdbPutAttributes);
+
+void BM_SdbQuery(benchmark::State& state) {
+  CloudEnv env(1, ConsistencyConfig::strong());
+  SimpleDbService sdb(env);
+  (void)sdb.create_domain("d");
+  util::Rng rng(7);
+  for (int i = 0; i < state.range(0); ++i) {
+    (void)sdb.put_attributes(
+        "d", "item" + std::to_string(i),
+        {{"color", rng.next_bool(0.1) ? "red" : "blue", false},
+         {"n", std::to_string(i % 97), false}});
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sdb.query("d", "['color' = 'red']"));
+}
+BENCHMARK(BM_SdbQuery)->Arg(1000)->Arg(10000);
+
+void BM_SdbSelect(benchmark::State& state) {
+  CloudEnv env(1, ConsistencyConfig::strong());
+  SimpleDbService sdb(env);
+  (void)sdb.create_domain("d");
+  for (int i = 0; i < 5000; ++i)
+    (void)sdb.put_attributes("d", "item" + std::to_string(i),
+                             {{"kind", i % 3 ? "file" : "process", false}});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sdb.select("select itemName() from d where kind = 'process' limit 100"));
+}
+BENCHMARK(BM_SdbSelect);
+
+void BM_SqsSendReceiveDelete(benchmark::State& state) {
+  CloudEnv env(1, ConsistencyConfig::strong());
+  SqsService sqs(env);
+  const std::string url = *sqs.create_queue("q");
+  const std::string body(1024, 'm');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sqs.send_message(url, body));
+    auto got = sqs.receive_message(url, 1);
+    if (got && !got->empty())
+      benchmark::DoNotOptimize(sqs.delete_message(url, (*got)[0].receipt_handle));
+  }
+}
+BENCHMARK(BM_SqsSendReceiveDelete);
+
+void BM_RecordSerialize(benchmark::State& state) {
+  const pass::ProvenanceRecord r =
+      pass::make_xref_record("INPUT", {"some/long/object/name.out", 12});
+  for (auto _ : state) {
+    const std::string s = cloudprov::serialize_record(r);
+    benchmark::DoNotOptimize(cloudprov::parse_record(s));
+  }
+}
+BENCHMARK(BM_RecordSerialize);
+
+void BM_WalTransactionBuild(benchmark::State& state) {
+  pass::FlushUnit unit;
+  unit.object = "data/file";
+  unit.version = 1;
+  unit.data = util::make_shared_bytes(std::string(4096, 'd'));
+  for (int i = 0; i < state.range(0); ++i)
+    unit.records.push_back(
+        pass::make_text_record("ENV" + std::to_string(i), std::string(600, 'e')));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        cloudprov::build_transaction("tx-1", unit, ".tmp/t", "1", "md5"));
+}
+BENCHMARK(BM_WalTransactionBuild)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

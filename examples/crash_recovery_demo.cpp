@@ -1,0 +1,118 @@
+// Crash and recovery, side by side.
+//
+// Replays the paper's central failure scenario against Architectures 2 and
+// 3: the client dies between storing provenance and storing data.
+//
+//   * Architecture 2 is left with *orphan provenance* -- a SimpleDB item
+//     describing data that never reached S3 (atomicity violated). Recovery
+//     requires the "inelegant" full-domain orphan scan.
+//   * Architecture 3 never exposes the window: the commit daemon ignores
+//     uncommitted WAL transactions, replays committed ones idempotently,
+//     and the 4-day retention plus the cleaner reap the garbage.
+//
+// Build & run:  ./build/examples/crash_recovery_demo
+#include <cstdio>
+
+#include "cloudprov/backend.hpp"
+#include "cloudprov/sdb_backend.hpp"
+#include "cloudprov/serialize.hpp"
+#include "pass/observer.hpp"
+
+using namespace provcloud;
+using namespace provcloud::cloudprov;
+
+namespace {
+
+void report_state(const char* label, CloudServices& services) {
+  std::printf("%s\n", label);
+  std::printf("  S3 data objects:    ");
+  bool any = false;
+  for (const std::string& key : services.s3.peek_keys(kDataBucket)) {
+    if (key.rfind(kOverflowPrefix, 0) == 0) continue;
+    if (key.rfind(kTempPrefix, 0) == 0) {
+      std::printf("[temp:%s] ", key.c_str());
+      any = true;
+      continue;
+    }
+    std::printf("%s ", key.c_str());
+    any = true;
+  }
+  std::printf("%s\n  SimpleDB items:     ", any ? "" : "(none)");
+  const auto items = services.sdb.peek_item_names(kProvenanceDomain);
+  for (const std::string& item : items) std::printf("%s ", item.c_str());
+  std::printf("%s\n", items.empty() ? "(none)" : "");
+}
+
+void drive_crashing_store(ProvenanceBackend& backend, const char* crash_point,
+                          aws::CloudEnv& env) {
+  // The close flushes the producing process first, then the file; arm the
+  // second occurrence so the crash hits the *file's* store protocol.
+  env.failures().arm_crash(crash_point, 2);
+  pass::PassObserver observer(
+      [&backend](const pass::FlushUnit& unit) { backend.store(unit); });
+  try {
+    observer.apply(pass::ev_write(7, "dataset.bin", "important science"));
+    observer.apply(pass::ev_close(7, "dataset.bin"));
+    std::printf("  (no crash fired)\n");
+  } catch (const sim::CrashError& e) {
+    std::printf("  client crashed at '%s'\n", e.point().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  // ---------------- Architecture 2: the atomicity hole ----------------
+  std::printf("=== Architecture 2 (S3+SimpleDB) ===\n");
+  {
+    aws::CloudEnv env(99);
+    CloudServices services(env);
+    auto backend = make_sdb_backend(services);
+    drive_crashing_store(*backend, "sdb.store.between_prov_and_data", env);
+    env.clock().drain();
+    report_state("state after the crash:", services);
+    std::printf("  -> orphan provenance: items exist for data that never "
+                "arrived (read correctness violated)\n\n");
+
+    std::printf("running the orphan scan (recover())...\n");
+    backend->recover();
+    report_state("state after recovery:", services);
+    auto* sdb = dynamic_cast<SdbBackend*>(backend.get());
+    std::printf("  -> %llu orphan item(s) removed by a full domain scan\n\n",
+                static_cast<unsigned long long>(sdb->last_recovery_orphans()));
+  }
+
+  // ---------------- Architecture 3: the WAL closes the hole ----------------
+  std::printf("=== Architecture 3 (S3+SimpleDB+SQS) ===\n");
+  {
+    aws::CloudEnv env(99);
+    CloudServices services(env);
+    auto backend = make_backend(Architecture::kS3SimpleDbSqs, services);
+
+    std::printf("crash before the commit record:\n");
+    drive_crashing_store(*backend, "wal.store.before_commit", env);
+    backend->quiesce();
+    env.clock().drain();
+    report_state("state after the daemon ran:", services);
+    std::printf("  -> nothing half-written: the uncommitted transaction was "
+                "ignored; only a temp object lingers\n");
+    std::printf("     (SQS retention reaps its log records after 4 days; the "
+                "cleaner then removes the temp object)\n\n");
+
+    env.clock().advance_by(4 * sim::kDay + sim::kHour);
+    backend->recover();  // pump + cleaner
+    report_state("state 4 days later:", services);
+
+    std::printf("\ncrash after the commit record:\n");
+    drive_crashing_store(*backend, "wal.store.after_commit", env);
+    backend->quiesce();
+    env.clock().drain();
+    report_state("state after the daemon ran:", services);
+    auto read = backend->read("dataset.bin");
+    std::printf("  -> the committed transaction completed without the "
+                "client: read(dataset.bin) = %s (verified=%s)\n",
+                read ? "ok" : "MISSING",
+                read && read->verified ? "yes" : "no");
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+#include "aws/common/env.hpp"
+
+namespace provcloud::aws {
+
+sim::SimTime CloudEnv::charge(const std::string& service, const std::string& op,
+                              std::uint64_t bytes_in, std::uint64_t bytes_out) {
+  meter_.record(service, op, bytes_in, bytes_out);
+  const sim::SimTime latency = latency_model_.sample(rng_, bytes_in, bytes_out);
+  busy_time_ += latency;
+  if (charge_latency_) clock_.advance_by(latency);
+  return latency;
+}
+
+sim::SimTime CloudEnv::sample_propagation_delay() {
+  if (consistency_.propagation_max <= consistency_.propagation_min)
+    return consistency_.propagation_min;
+  return rng_.next_in(consistency_.propagation_min,
+                      consistency_.propagation_max);
+}
+
+}  // namespace provcloud::aws

@@ -1,0 +1,94 @@
+// CloudEnv: the shared fabric underneath the simulated AWS services.
+//
+// One CloudEnv per experiment run. It owns the simulated clock, the
+// deterministic RNG, the billing meter, the failure injector, the eventual-
+// consistency configuration and the latency model. Services and backends
+// hold references to it; a whole experiment replays bit-identically from a
+// single seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/clock.hpp"
+#include "sim/failure.hpp"
+#include "sim/latency.hpp"
+#include "sim/metering.hpp"
+#include "util/rng.hpp"
+
+namespace provcloud::aws {
+
+/// How eventually-consistent the replicated services are.
+struct ConsistencyConfig {
+  /// Number of replicas per service partition. 1 disables staleness.
+  unsigned replicas = 3;
+  /// A write reaches replica i (i > 0) after a uniform delay in
+  /// [propagation_min, propagation_max]; replica 0 (coordinator) applies
+  /// immediately so writes are durable.
+  sim::SimTime propagation_min = 50 * sim::kMillisecond;
+  sim::SimTime propagation_max = 2 * sim::kSecond;
+  /// Fraction of SQS storage shards one ReceiveMessage samples (the paper:
+  /// "SQS samples a set of machines on a ReceiveMessage, returning only the
+  /// messages on those machines").
+  double sqs_sample_fraction = 0.5;
+
+  /// Fully consistent configuration (replicas = 1, no delay) for tests that
+  /// want to isolate protocol logic from staleness.
+  static ConsistencyConfig strong() {
+    ConsistencyConfig c;
+    c.replicas = 1;
+    c.propagation_min = 0;
+    c.propagation_max = 0;
+    c.sqs_sample_fraction = 1.0;
+    return c;
+  }
+};
+
+class CloudEnv {
+ public:
+  explicit CloudEnv(std::uint64_t seed = 42,
+                    ConsistencyConfig consistency = ConsistencyConfig{})
+      : rng_(seed), consistency_(consistency) {}
+
+  CloudEnv(const CloudEnv&) = delete;
+  CloudEnv& operator=(const CloudEnv&) = delete;
+
+  sim::SimClock& clock() { return clock_; }
+  util::Rng& rng() { return rng_; }
+  sim::Meter& meter() { return meter_; }
+  sim::FailureInjector& failures() { return failures_; }
+  const ConsistencyConfig& consistency() const { return consistency_; }
+  void set_consistency(const ConsistencyConfig& c) { consistency_ = c; }
+  sim::LatencyModel& latency_model() { return latency_model_; }
+  void set_latency_model(sim::LatencyModel m) { latency_model_ = m; }
+
+  /// Charge one service request: meter it and, when latency charging is on,
+  /// advance the simulated clock by a sampled request latency (which lets
+  /// replica propagation proceed underneath long transfers, exactly as in
+  /// the real system). Returns the charged latency.
+  sim::SimTime charge(const std::string& service, const std::string& op,
+                      std::uint64_t bytes_in, std::uint64_t bytes_out);
+
+  void set_charge_latency(bool on) { charge_latency_ = on; }
+  bool charge_latency() const { return charge_latency_; }
+
+  /// Total request latency charged so far (the "elapsed time" of the client,
+  /// excluding idle waiting). Accumulates even when latency charging does
+  /// not advance the clock.
+  sim::SimTime busy_time() const { return busy_time_; }
+
+  /// Pick a uniform propagation delay for a replica.
+  sim::SimTime sample_propagation_delay();
+
+ private:
+  sim::SimClock clock_;
+  util::Rng rng_;
+  sim::Meter meter_;
+  sim::FailureInjector failures_;
+  ConsistencyConfig consistency_;
+  sim::LatencyModel latency_model_;
+  bool charge_latency_ = false;
+  sim::SimTime busy_time_ = 0;
+};
+
+}  // namespace provcloud::aws

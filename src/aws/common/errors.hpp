@@ -1,0 +1,64 @@
+// AWS-style error codes shared by the three simulated services.
+//
+// These are *expected* runtime outcomes -- a GET racing replica propagation
+// legitimately returns NoSuchKey -- so service calls return
+// AwsResult<T> = Expected<T, AwsError> rather than throwing.
+#pragma once
+
+#include <string>
+
+#include "util/expected.hpp"
+
+namespace provcloud::aws {
+
+enum class AwsErrorCode {
+  kNoSuchBucket,
+  kNoSuchKey,
+  kNoSuchDomain,
+  kNoSuchItem,
+  kNoSuchQueue,
+  kQueueAlreadyExists,
+  kEntityTooLarge,       // S3 object > 5 GB, SQS message > 8 KB
+  kMetadataTooLarge,     // S3 user metadata > 2 KB
+  kAttributeTooLarge,    // SimpleDB name/value > 1 KB
+  kTooManyAttributes,    // SimpleDB > 256 per item or > 100 per call
+  kInvalidQueryExpression,
+  kInvalidReceiptHandle,
+  kInvalidArgument,
+};
+
+struct AwsError {
+  AwsErrorCode code;
+  std::string message;
+};
+
+const char* to_string(AwsErrorCode code);
+
+template <typename T>
+using AwsResult = util::Expected<T, AwsError>;
+
+inline util::Unexpected<AwsError> aws_error(AwsErrorCode code,
+                                            std::string message) {
+  return util::Unexpected(AwsError{code, std::move(message)});
+}
+
+inline const char* to_string(AwsErrorCode code) {
+  switch (code) {
+    case AwsErrorCode::kNoSuchBucket: return "NoSuchBucket";
+    case AwsErrorCode::kNoSuchKey: return "NoSuchKey";
+    case AwsErrorCode::kNoSuchDomain: return "NoSuchDomain";
+    case AwsErrorCode::kNoSuchItem: return "NoSuchItem";
+    case AwsErrorCode::kNoSuchQueue: return "NoSuchQueue";
+    case AwsErrorCode::kQueueAlreadyExists: return "QueueAlreadyExists";
+    case AwsErrorCode::kEntityTooLarge: return "EntityTooLarge";
+    case AwsErrorCode::kMetadataTooLarge: return "MetadataTooLarge";
+    case AwsErrorCode::kAttributeTooLarge: return "AttributeTooLarge";
+    case AwsErrorCode::kTooManyAttributes: return "TooManyAttributes";
+    case AwsErrorCode::kInvalidQueryExpression: return "InvalidQueryExpression";
+    case AwsErrorCode::kInvalidReceiptHandle: return "InvalidReceiptHandle";
+    case AwsErrorCode::kInvalidArgument: return "InvalidArgument";
+  }
+  return "UnknownError";
+}
+
+}  // namespace provcloud::aws

@@ -1,0 +1,153 @@
+// ReplicatedKV: an eventually-consistent, last-writer-wins replicated
+// key/value store -- the storage engine under S3.
+//
+// Model (matches the behaviour the paper describes in section 2.1):
+//   * There are R replicas. A write (PUT/DELETE) is applied to the
+//     coordinator replica immediately (durability) and to each other replica
+//     after an independent uniform propagation delay.
+//   * A read (GET/HEAD/LIST) is served by a uniformly random replica, so a
+//     read right after a write may see the previous value or nothing at all.
+//   * Concurrent writes resolve by last-writer-wins on (timestamp, seq):
+//     "If two clients update the same object concurrently via a PUT, the
+//     last PUT operation is retained."
+//   * Deletes are tombstones so that a late-propagating older PUT cannot
+//     resurrect a deleted key on some replica.
+//
+// Values are held as shared_ptr<const V>: R replicas of an object share one
+// allocation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aws/common/env.hpp"
+#include "util/require.hpp"
+
+namespace provcloud::aws {
+
+template <typename V>
+class ReplicatedKV {
+ public:
+  using ValuePtr = std::shared_ptr<const V>;
+
+  /// `env` must outlive the store.
+  explicit ReplicatedKV(CloudEnv& env)
+      : env_(&env), replicas_(std::max(1u, env.consistency().replicas)) {}
+
+  /// Write `value` under `key`. Returns the version stamp assigned.
+  std::uint64_t put(const std::string& key, V value) {
+    return apply_write(key, std::make_shared<const V>(std::move(value)),
+                       /*tombstone=*/false);
+  }
+
+  /// Delete `key` (tombstone). Idempotent.
+  void erase(const std::string& key) {
+    apply_write(key, nullptr, /*tombstone=*/true);
+  }
+
+  /// Read from a random replica. nullopt when that replica has no live
+  /// version yet (or has a tombstone).
+  std::optional<ValuePtr> get(const std::string& key) {
+    return get_from(pick_replica(), key);
+  }
+
+  /// Read from the coordinator replica: the freshest available view. Used
+  /// by tests and by ground-truth verification, never billed as a client
+  /// read.
+  std::optional<ValuePtr> get_coordinator(const std::string& key) const {
+    return get_from(0, key);
+  }
+
+  /// Keys visible on a random replica, in lexicographic order, optionally
+  /// filtered by prefix. (S3 LIST semantics: also eventually consistent.)
+  std::vector<std::string> list(const std::string& prefix = "") {
+    return list_from(pick_replica(), prefix);
+  }
+
+  std::vector<std::string> list_coordinator(const std::string& prefix = "") const {
+    return list_from(0, prefix);
+  }
+
+  /// Number of live keys on the coordinator.
+  std::size_t size_coordinator() const {
+    std::size_t n = 0;
+    for (const auto& [k, e] : replicas_[0].entries)
+      if (!e.tombstone) ++n;
+    return n;
+  }
+
+  unsigned replica_count() const {
+    return static_cast<unsigned>(replicas_.size());
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t ts = 0;   // simulated time of the write
+    std::uint64_t seq = 0;  // tie-break for same-instant writes
+    ValuePtr value;         // null when tombstone
+    bool tombstone = false;
+  };
+  struct Replica {
+    std::map<std::string, Entry> entries;
+  };
+
+  std::uint64_t apply_write(const std::string& key, ValuePtr value,
+                            bool tombstone) {
+    const std::uint64_t ts = env_->clock().now();
+    const std::uint64_t seq = next_seq_++;
+    const Entry entry{ts, seq, std::move(value), tombstone};
+    apply_to_replica(0, key, entry);
+    for (std::size_t i = 1; i < replicas_.size(); ++i) {
+      const sim::SimTime delay = env_->sample_propagation_delay();
+      env_->clock().schedule_after(
+          delay, [this, i, key, entry] { apply_to_replica(i, key, entry); });
+    }
+    return seq;
+  }
+
+  void apply_to_replica(std::size_t i, const std::string& key,
+                        const Entry& entry) {
+    auto& entries = replicas_[i].entries;
+    auto it = entries.find(key);
+    if (it != entries.end()) {
+      const Entry& cur = it->second;
+      // Last-writer-wins: ignore if the replica already has a newer write.
+      if (cur.ts > entry.ts || (cur.ts == entry.ts && cur.seq > entry.seq))
+        return;
+    }
+    entries[key] = entry;
+  }
+
+  std::size_t pick_replica() {
+    if (replicas_.size() == 1) return 0;
+    return env_->rng().next_below(replicas_.size());
+  }
+
+  std::optional<ValuePtr> get_from(std::size_t i, const std::string& key) const {
+    const auto& entries = replicas_[i].entries;
+    auto it = entries.find(key);
+    if (it == entries.end() || it->second.tombstone) return std::nullopt;
+    return it->second.value;
+  }
+
+  std::vector<std::string> list_from(std::size_t i,
+                                     const std::string& prefix) const {
+    std::vector<std::string> out;
+    const auto& entries = replicas_[i].entries;
+    for (auto it = entries.lower_bound(prefix); it != entries.end(); ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      if (!it->second.tombstone) out.push_back(it->first);
+    }
+    return out;
+  }
+
+  CloudEnv* env_;
+  std::vector<Replica> replicas_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace provcloud::aws

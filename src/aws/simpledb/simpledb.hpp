@@ -1,0 +1,132 @@
+// Amazon SimpleDB simulator (January 2009 feature snapshot).
+//
+// Provides indexing and querying over items of attribute-value pairs.
+// Reads (GetAttributes, Query, QueryWithAttributes, Select) are eventually
+// consistent: they are served by a random replica, so "an item inserted
+// might not be returned in a query that is run immediately after the
+// insert". Writes are idempotent (attribute pairs are sets).
+//
+// Billing: ops metered on service "sdb". Real SimpleDB billed machine-hours;
+// the paper normalizes to operation counts, which is what the meter records
+// (src/cost can convert both ways).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aws/common/env.hpp"
+#include "aws/common/errors.hpp"
+#include "aws/simpledb/query_language.hpp"
+#include "aws/simpledb/types.hpp"
+
+namespace provcloud::aws {
+
+class SimpleDbService {
+ public:
+  explicit SimpleDbService(CloudEnv& env) : env_(&env) {}
+  SimpleDbService(const SimpleDbService&) = delete;
+  SimpleDbService& operator=(const SimpleDbService&) = delete;
+
+  AwsResult<void> create_domain(const std::string& domain);
+  AwsResult<void> delete_domain(const std::string& domain);
+  std::vector<std::string> list_domains();
+
+  /// Insert or modify attributes of an item. At most 100 attributes per
+  /// call; the resulting item must stay within 256 pairs; names and values
+  /// within 1 KB. Idempotent.
+  AwsResult<void> put_attributes(const std::string& domain,
+                                 const std::string& item,
+                                 const std::vector<SdbReplaceableAttribute>& attrs);
+
+  /// Delete specific attribute pairs, all values of named attributes
+  /// (empty value), or the whole item (empty list). Idempotent.
+  AwsResult<void> delete_attributes(const std::string& domain,
+                                    const std::string& item,
+                                    const std::vector<SdbAttribute>& attrs = {});
+
+  /// All attributes of an item (or the named subset). A missing item yields
+  /// an empty result, as the real service does.
+  AwsResult<SdbItem> get_attributes(const std::string& domain,
+                                    const std::string& item,
+                                    const std::vector<std::string>& names = {});
+
+  struct QueryResult {
+    std::vector<std::string> item_names;
+    std::optional<std::string> next_token;
+  };
+  /// Bracket-language query returning item names. Empty expression matches
+  /// every item.
+  AwsResult<QueryResult> query(const std::string& domain,
+                               const std::string& expression,
+                               std::size_t max_results = kSdbDefaultQueryResults,
+                               const std::string& next_token = "");
+
+  struct ItemWithAttributes {
+    std::string name;
+    SdbItem attributes;
+  };
+  struct QueryWithAttributesResult {
+    std::vector<ItemWithAttributes> items;
+    std::optional<std::string> next_token;
+  };
+  /// Query returning the matching items *with* their attributes, optionally
+  /// restricted to `attribute_filter`.
+  AwsResult<QueryWithAttributesResult> query_with_attributes(
+      const std::string& domain, const std::string& expression,
+      const std::vector<std::string>& attribute_filter = {},
+      std::size_t max_results = kSdbDefaultQueryResults,
+      const std::string& next_token = "");
+
+  struct SelectResult {
+    std::vector<ItemWithAttributes> items;
+    std::optional<std::uint64_t> count;  // set for count(*)
+    std::optional<std::string> next_token;
+  };
+  /// SQL-form query ("SELECT provides functionality similar to
+  /// QueryWithAttributes").
+  AwsResult<SelectResult> select(const std::string& expression,
+                                 const std::string& next_token = "");
+
+  /// --- test/verification access (not billed, coordinator view) ---
+  std::optional<SdbItem> peek_item(const std::string& domain,
+                                   const std::string& item) const;
+  std::vector<std::string> peek_item_names(const std::string& domain) const;
+  std::uint64_t item_count(const std::string& domain) const;
+  std::uint64_t stored_bytes() const { return stored_bytes_; }
+
+ private:
+  struct Domain {
+    std::vector<SdbDomainData> replicas;  // [0] is the coordinator
+    /// Earliest time the next op may apply on each replica: write ops must
+    /// apply in issue order (FIFO per replica) or replace-semantics writes
+    /// would leave replicas permanently divergent instead of *eventually*
+    /// consistent.
+    std::vector<sim::SimTime> apply_floor;
+  };
+
+  Domain* find_domain(const std::string& name);
+  const Domain* find_domain(const std::string& name) const;
+  SdbDomainData& pick_replica(Domain& d);
+  /// Apply a write op to the coordinator now and to the other replicas
+  /// after propagation delays (FIFO per replica). `item` is the touched
+  /// item, used for incremental storage accounting.
+  void replicate(Domain& d, const std::string& item,
+                 std::function<void(SdbDomainData&)> op);
+  /// Coordinator-view stored bytes of one item (name + attribute payload).
+  static std::uint64_t item_stored_bytes(const SdbDomainData& replica,
+                                         const std::string& item);
+  void recompute_storage_gauge();
+
+  /// Shared pagination helper: token is a decimal offset.
+  static std::size_t token_offset(const std::string& token);
+
+  CloudEnv* env_;
+  std::map<std::string, Domain> domains_;
+  std::uint64_t stored_bytes_ = 0;
+};
+
+}  // namespace provcloud::aws

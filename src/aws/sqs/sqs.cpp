@@ -1,0 +1,212 @@
+#include "aws/sqs/sqs.hpp"
+
+#include <algorithm>
+
+#include "util/hex.hpp"
+#include "util/require.hpp"
+#include "util/string_utils.hpp"
+
+namespace provcloud::aws {
+
+namespace {
+constexpr const char* kService = "sqs";
+}
+
+SqsService::Queue* SqsService::find_queue(const std::string& url) {
+  auto it = queues_.find(url);
+  return it == queues_.end() ? nullptr : &it->second;
+}
+
+const SqsService::Queue* SqsService::find_queue(const std::string& url) const {
+  auto it = queues_.find(url);
+  return it == queues_.end() ? nullptr : &it->second;
+}
+
+std::string SqsService::make_receipt(std::size_t shard, const std::string& id,
+                                     std::uint64_t seq) {
+  return std::to_string(shard) + ":" + id + ":" + std::to_string(seq);
+}
+
+void SqsService::expire_old(Queue& q) {
+  const sim::SimTime now = env_->clock().now();
+  if (now < kSqsRetention) return;
+  const sim::SimTime cutoff = now - kSqsRetention;
+  for (Shard& shard : q.shards) {
+    for (StoredMessage& m : shard.messages)
+      if (!m.deleted && m.sent_at < cutoff) m.deleted = true;
+    while (!shard.messages.empty() && shard.messages.front().deleted)
+      shard.messages.pop_front();
+  }
+}
+
+void SqsService::refresh_storage_gauge() {
+  std::uint64_t total = 0;
+  for (const auto& [url, q] : queues_)
+    for (const Shard& shard : q.shards)
+      for (const StoredMessage& m : shard.messages)
+        if (!m.deleted) total += m.body.size();
+  stored_bytes_ = total;
+  env_->meter().set_storage(kService, total);
+}
+
+AwsResult<std::string> SqsService::create_queue(
+    const std::string& name, sim::SimTime visibility_timeout) {
+  env_->charge(kService, "CreateQueue", name.size(), 0);
+  const std::string url = "sqs://queue/" + name;
+  auto it = queues_.find(url);
+  if (it == queues_.end()) {
+    Queue q;
+    q.name = name;
+    q.visibility_timeout = visibility_timeout;
+    q.shards.resize(kSqsShardsPerQueue);
+    queues_.emplace(url, std::move(q));
+  }
+  return url;
+}
+
+AwsResult<void> SqsService::delete_queue(const std::string& url) {
+  env_->charge(kService, "DeleteQueue", 0, 0);
+  queues_.erase(url);
+  refresh_storage_gauge();
+  return {};
+}
+
+AwsResult<std::string> SqsService::send_message(const std::string& url,
+                                                util::BytesView body) {
+  env_->charge(kService, "SendMessage", body.size(), 0);
+  Queue* q = find_queue(url);
+  if (q == nullptr) return aws_error(AwsErrorCode::kNoSuchQueue, url);
+  if (body.size() > kSqsMaxMessageBytes)
+    return aws_error(AwsErrorCode::kEntityTooLarge,
+                     "message exceeds 8KB limit");
+  expire_old(*q);
+
+  StoredMessage m;
+  m.message_id = "msg-" + util::hex_u64(next_message_id_++);
+  m.body = util::Bytes(body);
+  m.sent_at = env_->clock().now();
+  m.visible_at = m.sent_at;
+  const std::size_t shard = env_->rng().next_below(q->shards.size());
+  q->shards[shard].messages.push_back(std::move(m));
+  refresh_storage_gauge();
+  return q->shards[shard].messages.back().message_id;
+}
+
+AwsResult<std::vector<SqsMessage>> SqsService::receive_message(
+    const std::string& url, std::size_t max_messages,
+    std::optional<sim::SimTime> visibility_timeout) {
+  Queue* q = find_queue(url);
+  if (q == nullptr) {
+    env_->charge(kService, "ReceiveMessage", 0, 0);
+    return aws_error(AwsErrorCode::kNoSuchQueue, url);
+  }
+  expire_old(*q);
+  max_messages = std::min(std::max<std::size_t>(1, max_messages),
+                          kSqsMaxReceiveBatch);
+  const sim::SimTime timeout =
+      visibility_timeout.value_or(q->visibility_timeout);
+  const sim::SimTime now = env_->clock().now();
+
+  // Sample a subset of shards: this is the eventual-consistency behaviour
+  // the paper describes -- a single receive can miss messages that exist.
+  const double fraction = env_->consistency().sqs_sample_fraction;
+  std::size_t sample_count = static_cast<std::size_t>(
+      static_cast<double>(q->shards.size()) * fraction + 0.5);
+  sample_count = std::clamp<std::size_t>(sample_count, 1, q->shards.size());
+  std::vector<std::size_t> shard_order(q->shards.size());
+  for (std::size_t i = 0; i < shard_order.size(); ++i) shard_order[i] = i;
+  // Partial Fisher-Yates for the sampled prefix.
+  for (std::size_t i = 0; i < sample_count; ++i) {
+    const std::size_t j =
+        i + env_->rng().next_below(shard_order.size() - i);
+    std::swap(shard_order[i], shard_order[j]);
+  }
+
+  std::vector<SqsMessage> out;
+  std::uint64_t bytes_out = 0;
+  for (std::size_t s = 0; s < sample_count && out.size() < max_messages; ++s) {
+    Shard& shard = q->shards[shard_order[s]];
+    for (StoredMessage& m : shard.messages) {
+      if (out.size() >= max_messages) break;
+      if (m.deleted || m.visible_at > now) continue;
+      m.visible_at = now + timeout;  // hide from other consumers
+      ++m.receipt_seq;
+      SqsMessage delivered;
+      delivered.message_id = m.message_id;
+      delivered.receipt_handle =
+          make_receipt(shard_order[s], m.message_id, m.receipt_seq);
+      delivered.body = m.body;
+      bytes_out += m.body.size();
+      out.push_back(std::move(delivered));
+    }
+  }
+  env_->charge(kService, "ReceiveMessage", 0, bytes_out);
+  return out;
+}
+
+AwsResult<void> SqsService::delete_message(const std::string& url,
+                                           const std::string& receipt_handle) {
+  env_->charge(kService, "DeleteMessage", receipt_handle.size(), 0);
+  Queue* q = find_queue(url);
+  if (q == nullptr) return aws_error(AwsErrorCode::kNoSuchQueue, url);
+  const std::vector<std::string> parts = util::split(receipt_handle, ':');
+  if (parts.size() != 3)
+    return aws_error(AwsErrorCode::kInvalidReceiptHandle, receipt_handle);
+  std::size_t shard_idx = 0;
+  try {
+    shard_idx = std::stoul(parts[0]);
+  } catch (...) {
+    return aws_error(AwsErrorCode::kInvalidReceiptHandle, receipt_handle);
+  }
+  if (shard_idx >= q->shards.size())
+    return aws_error(AwsErrorCode::kInvalidReceiptHandle, receipt_handle);
+  Shard& shard = q->shards[shard_idx];
+  for (StoredMessage& m : shard.messages) {
+    if (m.message_id == parts[1]) {
+      m.deleted = true;
+      refresh_storage_gauge();
+      return {};
+    }
+  }
+  return {};  // already gone: idempotent
+}
+
+AwsResult<std::uint64_t> SqsService::approximate_number_of_messages(
+    const std::string& url) {
+  env_->charge(kService, "GetQueueAttributes", 0, sizeof(std::uint64_t));
+  Queue* q = find_queue(url);
+  if (q == nullptr) return aws_error(AwsErrorCode::kNoSuchQueue, url);
+  expire_old(*q);
+
+  // Sample a subset of shards and scale up -- an *approximation*, exactly
+  // what the API name promises.
+  const double fraction = env_->consistency().sqs_sample_fraction;
+  std::size_t sample_count = static_cast<std::size_t>(
+      static_cast<double>(q->shards.size()) * fraction + 0.5);
+  sample_count = std::clamp<std::size_t>(sample_count, 1, q->shards.size());
+  std::vector<std::size_t> shard_order(q->shards.size());
+  for (std::size_t i = 0; i < shard_order.size(); ++i) shard_order[i] = i;
+  for (std::size_t i = 0; i < sample_count; ++i) {
+    const std::size_t j = i + env_->rng().next_below(shard_order.size() - i);
+    std::swap(shard_order[i], shard_order[j]);
+  }
+  std::uint64_t sampled = 0;
+  for (std::size_t s = 0; s < sample_count; ++s)
+    for (const StoredMessage& m : q->shards[shard_order[s]].messages)
+      if (!m.deleted) ++sampled;
+  const double scale =
+      static_cast<double>(q->shards.size()) / static_cast<double>(sample_count);
+  return static_cast<std::uint64_t>(static_cast<double>(sampled) * scale + 0.5);
+}
+
+std::uint64_t SqsService::exact_message_count(const std::string& url) const {
+  const Queue* q = find_queue(url);
+  if (q == nullptr) return 0;
+  std::uint64_t n = 0;
+  for (const Shard& shard : q->shards)
+    for (const StoredMessage& m : shard.messages)
+      if (!m.deleted) ++n;
+  return n;
+}
+
+}  // namespace provcloud::aws

@@ -1,0 +1,117 @@
+// Amazon SQS simulator (January 2009 feature snapshot).
+//
+// A distributed message queue. Faithfully modelled quirks the paper's WAL
+// architecture depends on:
+//   * messages live on storage shards; one ReceiveMessage samples a subset
+//     of shards and returns only messages found there -- "the clients need
+//     to repeat these requests until they receive all the necessary
+//     messages";
+//   * a received message is hidden from other consumers for the visibility
+//     timeout; if not deleted by then it becomes visible again (at-least-
+//     once delivery, single processor at a time);
+//   * 8 KB message size limit -> provenance must be chunked;
+//   * messages older than 4 days are deleted automatically -- the paper uses
+//     this as free garbage collection of uncommitted transactions;
+//   * ApproximateNumberOfMessages is approximate (sampled);
+//   * best-effort ordering only.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aws/common/env.hpp"
+#include "aws/common/errors.hpp"
+#include "util/bytes.hpp"
+
+namespace provcloud::aws {
+
+inline constexpr std::size_t kSqsMaxMessageBytes = 8 * util::kKiB;
+inline constexpr std::size_t kSqsMaxReceiveBatch = 10;
+inline constexpr sim::SimTime kSqsRetention = 4 * sim::kDay;
+inline constexpr sim::SimTime kSqsDefaultVisibilityTimeout =
+    30 * sim::kSecond;
+/// Number of storage shards ("machines") a queue is spread over.
+inline constexpr std::size_t kSqsShardsPerQueue = 8;
+
+struct SqsMessage {
+  std::string message_id;
+  std::string receipt_handle;  // set on receive; changes per receive
+  util::Bytes body;
+};
+
+class SqsService {
+ public:
+  explicit SqsService(CloudEnv& env) : env_(&env) {}
+  SqsService(const SqsService&) = delete;
+  SqsService& operator=(const SqsService&) = delete;
+
+  /// Create a queue; returns its URL. Idempotent for the same name.
+  AwsResult<std::string> create_queue(
+      const std::string& name,
+      sim::SimTime visibility_timeout = kSqsDefaultVisibilityTimeout);
+
+  AwsResult<void> delete_queue(const std::string& url);
+
+  /// Enqueue one message (Unicode text, at most 8 KB). Returns message id.
+  AwsResult<std::string> send_message(const std::string& url,
+                                      util::BytesView body);
+
+  /// Receive up to max_messages (capped at 10) from a *sample* of shards.
+  /// Returned messages become invisible until the visibility timeout
+  /// elapses; delete them via their receipt handle before that.
+  AwsResult<std::vector<SqsMessage>> receive_message(
+      const std::string& url, std::size_t max_messages = 1,
+      std::optional<sim::SimTime> visibility_timeout = std::nullopt);
+
+  /// Delete a message by receipt handle. Deleting an already-deleted
+  /// message succeeds (idempotent).
+  AwsResult<void> delete_message(const std::string& url,
+                                 const std::string& receipt_handle);
+
+  /// GetQueueAttributes:ApproximateNumberOfMessages -- sampled estimate.
+  AwsResult<std::uint64_t> approximate_number_of_messages(
+      const std::string& url);
+
+  /// --- test/verification access (not billed) ---
+  /// Exact number of live (visible or in-flight) messages.
+  std::uint64_t exact_message_count(const std::string& url) const;
+  std::uint64_t stored_bytes() const { return stored_bytes_; }
+
+ private:
+  struct StoredMessage {
+    std::string message_id;
+    util::Bytes body;
+    sim::SimTime sent_at = 0;
+    sim::SimTime visible_at = 0;      // now >= visible_at -> deliverable
+    std::uint64_t receipt_seq = 0;    // bumped every delivery
+    bool deleted = false;
+  };
+  struct Shard {
+    std::deque<StoredMessage> messages;
+  };
+  struct Queue {
+    std::string name;
+    sim::SimTime visibility_timeout = kSqsDefaultVisibilityTimeout;
+    std::vector<Shard> shards;
+  };
+
+  Queue* find_queue(const std::string& url);
+  const Queue* find_queue(const std::string& url) const;
+  void expire_old(Queue& q);
+  void refresh_storage_gauge();
+
+  /// receipt handle encoding: "<shard>:<message_id>:<receipt_seq>".
+  static std::string make_receipt(std::size_t shard, const std::string& id,
+                                  std::uint64_t seq);
+
+  CloudEnv* env_;
+  std::map<std::string, Queue> queues_;  // by URL
+  std::uint64_t next_message_id_ = 1;
+  std::uint64_t stored_bytes_ = 0;
+};
+
+}  // namespace provcloud::aws

@@ -1,0 +1,83 @@
+// Provenance-graph reconstruction.
+//
+// Builds a navigable ancestry graph from a backend: nodes are (object,
+// version) pairs, edges are the stored cross-references (INPUT dataflow,
+// PREV version chains, FORKPARENT process lineage). Supports the closure
+// queries applications actually ask -- "everything this came from" and
+// "everything derived from this" -- plus Graphviz export, and powers the
+// provenance-challenge example.
+//
+// Retrieval goes through the backend's public API, so it is billed like any
+// client and works identically on all three architectures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cloudprov/backend.hpp"
+#include "pass/record.hpp"
+
+namespace provcloud::cloudprov {
+
+/// One node of the reconstructed graph.
+struct AncestryNode {
+  pass::ObjectVersion id;
+  std::string kind;  // "file" | "process" | "pipe" | "" when unknown
+  std::vector<pass::ProvenanceRecord> records;
+  /// Direct causal ancestors (INPUT, PREV, FORKPARENT targets).
+  std::vector<pass::ObjectVersion> ancestors;
+};
+
+/// A closed subgraph of provenance.
+class AncestryGraph {
+ public:
+  const AncestryNode* find(const pass::ObjectVersion& id) const;
+  const std::map<pass::ObjectVersion, AncestryNode>& nodes() const {
+    return nodes_;
+  }
+
+  /// Direct descendants of `id` within this graph (reverse edges).
+  std::vector<pass::ObjectVersion> descendants_of(
+      const pass::ObjectVersion& id) const;
+
+  /// Transitive closure upward (ancestors) / downward (descendants) from a
+  /// node, excluding the node itself.
+  std::set<pass::ObjectVersion> ancestor_closure(
+      const pass::ObjectVersion& id) const;
+  std::set<pass::ObjectVersion> descendant_closure(
+      const pass::ObjectVersion& id) const;
+
+  /// Topological order, ancestors first. The PASS versioning discipline
+  /// guarantees acyclicity; unexpected cycles throw LogicError.
+  std::vector<pass::ObjectVersion> topological_order() const;
+
+  /// Graphviz rendering (files as boxes, processes as ellipses, INPUT
+  /// edges solid, PREV/FORKPARENT dashed).
+  std::string to_dot(const std::string& graph_name = "provenance") const;
+
+  /// Internal: used by the builder.
+  void add_node(AncestryNode node);
+
+ private:
+  std::map<pass::ObjectVersion, AncestryNode> nodes_;
+  std::multimap<pass::ObjectVersion, pass::ObjectVersion> reverse_;
+};
+
+/// Fetch the ancestry closure of (object, version) from a backend: the node
+/// itself plus every transitive ancestor whose provenance is retrievable.
+/// `max_nodes` bounds runaway walks. Unresolvable ancestors (e.g. an old
+/// version on Architecture 1) are recorded in `missing`.
+struct AncestryResult {
+  AncestryGraph graph;
+  std::vector<pass::ObjectVersion> missing;
+};
+
+AncestryResult fetch_ancestry(ProvenanceBackend& backend,
+                              const std::string& object, std::uint32_t version,
+                              std::size_t max_nodes = 10000);
+
+}  // namespace provcloud::cloudprov

@@ -1,0 +1,21 @@
+#include "cloudprov/backend.hpp"
+
+#include "util/require.hpp"
+
+namespace provcloud::cloudprov {
+
+std::unique_ptr<ProvenanceBackend> make_backend(Architecture arch,
+                                                CloudServices& services) {
+  switch (arch) {
+    case Architecture::kS3Only:
+      return make_s3_backend(services);
+    case Architecture::kS3SimpleDb:
+      return make_sdb_backend(services);
+    case Architecture::kS3SimpleDbSqs:
+      return make_wal_backend(services);
+  }
+  PROVCLOUD_REQUIRE_MSG(false, "unknown architecture");
+  return nullptr;
+}
+
+}  // namespace provcloud::cloudprov

@@ -1,0 +1,134 @@
+// ProvenanceBackend: the public interface of the paper's contribution.
+//
+// A backend implements one of the three architectures from section 4. It
+// receives FlushUnits from PASS at file close (store), serves the read-
+// correctness read path (read), retrieves provenance (get_provenance),
+// recovers after client crashes (recover), and -- for the WAL architecture --
+// exposes pump()/quiesce() to drive its daemons deterministically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aws/common/env.hpp"
+#include "aws/s3/s3.hpp"
+#include "aws/simpledb/simpledb.hpp"
+#include "aws/sqs/sqs.hpp"
+#include "pass/local_cache.hpp"
+#include "pass/record.hpp"
+#include "util/expected.hpp"
+
+namespace provcloud::cloudprov {
+
+/// Which architecture a backend implements.
+enum class Architecture {
+  kS3Only,          // section 4.1
+  kS3SimpleDb,      // section 4.2
+  kS3SimpleDbSqs,   // section 4.3
+};
+
+const char* to_string(Architecture arch);
+
+/// Result of the read-correctness read path.
+struct ReadResult {
+  util::SharedBytes data;
+  std::vector<pass::ProvenanceRecord> records;
+  std::uint32_t version = 0;
+  /// Number of retry rounds the consistency check forced (Arch 2/3).
+  std::uint32_t retries = 0;
+  /// False when the backend returned a pair it cannot vouch for (Arch 1
+  /// never sets this; Arch 2/3 set it only if retries were exhausted).
+  bool verified = true;
+};
+
+struct BackendError {
+  std::string message;
+};
+
+template <typename T>
+using BackendResult = util::Expected<T, BackendError>;
+
+inline util::Unexpected<BackendError> backend_error(std::string message) {
+  return util::Unexpected(BackendError{std::move(message)});
+}
+
+/// The services a backend runs against. One bundle per experiment; shared
+/// by backends and query engines so all billing lands in one meter.
+struct CloudServices {
+  explicit CloudServices(aws::CloudEnv& env)
+      : env(&env), s3(env), sdb(env), sqs(env) {}
+
+  aws::CloudEnv* env;
+  aws::S3Service s3;
+  aws::SimpleDbService sdb;
+  aws::SqsService sqs;
+};
+
+class ProvenanceBackend {
+ public:
+  virtual ~ProvenanceBackend() = default;
+
+  virtual Architecture architecture() const = 0;
+  virtual std::string name() const = 0;
+
+  /// The close-time protocol: persist one object version and its
+  /// provenance. May throw sim::CrashError at an armed crash point.
+  virtual void store(const pass::FlushUnit& unit) = 0;
+
+  /// The read path a scientist uses: fetch the latest data of `object`
+  /// together with its provenance, enforcing whatever consistency the
+  /// architecture offers. `max_retries` bounds the Arch-2/3 consistency
+  /// retry loop.
+  virtual BackendResult<ReadResult> read(const std::string& object,
+                                         std::uint32_t max_retries = 64) = 0;
+
+  /// Retrieve the provenance of one (object, version), resolving spilled
+  /// records.
+  virtual BackendResult<std::vector<pass::ProvenanceRecord>> get_provenance(
+      const std::string& object, std::uint32_t version) = 0;
+
+  /// Client-restart recovery (after a CrashError was thrown from store or
+  /// pump). Arch 1: nothing. Arch 2: orphan-provenance scan. Arch 3: WAL
+  /// replay via the commit daemon.
+  virtual void recover() = 0;
+
+  /// Drive background daemons one step (Arch 3's commit daemon; no-op
+  /// elsewhere).
+  virtual void pump() {}
+
+  /// Run daemons until stable (e.g. WAL fully drained). Test/bench helper.
+  virtual void quiesce() {}
+
+  /// Paper Table 1 row, verified empirically by cloudprov/properties.
+  struct PropertyClaims {
+    bool atomicity = false;
+    bool consistency = false;
+    bool causal_ordering = false;
+    bool efficient_query = false;
+  };
+  virtual PropertyClaims claims() const = 0;
+};
+
+inline const char* to_string(Architecture arch) {
+  switch (arch) {
+    case Architecture::kS3Only: return "S3";
+    case Architecture::kS3SimpleDb: return "S3+SimpleDB";
+    case Architecture::kS3SimpleDbSqs: return "S3+SimpleDB+SQS";
+  }
+  return "?";
+}
+
+/// Factories (defined with each backend).
+std::unique_ptr<ProvenanceBackend> make_s3_backend(CloudServices& services);
+std::unique_ptr<ProvenanceBackend> make_sdb_backend(CloudServices& services);
+struct WalBackendConfig;
+std::unique_ptr<ProvenanceBackend> make_wal_backend(CloudServices& services);
+std::unique_ptr<ProvenanceBackend> make_wal_backend(
+    CloudServices& services, const WalBackendConfig& config);
+std::unique_ptr<ProvenanceBackend> make_backend(Architecture arch,
+                                                CloudServices& services);
+
+}  // namespace provcloud::cloudprov

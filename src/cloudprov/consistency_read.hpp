@@ -1,0 +1,41 @@
+// The MD5+nonce consistency read loop shared by Architectures 2 and 3.
+//
+// Both store data in S3 (metadata: the nonce) and provenance in SimpleDB
+// (one attribute: MD5(data || nonce)). Under eventual consistency S3 can
+// return older data while SimpleDB returns newer provenance or vice versa;
+// the MD5 comparison detects this and the read is reissued "until we get
+// consistent provenance and data" (section 4.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cloudprov/backend.hpp"
+
+namespace provcloud::cloudprov {
+
+/// Metadata keys the data objects carry in Architectures 2/3.
+inline constexpr const char* kNonceMetaKey = "x-nonce";
+inline constexpr const char* kVersionMetaKey = "x-version";
+
+/// Attribute under which the consistency token lives in SimpleDB.
+inline constexpr const char* kMd5Attribute = "MD5";
+
+/// Nonce of a version ("the nonce is typically the file version").
+std::string nonce_for_version(std::uint32_t version);
+
+/// The read path: GET data, look up the provenance item named by the nonce,
+/// verify MD5(data || nonce); on any mismatch or miss, retry the whole
+/// round. After max_retries the best-effort pair is returned with
+/// verified=false.
+BackendResult<ReadResult> consistency_checked_read(CloudServices& services,
+                                                   const std::string& object,
+                                                   std::uint32_t max_retries);
+
+/// Fetch provenance records of (object, version) from SimpleDB, retrying
+/// empty reads (propagation races) and resolving S3 spill pointers.
+BackendResult<std::vector<pass::ProvenanceRecord>> fetch_sdb_provenance(
+    CloudServices& services, const std::string& object, std::uint32_t version,
+    std::uint32_t max_retries);
+
+}  // namespace provcloud::cloudprov

@@ -1,0 +1,182 @@
+#include "cloudprov/hints.hpp"
+
+#include <algorithm>
+
+#include "cloudprov/consistency_read.hpp"
+#include "cloudprov/serialize.hpp"
+#include "util/require.hpp"
+#include "util/string_utils.hpp"
+
+namespace provcloud::cloudprov {
+
+ProvenanceCache::ProvenanceCache(CloudServices& services, PrefetchConfig config)
+    : services_(&services), config_(config) {
+  PROVCLOUD_REQUIRE(config_.cache_capacity > 0);
+}
+
+void ProvenanceCache::touch(const std::string& object,
+                            std::map<std::string, Entry>::iterator it) {
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(object);
+  it->second.lru_it = lru_.begin();
+}
+
+void ProvenanceCache::insert(const std::string& object, util::SharedBytes data,
+                             bool speculative) {
+  auto it = entries_.find(object);
+  if (it != entries_.end()) {
+    it->second.data = std::move(data);
+    touch(object, it);
+    return;
+  }
+  lru_.push_front(object);
+  Entry entry;
+  entry.data = std::move(data);
+  entry.lru_it = lru_.begin();
+  entry.speculative = speculative;
+  entries_.emplace(object, std::move(entry));
+  evict_if_needed();
+}
+
+void ProvenanceCache::evict_if_needed() {
+  while (entries_.size() > config_.cache_capacity) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+  }
+}
+
+std::vector<std::string> ProvenanceCache::hint_candidates(
+    const std::string& object) {
+  std::vector<std::string> out;
+  // 1. The object's provenance: which process produced it? The data
+  //    object's nonce names the item; its INPUT xrefs name producers.
+  auto head = services_->s3.head(kDataBucket, object);
+  if (!head) return out;
+  auto version_it = head->metadata.find(kVersionMetaKey);
+  if (version_it == head->metadata.end()) return out;
+  const std::string item = object + ":" + version_it->second;
+
+  auto attrs = services_->sdb.get_attributes(kProvenanceDomain, item);
+  if (!attrs || attrs->empty()) return out;
+
+  std::vector<std::string> producers;
+  auto inputs = attrs->find(pass::attr::kInput);
+  if (inputs != attrs->end())
+    for (const std::string& v : inputs->second)
+      if (v.rfind(kSpillMarker, 0) != 0) producers.push_back(v);
+
+  // 2. Siblings: other items whose INPUT includes the same producer
+  //    version -- the rest of the run's outputs.
+  std::size_t siblings = 0;
+  for (const std::string& producer : producers) {
+    if (siblings >= config_.sibling_limit) break;
+    auto q = services_->sdb.query_with_attributes(
+        kProvenanceDomain, "['INPUT' = '" + producer + "']", {"x-kind"},
+        config_.sibling_limit);
+    // Distinguish internal traffic for the cost analysis.
+    services_->env->meter().record("sdb", "Query.prefetch", 0, 0);
+    if (!q) continue;
+    for (const auto& sibling : q->items) {
+      std::string sib_object;
+      std::uint32_t sib_version = 0;
+      if (!parse_item_name(sibling.name, sib_object, sib_version)) continue;
+      if (sib_object == object) continue;
+      auto kind = sibling.attributes.find("x-kind");
+      if (kind == sibling.attributes.end() || kind->second.empty() ||
+          *kind->second.begin() != "file")
+        continue;
+      out.push_back(sib_object);
+      if (++siblings >= config_.sibling_limit) break;
+    }
+  }
+
+  // 3. Descendants and co-inputs: files derived from this object (the
+  //    researcher's next click is often downstream), and the *other* inputs
+  //    of the consuming processes (the rest of an aggregation's fan-in --
+  //    e.g. the sibling hits files feeding the same summary).
+  auto q = services_->sdb.query_with_attributes(
+      kProvenanceDomain, "['INPUT' = '" + item + "']", {},
+      config_.descendant_limit + 4);
+  services_->env->meter().record("sdb", "Query.prefetch", 0, 0);
+  if (q) {
+    std::size_t descendants = 0;
+    for (const auto& child : q->items) {
+      std::string child_object;
+      std::uint32_t child_version = 0;
+      if (!parse_item_name(child.name, child_object, child_version)) continue;
+
+      // Co-inputs: whatever else this consumer read.
+      auto co_inputs = child.attributes.find(pass::attr::kInput);
+      if (co_inputs != child.attributes.end()) {
+        std::size_t co = 0;
+        for (const std::string& v : co_inputs->second) {
+          if (co >= config_.sibling_limit) break;
+          if (v.rfind(kSpillMarker, 0) == 0) continue;
+          std::string co_object;
+          std::uint32_t co_version = 0;
+          if (!parse_item_name(v, co_object, co_version)) continue;
+          if (co_object == object ||
+              util::starts_with(co_object, "proc/") ||
+              util::starts_with(co_object, "pipe/"))
+            continue;
+          out.push_back(co_object);
+          ++co;
+        }
+      }
+
+      // Descendant files: chase one hop to the consumer's outputs.
+      if (descendants >= config_.descendant_limit) continue;
+      auto grand = services_->sdb.query_with_attributes(
+          kProvenanceDomain, "['INPUT' = '" + child.name + "']", {"x-kind"}, 4);
+      services_->env->meter().record("sdb", "Query.prefetch", 0, 0);
+      if (!grand) continue;
+      for (const auto& g : grand->items) {
+        std::string g_object;
+        std::uint32_t g_version = 0;
+        if (!parse_item_name(g.name, g_object, g_version)) continue;
+        auto kind = g.attributes.find("x-kind");
+        if (kind == g.attributes.end() || kind->second.empty() ||
+            *kind->second.begin() != "file")
+          continue;
+        if (g_object == object) continue;
+        out.push_back(g_object);
+        if (++descendants >= config_.descendant_limit) break;
+      }
+    }
+  }
+  return out;
+}
+
+util::SharedBytes ProvenanceCache::read(const std::string& object) {
+  ++stats_.reads;
+  auto it = entries_.find(object);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    if (it->second.speculative) {
+      ++stats_.prefetch_hits;
+      it->second.speculative = false;
+    }
+    touch(object, it);
+    return it->second.data;
+  }
+
+  ++stats_.misses;
+  auto got = services_->s3.get(kDataBucket, object);
+  if (!got) return nullptr;
+  insert(object, got->data, /*speculative=*/false);
+
+  if (config_.use_provenance_hints) {
+    for (const std::string& candidate : hint_candidates(object)) {
+      if (entries_.count(candidate) > 0) continue;
+      auto warmed = services_->s3.get(kDataBucket, candidate);
+      services_->env->meter().record("s3", "GET.prefetch", 0, 0);
+      if (!warmed) continue;
+      ++stats_.prefetches;
+      insert(candidate, warmed->data, /*speculative=*/true);
+    }
+  }
+  return got->data;
+}
+
+}  // namespace provcloud::cloudprov

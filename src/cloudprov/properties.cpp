@@ -1,0 +1,332 @@
+#include "cloudprov/properties.hpp"
+
+#include <cstring>
+#include <set>
+#include <memory>
+
+#include "cloudprov/consistency_read.hpp"
+#include "cloudprov/query.hpp"
+#include "cloudprov/serialize.hpp"
+#include "pass/observer.hpp"
+#include "util/md5.hpp"
+#include "util/require.hpp"
+#include "util/string_utils.hpp"
+#include "workloads/compile.hpp"
+
+namespace provcloud::cloudprov {
+
+namespace {
+
+/// One disposable world: env + services + backend.
+struct Fixture {
+  explicit Fixture(Architecture arch, std::uint64_t seed,
+                   aws::ConsistencyConfig consistency)
+      : env(seed, consistency), services(env) {
+    backend = make_backend(arch, services);
+  }
+
+  aws::CloudEnv env;
+  CloudServices services;
+  std::unique_ptr<ProvenanceBackend> backend;
+};
+
+aws::ConsistencyConfig aggressive_staleness() {
+  aws::ConsistencyConfig c;
+  c.replicas = 3;
+  c.propagation_min = 500 * sim::kMillisecond;
+  c.propagation_max = 5 * sim::kSecond;
+  c.sqs_sample_fraction = 0.5;
+  return c;
+}
+
+/// The small hand-built trace the crash sweep runs. Contains: multi-KB env
+/// records (spill path), a three-deep derivation chain (causal ordering),
+/// and a version bump (write after flush).
+pass::SyscallTrace mini_trace(std::uint64_t seed, std::size_t files) {
+  util::Rng rng(seed);
+  pass::SyscallTrace t;
+  const pass::Pid ingest = 11, transform = 12, aggregate = 13, editor = 14;
+
+  t.push_back(pass::ev_exec(ingest, "/bin/ingest", {"ingest", "--all"},
+                            workloads::synth_environment(rng, 1600)));
+  std::vector<std::string> inputs;
+  for (std::size_t i = 0; i < files; ++i) {
+    const std::string path = "data/f" + std::to_string(i);
+    inputs.push_back(path);
+    t.push_back(pass::ev_write(ingest, path,
+                               util::Bytes(64 + 32 * (i % 7), 'a' + (i % 23))));
+    t.push_back(pass::ev_close(ingest, path));
+  }
+  t.push_back(pass::ev_exit(ingest));
+
+  t.push_back(pass::ev_exec(transform, "/usr/bin/transform", {"transform"},
+                            workloads::synth_environment(rng, 1400)));
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, inputs.size()); ++i)
+    t.push_back(pass::ev_read(transform, inputs[i]));
+  t.push_back(pass::ev_write(transform, "data/derived0", util::Bytes(256, 'd')));
+  t.push_back(pass::ev_close(transform, "data/derived0"));
+  t.push_back(pass::ev_exit(transform));
+
+  t.push_back(pass::ev_exec(aggregate, "/usr/bin/aggregate", {"aggregate"},
+                            workloads::synth_environment(rng, 1200)));
+  t.push_back(pass::ev_read(aggregate, "data/derived0"));
+  t.push_back(pass::ev_write(aggregate, "data/derived1", util::Bytes(128, 'e')));
+  t.push_back(pass::ev_close(aggregate, "data/derived1"));
+  t.push_back(pass::ev_exit(aggregate));
+
+  // Version bump: rewrite an already-flushed input.
+  t.push_back(pass::ev_exec(editor, "/usr/bin/editor", {"editor"},
+                            workloads::synth_environment(rng, 900)));
+  if (!inputs.empty()) {
+    t.push_back(pass::ev_write(editor, inputs[0], util::Bytes(96, 'z')));
+    t.push_back(pass::ev_close(editor, inputs[0]));
+  }
+  t.push_back(pass::ev_exit(editor));
+  return t;
+}
+
+/// Run a trace through PASS into the backend. Returns false if an injected
+/// crash killed the client partway.
+bool drive(Fixture& fx, const pass::SyscallTrace& trace,
+           pass::PassObserver* observer_out = nullptr) {
+  pass::PassObserver observer(
+      [&fx](const pass::FlushUnit& unit) { fx.backend->store(unit); });
+  try {
+    observer.apply_trace(trace);
+    observer.finish();
+  } catch (const sim::CrashError&) {
+    if (observer_out != nullptr) *observer_out = std::move(observer);
+    return false;
+  }
+  if (observer_out != nullptr) *observer_out = std::move(observer);
+  return true;
+}
+
+/// Let the world settle: all propagation delivered; Arch-3 daemons pumped.
+void settle(Fixture& fx) {
+  fx.env.clock().drain();
+  fx.backend->quiesce();
+  fx.env.clock().drain();
+}
+
+std::uint32_t meta_version(const aws::S3Metadata& meta, const char* key) {
+  auto it = meta.find(key);
+  if (it == meta.end()) return 0;
+  try {
+    return static_cast<std::uint32_t>(std::stoul(it->second));
+  } catch (...) {
+    return 0;
+  }
+}
+
+struct StateViolations {
+  std::uint64_t atomicity = 0;
+  std::uint64_t causal = 0;
+};
+
+/// Invariant check over the settled cloud state (coordinator views; not
+/// billed).
+StateViolations check_state(Architecture arch, CloudServices& services) {
+  StateViolations v;
+  std::vector<std::string> data_keys;
+  for (const std::string& key : services.s3.peek_keys(kDataBucket)) {
+    if (util::starts_with(key, kOverflowPrefix) ||
+        util::starts_with(key, kTempPrefix))
+      continue;
+    data_keys.push_back(key);
+  }
+  const std::set<std::string> data_set(data_keys.begin(), data_keys.end());
+
+  if (arch == Architecture::kS3Only) {
+    for (const std::string& key : data_keys) {
+      auto obj = services.s3.peek(kDataBucket, key);
+      PROVCLOUD_REQUIRE(obj.has_value());
+      DecodedMetadata decoded = decode_metadata(obj->metadata);
+      if (decoded.records.empty()) {
+        ++v.atomicity;  // data without provenance
+        continue;
+      }
+      for (const std::string& spill : decoded.spill_keys)
+        if (!services.s3.peek(kDataBucket, spill)) ++v.atomicity;
+      for (const pass::ProvenanceRecord& r : decoded.records)
+        if (r.is_xref() && data_set.count(r.xref().object) == 0) ++v.causal;
+    }
+    return v;
+  }
+
+  // SimpleDB architectures: version-granular checks.
+  const std::vector<std::string> items =
+      services.sdb.peek_item_names(kProvenanceDomain);
+  const std::set<std::string> item_set(items.begin(), items.end());
+
+  // (a) provenance without data (orphans). Transient pnodes carry no data
+  // object by design, so only file items can be orphaned.
+  for (const std::string& item : items) {
+    std::string object;
+    std::uint32_t version = 0;
+    if (!parse_item_name(item, object, version)) continue;
+    auto attrs = services.sdb.peek_item(kProvenanceDomain, item);
+    PROVCLOUD_REQUIRE(attrs.has_value());
+    auto kind_it = attrs->find("x-kind");
+    const bool is_file = kind_it == attrs->end() || kind_it->second.empty() ||
+                         *kind_it->second.begin() == "file";
+    if (is_file) {
+      auto obj = services.s3.peek(kDataBucket, object);
+      if (!obj || meta_version(obj->metadata, kVersionMetaKey) < version) {
+        ++v.atomicity;
+        continue;
+      }
+    }
+    // (c) causal ordering: every xref's (object, version) item must exist.
+    for (const auto& [name, values] : *attrs) {
+      if (!is_xref_attribute(name)) continue;
+      for (const std::string& value : values) {
+        if (value.rfind(kSpillMarker, 0) == 0) continue;
+        if (item_set.count(value) == 0) ++v.causal;
+      }
+    }
+  }
+
+  // (b) data without matching provenance.
+  for (const std::string& key : data_keys) {
+    auto obj = services.s3.peek(kDataBucket, key);
+    PROVCLOUD_REQUIRE(obj.has_value());
+    const std::uint32_t version = meta_version(obj->metadata, kVersionMetaKey);
+    auto nonce_it = obj->metadata.find(kNonceMetaKey);
+    const std::string nonce = nonce_it == obj->metadata.end()
+                                  ? nonce_for_version(version)
+                                  : nonce_it->second;
+    auto item = services.sdb.peek_item(kProvenanceDomain,
+                                       item_name(key, version));
+    if (!item) {
+      ++v.atomicity;
+      continue;
+    }
+    auto md5_it = item->find(kMd5Attribute);
+    if (md5_it == item->end() || md5_it->second.empty() ||
+        *md5_it->second.begin() != util::md5_with_nonce(*obj->data, nonce))
+      ++v.atomicity;
+  }
+  return v;
+}
+
+/// All crash points the architecture's protocol passes through, discovered
+/// from an uninjected run.
+std::vector<std::string> discover_crash_points(Architecture arch,
+                                               std::uint64_t seed,
+                                               std::size_t files) {
+  Fixture fx(arch, seed, aggressive_staleness());
+  drive(fx, mini_trace(seed, files));
+  settle(fx);
+  return fx.env.failures().observed_points();
+}
+
+}  // namespace
+
+PropertyReport check_properties(Architecture arch,
+                                const PropertyCheckOptions& options) {
+  PropertyReport report;
+  report.arch = arch;
+
+  // ------------------------------------------------------ crash sweep ----
+  const std::vector<std::string> points =
+      discover_crash_points(arch, options.seed, options.mini_files);
+  std::uint64_t atomicity_violations = 0;
+  std::uint64_t causal_violations = 0;
+  for (const std::string& point : points) {
+    for (std::uint64_t occurrence : {std::uint64_t{1}, std::uint64_t{7}}) {
+      Fixture fx(arch, options.seed + occurrence, aggressive_staleness());
+      fx.env.failures().arm_crash(point, occurrence);
+      const bool completed = drive(fx, mini_trace(options.seed, options.mini_files));
+      settle(fx);
+      // The client is gone, but daemons (Arch 3's commit daemon) are part of
+      // the system and keep running -- settle() pumped them. Remedial
+      // recovery (Arch 2's orphan scan) is deliberately NOT run: Table 1
+      // scores the protocol, not the cleanup.
+      const StateViolations v = check_state(arch, fx.services);
+      atomicity_violations += v.atomicity;
+      causal_violations += v.causal;
+      ++report.crash_scenarios;
+      (void)completed;
+    }
+  }
+  report.atomicity_violations = atomicity_violations;
+  report.causal_violations = causal_violations;
+  report.atomicity = atomicity_violations == 0;
+  report.causal_ordering = causal_violations == 0;
+
+  // ------------------------------------------------ consistency hammer ----
+  {
+    Fixture fx(arch, options.seed ^ 0xc0ffee, aggressive_staleness());
+    pass::PassObserver observer(
+        [&fx](const pass::FlushUnit& unit) { fx.backend->store(unit); });
+    const pass::Pid writer = 21;
+    util::Rng rng(options.seed);
+    observer.apply(pass::ev_exec(writer, "/bin/writer", {"writer"},
+                                 workloads::synth_environment(rng, 1000)));
+    for (int version = 0; version < 6; ++version) {
+      observer.apply(pass::ev_write(writer, "data/hot",
+                                    util::Bytes(512 + 64 * version, 'h')));
+      observer.apply(pass::ev_close(writer, "data/hot"));
+      // The commit daemon runs between client operations (Arch 3); without
+      // it nothing would reach S3/SimpleDB before the reads below.
+      fx.backend->recover();
+      // Reads race propagation: no draining here.
+      for (std::size_t r = 0; r < options.reads_per_version; ++r) {
+        fx.env.clock().advance_by(200 * sim::kMillisecond);
+        auto result = fx.backend->read("data/hot");
+        if (!result) continue;
+        ++report.reads_checked;
+        if (result->retries > 0) ++report.reads_with_retries;
+        if (!result->verified) continue;  // refused to vouch: not a violation
+        const auto& truth = observer.ground_truth();
+        auto it = truth.find({"data/hot", result->version});
+        if (it == truth.end() || *it->second.data != *result->data)
+          ++report.consistency_violations;
+      }
+    }
+    report.consistency =
+        report.reads_checked > 0 && report.consistency_violations == 0;
+  }
+
+  // ------------------------------------------------ query-cost scaling ----
+  {
+    const auto measure = [&](double scale) -> std::uint64_t {
+      Fixture fx(arch, options.seed ^ 0xdead, aws::ConsistencyConfig::strong());
+      workloads::WorkloadOptions wo;
+      wo.seed = options.seed;
+      wo.count_scale = scale;
+      wo.size_scale = 0.02;  // tiny payloads; query cost is what matters
+      const workloads::CompileWorkload compile;
+      drive(fx, compile.generate(wo));
+      settle(fx);
+      auto engine = arch == Architecture::kS3Only
+                        ? make_s3_query_engine(fx.services)
+                        : make_sdb_query_engine(fx.services);
+      const sim::MeterSnapshot before = fx.env.meter().snapshot();
+      engine->q2_outputs_of("/usr/bin/gcc");
+      const sim::MeterSnapshot diff =
+          fx.env.meter().snapshot().diff(before);
+      return diff.calls("s3") + diff.calls("sdb");
+    };
+    report.query_ops_small = measure(0.08);
+    report.query_ops_large = measure(0.16);
+    report.query_growth =
+        report.query_ops_small == 0
+            ? 0.0
+            : static_cast<double>(report.query_ops_large) /
+                  static_cast<double>(report.query_ops_small);
+    report.efficient_query = report.query_growth < 1.5;
+  }
+
+  return report;
+}
+
+std::vector<PropertyReport> check_all_architectures(
+    const PropertyCheckOptions& options) {
+  return {check_properties(Architecture::kS3Only, options),
+          check_properties(Architecture::kS3SimpleDb, options),
+          check_properties(Architecture::kS3SimpleDbSqs, options)};
+}
+
+}  // namespace provcloud::cloudprov

@@ -1,0 +1,274 @@
+#include "cloudprov/query.hpp"
+
+#include <cstring>
+#include <map>
+
+#include "cloudprov/consistency_read.hpp"
+#include "cloudprov/serialize.hpp"
+#include "util/require.hpp"
+#include "util/string_utils.hpp"
+
+namespace provcloud::cloudprov {
+
+namespace {
+
+bool is_internal_key(const std::string& key) {
+  return util::starts_with(key, kOverflowPrefix) ||
+         util::starts_with(key, kTempPrefix);
+}
+
+// ---------------------------------------------------------------------------
+// Architecture 1: scan-based queries over S3 metadata.
+// ---------------------------------------------------------------------------
+
+class S3QueryEngine final : public QueryEngine {
+ public:
+  explicit S3QueryEngine(CloudServices& services) : services_(&services) {}
+  std::string name() const override { return "S3"; }
+
+  Q1Result q1_all_provenance() override {
+    const std::vector<DecodedMetadata> all = scan_all();
+    Q1Result out;
+    out.object_versions = all.size();
+    for (const DecodedMetadata& m : all) out.records += m.records.size();
+    return out;
+  }
+
+  std::set<std::string> q2_outputs_of(const std::string& program) override {
+    // One full scan; both phases evaluate on the scanned copy ("the second
+    // phase can, of course, be executed from a cache").
+    const std::vector<DecodedMetadata> all = scan_all();
+    return outputs_from(all, program);
+  }
+
+  std::set<std::string> q3_descendants_of(const std::string& program) override {
+    const std::vector<DecodedMetadata> all = scan_all();
+    const std::set<std::string> outputs = outputs_from(all, program);
+
+    // Reverse data-flow edges: ancestor object -> descendant objects.
+    std::multimap<std::string, std::string> reverse;
+    std::map<std::string, std::string> kind_of;
+    for (const DecodedMetadata& m : all) {
+      kind_of[m.object] = m.kind;
+      for (const pass::ProvenanceRecord& r : m.records)
+        if (r.is_xref() && r.attribute != pass::attr::kPrev)
+          reverse.emplace(r.xref().object, m.object);
+    }
+    std::set<std::string> visited = outputs;
+    std::vector<std::string> frontier(outputs.begin(), outputs.end());
+    while (!frontier.empty()) {
+      std::vector<std::string> next;
+      for (const std::string& object : frontier) {
+        auto [lo, hi] = reverse.equal_range(object);
+        for (auto it = lo; it != hi; ++it)
+          if (visited.insert(it->second).second) next.push_back(it->second);
+      }
+      frontier = std::move(next);
+    }
+    std::set<std::string> files;
+    for (const std::string& object : visited)
+      if (kind_of[object] == "file") files.insert(object);
+    return files;
+  }
+
+ private:
+  /// LIST the bucket, HEAD every object, GET every spilled record: "S3 has
+  /// to effectively retrieve the metadata of all objects in the store."
+  std::vector<DecodedMetadata> scan_all() {
+    std::vector<DecodedMetadata> out;
+    std::string marker;
+    for (;;) {
+      auto page = services_->s3.list(kDataBucket, "", marker);
+      if (!page || page->keys.empty()) break;
+      for (const std::string& key : page->keys) {
+        if (is_internal_key(key)) continue;
+        auto head = services_->s3.head(kDataBucket, key);
+        if (!head) continue;  // propagation race; scans are best-effort
+        DecodedMetadata decoded = decode_metadata(head->metadata);
+        if (decoded.object.empty()) decoded.object = key;
+        // Spilled records must be fetched separately.
+        for (pass::ProvenanceRecord& r : decoded.records) {
+          if (r.is_xref() || r.text().rfind(kSpillMarker, 0) != 0) continue;
+          const std::string spill_key =
+              r.text().substr(std::strlen(kSpillMarker));
+          auto got = services_->s3.get(kDataBucket, spill_key);
+          if (got) r = pass::ProvenanceRecord{r.attribute, *got->data};
+        }
+        out.push_back(std::move(decoded));
+      }
+      if (!page->truncated) break;
+      marker = page->keys.back();
+    }
+    return out;
+  }
+
+  static std::set<std::string> outputs_from(
+      const std::vector<DecodedMetadata>& all, const std::string& program) {
+    // Phase 1: processes named `program`.
+    std::set<std::string> producers;
+    for (const DecodedMetadata& m : all) {
+      if (m.kind != "process") continue;
+      for (const pass::ProvenanceRecord& r : m.records)
+        if (r.attribute == pass::attr::kName && !r.is_xref() &&
+            r.text() == program)
+          producers.insert(m.object);
+    }
+    // Phase 2: files with an INPUT edge to any of those processes.
+    std::set<std::string> outputs;
+    for (const DecodedMetadata& m : all) {
+      if (m.kind != "file") continue;
+      for (const pass::ProvenanceRecord& r : m.records)
+        if (r.is_xref() && r.attribute == pass::attr::kInput &&
+            producers.count(r.xref().object) > 0)
+          outputs.insert(m.object);
+    }
+    return outputs;
+  }
+
+  CloudServices* services_;
+};
+
+// ---------------------------------------------------------------------------
+// Architectures 2/3: indexed SimpleDB queries.
+// ---------------------------------------------------------------------------
+
+class SdbQueryEngine final : public QueryEngine {
+ public:
+  SdbQueryEngine(CloudServices& services, SdbQueryConfig config)
+      : services_(&services), config_(config) {}
+  std::string name() const override { return "SimpleDB"; }
+
+  Q1Result q1_all_provenance() override {
+    // "There is no way for SimpleDB to generalize the query and [it] needs
+    // to issue one query per item": enumerate items, then GetAttributes
+    // each.
+    Q1Result out;
+    std::string token;
+    for (;;) {
+      auto page = services_->sdb.query(kProvenanceDomain, "",
+                                       aws::kSdbMaxQueryResults, token);
+      if (!page) break;
+      for (const std::string& item : page->item_names) {
+        auto attrs = services_->sdb.get_attributes(kProvenanceDomain, item);
+        if (!attrs) continue;
+        ++out.object_versions;
+        for (const auto& [name, values] : *attrs)
+          out.records += values.size();
+      }
+      if (!page->next_token) break;
+      token = *page->next_token;
+    }
+    return out;
+  }
+
+  std::set<std::string> q2_outputs_of(const std::string& program) override {
+    const std::set<std::string> producers = producer_versions(program);
+    std::set<std::string> outputs;
+    for (const auto& [item, attrs] : items_with_input_in(producers))
+      if (kind_of(attrs) == "file") outputs.insert(object_of(item));
+    return outputs;
+  }
+
+  std::set<std::string> q3_descendants_of(const std::string& program) override {
+    // Level-by-level expansion: "for ancestry queries, it has to retrieve
+    // each item ..., then examine each item for its ancestors and then look
+    // up further" -- here in the descendant direction.
+    const std::set<std::string> producers = producer_versions(program);
+    std::set<std::string> visited_versions = producers;
+    std::set<std::string> frontier = producers;
+    std::set<std::string> files;
+    while (!frontier.empty()) {
+      std::set<std::string> next;
+      for (const auto& [item, attrs] : items_with_input_in(frontier)) {
+        if (visited_versions.insert(item).second) {
+          next.insert(item);
+          if (kind_of(attrs) == "file") files.insert(object_of(item));
+        }
+      }
+      frontier = std::move(next);
+    }
+    return files;
+  }
+
+ private:
+  static std::string object_of(const std::string& item) {
+    std::string object;
+    std::uint32_t version = 0;
+    if (parse_item_name(item, object, version)) return object;
+    return item;
+  }
+
+  static std::string kind_of(const aws::SdbItem& attrs) {
+    auto it = attrs.find("x-kind");
+    if (it == attrs.end() || it->second.empty()) return "";
+    return *it->second.begin();
+  }
+
+  /// Phase 1 of Q2/Q3: item names of process versions whose NAME matches.
+  std::set<std::string> producer_versions(const std::string& program) {
+    std::set<std::string> out;
+    const std::string expr = "['NAME' = '" + program + "']";
+    std::string token;
+    for (;;) {
+      auto page = services_->sdb.query_with_attributes(
+          kProvenanceDomain, expr, {"x-kind"}, aws::kSdbMaxQueryResults, token);
+      if (!page) break;
+      for (const auto& item : page->items)
+        if (kind_of(item.attributes) == "process") out.insert(item.name);
+      if (!page->next_token) break;
+      token = *page->next_token;
+    }
+    return out;
+  }
+
+  /// Items whose INPUT attribute points at any member of `ancestors`
+  /// (item-name strings "object:version"). Chunked into OR-predicates.
+  std::vector<std::pair<std::string, aws::SdbItem>> items_with_input_in(
+      const std::set<std::string>& ancestors) {
+    std::vector<std::pair<std::string, aws::SdbItem>> out;
+    std::vector<std::string> list(ancestors.begin(), ancestors.end());
+    for (std::size_t start = 0; start < list.size();
+         start += config_.or_terms_per_query) {
+      const std::size_t end =
+          std::min(start + config_.or_terms_per_query, list.size());
+      std::string expr = "[";
+      for (std::size_t i = start; i < end; ++i) {
+        if (i > start) expr += " or ";
+        expr += "'INPUT' = '" + list[i] + "'";
+      }
+      expr += "]";
+      std::string token;
+      for (;;) {
+        auto page = services_->sdb.query_with_attributes(
+            kProvenanceDomain, expr, {"x-kind"}, aws::kSdbMaxQueryResults,
+            token);
+        if (!page) break;
+        for (auto& item : page->items)
+          out.emplace_back(item.name, std::move(item.attributes));
+        if (!page->next_token) break;
+        token = *page->next_token;
+      }
+    }
+    return out;
+  }
+
+  CloudServices* services_;
+  SdbQueryConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<QueryEngine> make_s3_query_engine(CloudServices& services) {
+  return std::make_unique<S3QueryEngine>(services);
+}
+
+std::unique_ptr<QueryEngine> make_sdb_query_engine(CloudServices& services) {
+  return std::make_unique<SdbQueryEngine>(services, SdbQueryConfig{});
+}
+
+std::unique_ptr<QueryEngine> make_sdb_query_engine(
+    CloudServices& services, const SdbQueryConfig& config) {
+  return std::make_unique<SdbQueryEngine>(services, config);
+}
+
+}  // namespace provcloud::cloudprov

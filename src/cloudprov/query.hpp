@@ -1,0 +1,64 @@
+// The paper's three representative provenance queries (section 5, Table 3),
+// implemented against both storage layouts:
+//
+//   Q.1  given an object and version, retrieve its provenance -- run over
+//        every object ("the query results for one object are insufficient
+//        to differentiate the two methods");
+//   Q.2  find all files that were outputs of blast;
+//   Q.3  find all descendants of files derived from blast.
+//
+// The S3 engine can only HEAD-scan every object (plus a GET per spilled
+// record): no search capability. The SimpleDB engine uses the service's
+// automatic indexes via Query/QueryWithAttributes; Q.3 must iterate level
+// by level because SimpleDB "does not support recursive queries or stored
+// procedures".
+//
+// Costs are not returned by these calls: the caller diffs
+// CloudEnv::meter() snapshots around them, exactly how the benches build
+// Table 3.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cloudprov/backend.hpp"
+#include "pass/record.hpp"
+
+namespace provcloud::cloudprov {
+
+struct Q1Result {
+  std::uint64_t object_versions = 0;  // provenance sets retrieved
+  std::uint64_t records = 0;          // records retrieved in total
+};
+
+class QueryEngine {
+ public:
+  virtual ~QueryEngine() = default;
+  virtual std::string name() const = 0;
+
+  virtual Q1Result q1_all_provenance() = 0;
+  /// File object names written by any process whose NAME is `program`.
+  virtual std::set<std::string> q2_outputs_of(const std::string& program) = 0;
+  /// File object names transitively derived from outputs of `program`
+  /// (includes the outputs themselves).
+  virtual std::set<std::string> q3_descendants_of(const std::string& program) = 0;
+};
+
+/// Arch-1 engine: full metadata scans over the data bucket.
+std::unique_ptr<QueryEngine> make_s3_query_engine(CloudServices& services);
+
+/// Arch-2/3 engine: indexed SimpleDB queries ("The query results are the
+/// same for the last two architectures (as they both query SimpleDB)").
+struct SdbQueryConfig {
+  /// OR-terms per predicate when chunking large ancestor sets into
+  /// ['INPUT' = 'a' or 'INPUT' = 'b' ...] expressions.
+  std::size_t or_terms_per_query = 20;
+};
+std::unique_ptr<QueryEngine> make_sdb_query_engine(CloudServices& services);
+std::unique_ptr<QueryEngine> make_sdb_query_engine(CloudServices& services,
+                                                   const SdbQueryConfig& config);
+
+}  // namespace provcloud::cloudprov

@@ -1,0 +1,252 @@
+#include "cloudprov/sdb_backend.hpp"
+
+#include <cstring>
+
+#include "cloudprov/consistency_read.hpp"
+#include "cloudprov/serialize.hpp"
+#include "util/md5.hpp"
+#include "util/require.hpp"
+
+namespace provcloud::cloudprov {
+
+namespace {
+const util::SharedBytes kEmptyBytes = util::make_shared_bytes(util::Bytes{});
+}
+
+// ---------------------------------------------------------------------------
+// Shared consistency machinery (consistency_read.hpp)
+// ---------------------------------------------------------------------------
+
+std::string nonce_for_version(std::uint32_t version) {
+  return std::to_string(version);
+}
+
+BackendResult<std::vector<pass::ProvenanceRecord>> fetch_sdb_provenance(
+    CloudServices& services, const std::string& object, std::uint32_t version,
+    std::uint32_t max_retries) {
+  const std::string item = item_name(object, version);
+  aws::SdbItem attrs;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    auto got = services.sdb.get_attributes(kProvenanceDomain, item);
+    if (got && !got->empty()) {
+      attrs = std::move(*got);
+      break;
+    }
+    if (attempt >= max_retries)
+      return backend_error("provenance item never became visible: " + item);
+  }
+  std::vector<pass::ProvenanceRecord> records = decode_attributes(attrs);
+  // Resolve spill pointers ("@s3:<key>").
+  for (pass::ProvenanceRecord& r : records) {
+    if (r.is_xref()) continue;
+    if (r.text().rfind(kSpillMarker, 0) != 0) continue;
+    const std::string key = r.text().substr(std::strlen(kSpillMarker));
+    bool resolved = false;
+    for (std::uint32_t attempt = 0; attempt <= max_retries; ++attempt) {
+      auto got = services.s3.get(kDataBucket, key);
+      if (!got) continue;
+      if (is_xref_attribute(r.attribute)) {
+        std::string ref_object;
+        std::uint32_t ref_version = 0;
+        if (parse_item_name(*got->data, ref_object, ref_version)) {
+          r = pass::make_xref_record(
+              r.attribute, pass::ObjectVersion{ref_object, ref_version});
+          resolved = true;
+          break;
+        }
+      }
+      r = pass::ProvenanceRecord{r.attribute, *got->data};
+      resolved = true;
+      break;
+    }
+    if (!resolved)
+      return backend_error("unresolvable provenance overflow object: " + key);
+  }
+  return records;
+}
+
+BackendResult<ReadResult> consistency_checked_read(CloudServices& services,
+                                                   const std::string& object,
+                                                   std::uint32_t max_retries) {
+  ReadResult best;
+  bool have_any = false;
+  for (std::uint32_t attempt = 0; attempt <= max_retries; ++attempt) {
+    // Round part 1: the data and its nonce from S3.
+    auto got = services.s3.get(kDataBucket, object);
+    if (!got) continue;  // propagation race
+    auto nonce_it = got->metadata.find(kNonceMetaKey);
+    if (nonce_it == got->metadata.end()) continue;
+    const std::string nonce = nonce_it->second;
+    std::uint32_t version = 0;
+    try {
+      version = static_cast<std::uint32_t>(std::stoul(nonce));
+    } catch (...) {
+      continue;
+    }
+
+    // Round part 2: the provenance item named by the nonce.
+    const std::string item = item_name(object, version);
+    auto attrs = services.sdb.get_attributes(kProvenanceDomain, item);
+    if (!attrs || attrs->empty()) continue;
+
+    // Round part 3: the MD5(data || nonce) comparison.
+    auto md5_it = attrs->find(kMd5Attribute);
+    if (md5_it == attrs->end() || md5_it->second.empty()) continue;
+    const std::string expected = *md5_it->second.begin();
+    const std::string actual = util::md5_with_nonce(*got->data, nonce);
+
+    best.data = got->data;
+    best.records = decode_attributes(*attrs);
+    best.version = version;
+    best.retries = attempt;
+    have_any = true;
+    if (actual == expected) {
+      best.verified = true;
+      // Spill pointers resolve through the slower path.
+      auto resolved =
+          fetch_sdb_provenance(services, object, version, max_retries);
+      if (resolved) best.records = std::move(*resolved);
+      return best;
+    }
+  }
+  if (!have_any)
+    return backend_error("object never became readable: " + object);
+  best.verified = false;  // retries exhausted: the pair may be mismatched
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// SdbBackend
+// ---------------------------------------------------------------------------
+
+SdbBackend::SdbBackend(CloudServices& services) : services_(&services) {
+  auto created = services_->sdb.create_domain(kProvenanceDomain);
+  PROVCLOUD_REQUIRE(created.has_value());
+}
+
+void SdbBackend::store(const pass::FlushUnit& unit) {
+  aws::CloudEnv& env = *services_->env;
+  env.failures().crash_point("sdb.store.begin");
+
+  // Step 2: one big provenance record; oversized values spill to S3.
+  SdbEncoding enc = encode_unit_as_attributes(unit);
+  for (std::size_t index : enc.spilled_indexes) {
+    const pass::ProvenanceRecord& r = unit.records[index];
+    const std::string key = overflow_key(unit.object, unit.version, index);
+    auto put = services_->s3.put(kDataBucket, key, r.value_string());
+    PROVCLOUD_REQUIRE_MSG(put.has_value(),
+                          "overflow PUT failed: " + put.error().message);
+    env.failures().crash_point("sdb.store.after_overflow_put");
+  }
+  const std::string nonce = nonce_for_version(unit.version);
+  const util::SharedBytes data = unit.data != nullptr ? unit.data : kEmptyBytes;
+  enc.attributes.push_back(aws::SdbReplaceableAttribute{
+      kMd5Attribute, util::md5_with_nonce(*data, nonce), true});
+
+  // Step 3: PutAttributes, chunked at the 100-attribute limit.
+  const std::string item = item_name(unit.object, unit.version);
+  for (std::size_t start = 0; start < enc.attributes.size();
+       start += aws::kSdbMaxAttrsPerCall) {
+    const std::size_t end = std::min(start + aws::kSdbMaxAttrsPerCall,
+                                     enc.attributes.size());
+    std::vector<aws::SdbReplaceableAttribute> chunk(
+        enc.attributes.begin() + static_cast<std::ptrdiff_t>(start),
+        enc.attributes.begin() + static_cast<std::ptrdiff_t>(end));
+    auto put = services_->sdb.put_attributes(kProvenanceDomain, item, chunk);
+    PROVCLOUD_REQUIRE_MSG(put.has_value(),
+                          "PutAttributes failed: " + put.error().message);
+    env.failures().crash_point("sdb.store.mid_putattrs");
+  }
+
+  // *** The atomicity hole: a crash here leaves orphan provenance. ***
+  env.failures().crash_point("sdb.store.between_prov_and_data");
+
+  // Step 4: data to S3, the nonce rides as metadata. Transient pnodes
+  // (processes, pipes) have no data: their provenance lives only in
+  // SimpleDB, exactly as in the paper (its Raw column counts file PUTs
+  // while its item count includes every transient version).
+  if (unit.kind == pass::PnodeKind::kFile) {
+    aws::S3Metadata meta;
+    meta[kNonceMetaKey] = nonce;
+    meta[kVersionMetaKey] = std::to_string(unit.version);
+    auto put = services_->s3.put_shared(kDataBucket, unit.object, data, meta);
+    PROVCLOUD_REQUIRE_MSG(put.has_value(),
+                          "data PUT failed: " + put.error().message);
+  }
+  env.failures().crash_point("sdb.store.after_data");
+}
+
+BackendResult<ReadResult> SdbBackend::read(const std::string& object,
+                                           std::uint32_t max_retries) {
+  return consistency_checked_read(*services_, object, max_retries);
+}
+
+BackendResult<std::vector<pass::ProvenanceRecord>> SdbBackend::get_provenance(
+    const std::string& object, std::uint32_t version) {
+  return fetch_sdb_provenance(*services_, object, version, 64);
+}
+
+void SdbBackend::recover() {
+  // "On restart, the client could recover by scanning SimpleDB for 'orphan
+  // provenance' and remove provenance of objects that do not exist. However,
+  // this is an inelegant solution as it involves a scan of the entire
+  // SimpleDB domain" -- which is exactly what this is.
+  last_orphans_ = 0;
+  std::string token;
+  for (;;) {
+    auto page = services_->sdb.query(kProvenanceDomain, "",
+                                     aws::kSdbMaxQueryResults, token);
+    if (!page) return;
+    for (const std::string& item : page->item_names) {
+      std::string object;
+      std::uint32_t version = 0;
+      if (!parse_item_name(item, object, version)) continue;
+
+      // Transient pnodes have no data object by design: never orphans.
+      auto attrs = services_->sdb.get_attributes(kProvenanceDomain, item,
+                                                 {"x-kind"});
+      if (attrs && !attrs->empty()) {
+        auto kind_it = attrs->find("x-kind");
+        if (kind_it != attrs->end() && !kind_it->second.empty() &&
+            *kind_it->second.begin() != "file")
+          continue;
+      }
+
+      // Retry HEAD a few times so a propagation race is not mistaken for a
+      // missing object.
+      bool data_present = false;
+      std::uint32_t data_version = 0;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        auto head = services_->s3.head(kDataBucket, object);
+        if (!head) continue;
+        auto v = head->metadata.find(kVersionMetaKey);
+        std::uint32_t seen = 0;
+        if (v != head->metadata.end()) {
+          try {
+            seen = static_cast<std::uint32_t>(std::stoul(v->second));
+          } catch (...) {
+          }
+        }
+        data_version = std::max(data_version, seen);
+        if (seen >= version) {
+          data_present = true;
+          break;
+        }
+      }
+      if (!data_present) {
+        // Provenance for a version whose data never arrived: orphan.
+        auto del =
+            services_->sdb.delete_attributes(kProvenanceDomain, item, {});
+        if (del) ++last_orphans_;
+      }
+    }
+    if (!page->next_token) break;
+    token = *page->next_token;
+  }
+}
+
+std::unique_ptr<ProvenanceBackend> make_sdb_backend(CloudServices& services) {
+  return std::make_unique<SdbBackend>(services);
+}
+
+}  // namespace provcloud::cloudprov

@@ -1,0 +1,57 @@
+// Architecture 2 (section 4.2): data in S3, provenance in SimpleDB.
+//
+// On close:
+//   1. read caches (arrives as the FlushUnit);
+//   2. build one big provenance record for the version: each PASS record
+//      becomes an attribute-value pair of the SimpleDB item named
+//      "<object>:<version>"; values over 1 KB are stored as separate S3
+//      objects and replaced by pointers; an extra MD5 attribute holds
+//      MD5(data || nonce);
+//   3. PutAttributes -- possibly several calls (100-attribute limit);
+//   4. PUT the data to S3 with the nonce as metadata.
+//
+// Efficient query (SimpleDB indexes everything) and consistency (MD5+nonce
+// detection) hold; *atomicity does not*: a crash between steps 3 and 4
+// leaves orphan provenance. recover() implements the paper's inelegant fix:
+// a full scan of the domain deleting provenance of objects that never
+// arrived.
+#pragma once
+
+#include "cloudprov/backend.hpp"
+
+namespace provcloud::cloudprov {
+
+class SdbBackend final : public ProvenanceBackend {
+ public:
+  explicit SdbBackend(CloudServices& services);
+
+  Architecture architecture() const override {
+    return Architecture::kS3SimpleDb;
+  }
+  std::string name() const override { return "S3+SimpleDB"; }
+
+  void store(const pass::FlushUnit& unit) override;
+  BackendResult<ReadResult> read(const std::string& object,
+                                 std::uint32_t max_retries = 64) override;
+  BackendResult<std::vector<pass::ProvenanceRecord>> get_provenance(
+      const std::string& object, std::uint32_t version) override;
+
+  /// Orphan-provenance scan: delete items whose data never made it to S3.
+  void recover() override;
+
+  PropertyClaims claims() const override {
+    return PropertyClaims{.atomicity = false,
+                          .consistency = true,
+                          .causal_ordering = true,
+                          .efficient_query = true};
+  }
+
+  /// Number of orphan items the last recover() removed (diagnostics).
+  std::uint64_t last_recovery_orphans() const { return last_orphans_; }
+
+ private:
+  CloudServices* services_;
+  std::uint64_t last_orphans_ = 0;
+};
+
+}  // namespace provcloud::cloudprov

@@ -1,0 +1,334 @@
+#include "cloudprov/wal_backend.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "cloudprov/consistency_read.hpp"
+#include "cloudprov/serialize.hpp"
+#include "util/md5.hpp"
+#include "util/require.hpp"
+
+namespace provcloud::cloudprov {
+
+namespace {
+const util::SharedBytes kEmptyBytes = util::make_shared_bytes(util::Bytes{});
+constexpr const char* kTempCreatedMetaKey = "x-temp-created";
+}  // namespace
+
+WalBackend::WalBackend(CloudServices& services, WalBackendConfig config)
+    : services_(&services), config_(std::move(config)) {
+  auto domain = services_->sdb.create_domain(kProvenanceDomain);
+  PROVCLOUD_REQUIRE(domain.has_value());
+  auto queue =
+      services_->sqs.create_queue(config_.queue_name, config_.visibility_timeout);
+  PROVCLOUD_REQUIRE(queue.has_value());
+  queue_url_ = *queue;
+}
+
+void WalBackend::store(const pass::FlushUnit& unit) {
+  aws::CloudEnv& env = *services_->env;
+  env.failures().crash_point("wal.store.begin");
+
+  const std::string txid = "tx-" + std::to_string(next_txid_++);
+  const std::string nonce = nonce_for_version(unit.version);
+  const util::SharedBytes data = unit.data != nullptr ? unit.data : kEmptyBytes;
+  const std::string md5 = util::md5_with_nonce(*data, nonce);
+  // Transient pnodes carry no data: no temp object, and the commit daemon
+  // skips the COPY (their provenance lives only in SimpleDB).
+  const bool has_data = unit.kind == pass::PnodeKind::kFile;
+  const std::string temp_key =
+      has_data ? std::string(kTempPrefix) + txid : std::string();
+
+  const std::vector<WalRecord> records =
+      build_transaction(txid, unit, temp_key, nonce, md5);
+
+  // (b) begin record first: it carries the record count the commit daemon
+  // needs to know a transaction is fully present.
+  auto sent = services_->sqs.send_message(queue_url_,
+                                          encode_wal_record(records.front()));
+  PROVCLOUD_REQUIRE_MSG(sent.has_value(),
+                        "WAL send failed: " + sent.error().message);
+  env.failures().crash_point("wal.store.after_begin");
+
+  // (c) the data goes to a temporary S3 object -- it cannot ride the queue
+  // (8 KB limit) -- and a pointer record is logged.
+  if (has_data) {
+    aws::S3Metadata temp_meta;
+    temp_meta[kTempCreatedMetaKey] = std::to_string(env.clock().now());
+    auto temp_put =
+        services_->s3.put_shared(kDataBucket, temp_key, data, temp_meta);
+    PROVCLOUD_REQUIRE_MSG(temp_put.has_value(),
+                          "temp PUT failed: " + temp_put.error().message);
+  }
+  env.failures().crash_point("wal.store.after_temp_put");
+
+  // (c continued), (d): pointer record, provenance chunks, md5 record.
+  for (std::size_t i = 1; i + 1 < records.size(); ++i) {
+    auto s = services_->sqs.send_message(queue_url_,
+                                         encode_wal_record(records[i]));
+    PROVCLOUD_REQUIRE_MSG(s.has_value(),
+                          "WAL send failed: " + s.error().message);
+    env.failures().crash_point("wal.store.mid_records");
+  }
+  env.failures().crash_point("wal.store.before_commit");
+
+  // (e) the commit record seals the transaction.
+  auto commit = services_->sqs.send_message(queue_url_,
+                                            encode_wal_record(records.back()));
+  PROVCLOUD_REQUIRE_MSG(commit.has_value(),
+                        "WAL send failed: " + commit.error().message);
+  env.failures().crash_point("wal.store.after_commit");
+
+  // The close returns as soon as the log is durable; the commit daemon
+  // moves the bits to their final homes asynchronously.
+  pump();
+}
+
+void WalBackend::pump() {
+  auto approx = services_->sqs.approximate_number_of_messages(queue_url_);
+  if (!approx) return;
+  if (*approx < config_.commit_threshold) return;
+  commit_phase(/*forced=*/false);
+}
+
+void WalBackend::commit_phase(bool forced) {
+  aws::CloudEnv& env = *services_->env;
+  env.failures().crash_point("commitd.begin");
+
+  // (a) receive as many messages as possible; SQS sampling means repeated
+  // calls are required to see everything.
+  std::map<std::string, WalTransaction> txns;
+  std::uint32_t quiet_rounds = 0;
+  for (std::uint32_t round = 0; round < config_.receive_rounds; ++round) {
+    auto batch =
+        services_->sqs.receive_message(queue_url_, aws::kSqsMaxReceiveBatch);
+    if (!batch) break;
+    if (batch->empty()) {
+      if (++quiet_rounds >= 4 && !forced) break;
+      continue;
+    }
+    quiet_rounds = 0;
+    for (const aws::SqsMessage& m : *batch) {
+      auto rec = decode_wal_record(m.body);
+      if (!rec) continue;  // corrupt message: leave for retention to reap
+      WalTransaction& txn = txns[rec->txid];
+      txn.txid = rec->txid;
+      txn.receipt_handles.push_back(m.receipt_handle);
+      switch (rec->kind) {
+        case WalRecord::Kind::kBegin: txn.begin = *rec; break;
+        case WalRecord::Kind::kData: txn.data = *rec; break;
+        case WalRecord::Kind::kProv: txn.prov_chunks.push_back(*rec); break;
+        case WalRecord::Kind::kMd5: txn.md5 = *rec; break;
+        case WalRecord::Kind::kCommit: txn.committed = true; break;
+      }
+    }
+  }
+  env.failures().crash_point("commitd.after_receive");
+
+  // Process complete transactions in txid order (single client: monotonic),
+  // so replayed old transactions cannot clobber newer data.
+  std::vector<const WalTransaction*> ready;
+  for (const auto& [txid, txn] : txns)
+    if (txn.complete()) ready.push_back(&txn);
+  std::sort(ready.begin(), ready.end(),
+            [](const WalTransaction* a, const WalTransaction* b) {
+              // txids are "tx-<n>": compare numerically.
+              const auto num = [](const std::string& t) {
+                return std::stoull(t.substr(3));
+              };
+              return num(a->txid) < num(b->txid);
+            });
+  for (const WalTransaction* txn : ready) {
+    if (process_transaction(*txn)) ++committed_count_;
+  }
+  // Transactions that were incomplete (commit record not yet visible, or
+  // sampling missed pieces) keep their messages; the visibility timeout
+  // re-exposes them for the next pump. Uncommitted transactions eventually
+  // vanish via the 4-day retention.
+}
+
+bool WalBackend::process_transaction(const WalTransaction& txn) {
+  aws::CloudEnv& env = *services_->env;
+  PROVCLOUD_REQUIRE(txn.data && txn.md5 && txn.begin);
+  const WalRecord& data = *txn.data;
+
+  // (b) promote the temp object to its real name; the COPY stamps the nonce
+  // and version metadata. COPY (not rename) keeps replay possible.
+  // Transient pnodes logged no data: skip the promotion entirely.
+  const bool has_data = data.pnode_kind == pass::PnodeKind::kFile;
+
+  // Ordering guard: a transaction can be delayed past a *newer* version of
+  // the same object (its messages hidden by a visibility timeout while a
+  // later pump committed the successor). Its COPY must then be suppressed
+  // or it would clobber newer data; its provenance item is still valid and
+  // still stored below.
+  bool superseded = false;
+  for (int attempt = 0; has_data && attempt < 4 && !superseded; ++attempt) {
+    auto head = services_->s3.head(kDataBucket, data.object);
+    if (!head) continue;
+    auto v = head->metadata.find(kVersionMetaKey);
+    if (v == head->metadata.end()) continue;
+    try {
+      superseded = std::stoul(v->second) >= data.version;
+    } catch (...) {
+    }
+  }
+
+  aws::S3Metadata meta;
+  meta[kNonceMetaKey] = data.nonce;
+  meta[kVersionMetaKey] = std::to_string(data.version);
+  bool copied = false;
+  for (std::uint32_t attempt = 0;
+       has_data && !superseded && attempt <= config_.copy_retries; ++attempt) {
+    auto copy = services_->s3.copy(kDataBucket, data.temp_key, kDataBucket,
+                                   data.object, aws::MetadataDirective::kReplace,
+                                   meta);
+    if (copy) {
+      copied = true;
+      break;
+    }
+  }
+  if (has_data && !superseded && !copied) {
+    // The temp object is gone: either propagation is badly behind (defer to
+    // the next pump) or this is a replay whose final DELETE already ran.
+    // Distinguish via the destination: if the real object already carries
+    // this version (or newer), the transaction was already applied and only
+    // the message deletes remain.
+    auto head = services_->s3.head(kDataBucket, data.object);
+    bool already_applied = false;
+    if (head) {
+      auto v = head->metadata.find(kVersionMetaKey);
+      if (v != head->metadata.end()) {
+        try {
+          already_applied = std::stoul(v->second) >= data.version;
+        } catch (...) {
+        }
+      }
+    }
+    if (!already_applied) return false;  // defer to a later pump
+  }
+  env.failures().crash_point("commitd.after_copy");
+
+  // (c) provenance into SimpleDB. Rebuild the flush unit from the chunks,
+  // spill > 1 KB values to S3, chunk PutAttributes at 100 attrs.
+  pass::FlushUnit unit;
+  unit.object = data.object;
+  unit.version = data.version;
+  unit.kind = data.pnode_kind;
+  // Chunks may arrive out of order; restore it.
+  std::vector<WalRecord> chunks = txn.prov_chunks;
+  std::sort(chunks.begin(), chunks.end(),
+            [](const WalRecord& a, const WalRecord& b) {
+              return a.chunk_index < b.chunk_index;
+            });
+  for (const WalRecord& c : chunks)
+    for (const pass::ProvenanceRecord& r : c.records)
+      unit.records.push_back(r);
+
+  SdbEncoding enc = encode_unit_as_attributes(unit);
+  for (std::size_t index : enc.spilled_indexes) {
+    const pass::ProvenanceRecord& r = unit.records[index];
+    const std::string key = overflow_key(unit.object, unit.version, index);
+    auto put = services_->s3.put(kDataBucket, key, r.value_string());
+    PROVCLOUD_REQUIRE_MSG(put.has_value(),
+                          "overflow PUT failed: " + put.error().message);
+  }
+  enc.attributes.push_back(
+      aws::SdbReplaceableAttribute{kMd5Attribute, txn.md5->md5, true});
+  const std::string item = item_name(unit.object, unit.version);
+  for (std::size_t start = 0; start < enc.attributes.size();
+       start += aws::kSdbMaxAttrsPerCall) {
+    const std::size_t end =
+        std::min(start + aws::kSdbMaxAttrsPerCall, enc.attributes.size());
+    std::vector<aws::SdbReplaceableAttribute> chunk(
+        enc.attributes.begin() + static_cast<std::ptrdiff_t>(start),
+        enc.attributes.begin() + static_cast<std::ptrdiff_t>(end));
+    auto put = services_->sdb.put_attributes(kProvenanceDomain, item, chunk);
+    PROVCLOUD_REQUIRE_MSG(put.has_value(),
+                          "PutAttributes failed: " + put.error().message);
+  }
+  env.failures().crash_point("commitd.after_sdb");
+
+  // (d) delete the WAL messages first, then the temp object: a crash in
+  // between leaks only a temp object (the cleaner reaps it); the reverse
+  // order would strand undeletable log records that replay against a
+  // missing temp.
+  for (const std::string& handle : txn.receipt_handles) {
+    auto del = services_->sqs.delete_message(queue_url_, handle);
+    PROVCLOUD_REQUIRE(del.has_value());
+    env.failures().crash_point("commitd.mid_message_delete");
+  }
+  env.failures().crash_point("commitd.before_temp_delete");
+  if (has_data) {
+    auto del_temp = services_->s3.del(kDataBucket, data.temp_key);
+    PROVCLOUD_REQUIRE(del_temp.has_value());
+  }
+  env.failures().crash_point("commitd.after_txn");
+  return true;
+}
+
+void WalBackend::recover() {
+  commit_phase(/*forced=*/true);
+  clean_temp_objects();
+}
+
+void WalBackend::quiesce() {
+  aws::CloudEnv& env = *services_->env;
+  for (int i = 0; i < 64; ++i) {
+    commit_phase(/*forced=*/true);
+    if (services_->sqs.exact_message_count(queue_url_) == 0) return;
+    // In-flight (invisible) messages need the visibility timeout to lapse;
+    // propagation needs the consistency window.
+    env.clock().advance_by(config_.visibility_timeout +
+                           env.consistency().propagation_max + sim::kSecond);
+  }
+}
+
+void WalBackend::clean_temp_objects() {
+  aws::CloudEnv& env = *services_->env;
+  const sim::SimTime now = env.clock().now();
+  std::string marker;
+  for (;;) {
+    auto page = services_->s3.list(kDataBucket, kTempPrefix, marker);
+    if (!page || page->keys.empty()) return;
+    for (const std::string& key : page->keys) {
+      auto head = services_->s3.head(kDataBucket, key);
+      if (!head) continue;
+      auto created_it = head->metadata.find(kTempCreatedMetaKey);
+      if (created_it == head->metadata.end()) continue;
+      sim::SimTime created = 0;
+      try {
+        created = std::stoull(created_it->second);
+      } catch (...) {
+        continue;
+      }
+      if (now >= created && now - created >= config_.temp_object_ttl) {
+        auto del = services_->s3.del(kDataBucket, key);
+        (void)del;
+      }
+    }
+    if (!page->truncated) return;
+    marker = page->keys.back();
+  }
+}
+
+BackendResult<ReadResult> WalBackend::read(const std::string& object,
+                                           std::uint32_t max_retries) {
+  return consistency_checked_read(*services_, object, max_retries);
+}
+
+BackendResult<std::vector<pass::ProvenanceRecord>> WalBackend::get_provenance(
+    const std::string& object, std::uint32_t version) {
+  return fetch_sdb_provenance(*services_, object, version, 64);
+}
+
+std::unique_ptr<ProvenanceBackend> make_wal_backend(CloudServices& services) {
+  return std::make_unique<WalBackend>(services, WalBackendConfig{});
+}
+
+std::unique_ptr<ProvenanceBackend> make_wal_backend(
+    CloudServices& services, const WalBackendConfig& config) {
+  return std::make_unique<WalBackend>(services, config);
+}
+
+}  // namespace provcloud::cloudprov

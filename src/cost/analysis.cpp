@@ -1,0 +1,61 @@
+#include "cost/analysis.hpp"
+
+#include "util/bytes.hpp"
+
+namespace provcloud::cost {
+
+TraceQuantities quantities_from(const pass::ObserverStats& stats) {
+  TraceQuantities q;
+  // Raw data ops count file PUTs only; SimpleDB items cover every flushed
+  // version including transient processes and pipes -- the same accounting
+  // the paper uses (its item count is several times its raw op count).
+  q.n_objects = stats.file_units;
+  q.n_items = stats.flush_units;
+  q.n_large_records = stats.large_records;
+  q.provenance_bytes = stats.provenance_bytes;
+  q.data_bytes = stats.data_bytes_flushed;
+  return q;
+}
+
+StorageEstimate estimate_raw(const TraceQuantities& q) {
+  StorageEstimate e;
+  e.provenance_bytes = 0;
+  e.extra_ops = q.n_objects;  // one PUT per object version, data only
+  return e;
+}
+
+StorageEstimate estimate_arch1(const TraceQuantities& q) {
+  StorageEstimate e;
+  // Provenance stored as S3 metadata with the same PUT: no extra space
+  // category beyond the serialized records themselves, no extra ops except
+  // one PUT per oversized record.
+  e.provenance_bytes = q.provenance_bytes;
+  e.extra_ops = q.n_large_records;
+  return e;
+}
+
+StorageEstimate estimate_arch2(const TraceQuantities& q) {
+  StorageEstimate e;
+  // SimpleDB's representation adds item-name and attribute-structure
+  // overhead; the paper measured 167.8MB vs 121.8MB (~1.38x). We charge the
+  // serialized payload plus one item name per version -- the measured run
+  // reports the true number.
+  e.provenance_bytes = q.provenance_bytes + q.n_items * 32;
+  e.extra_ops = q.n_items + q.n_large_records;
+  return e;
+}
+
+StorageEstimate estimate_arch3(const TraceQuantities& q) {
+  StorageEstimate e;
+  // storage = 2 * S_SQS + S_SimpleDB: each provenance byte is written to
+  // SQS, read back, and stored in SimpleDB.
+  const StorageEstimate arch2 = estimate_arch2(q);
+  e.provenance_bytes = 2 * q.provenance_bytes + arch2.provenance_bytes;
+  // ops = 2*(N_S3objects + provsize/8KB) + N_items + N_recs>1KB.
+  const std::uint64_t sqs_chunks =
+      (q.provenance_bytes + 8 * util::kKiB - 1) / (8 * util::kKiB);
+  e.extra_ops = 2 * (q.n_objects + sqs_chunks) + q.n_items + q.n_large_records;
+  return e;
+}
+
+}  // namespace provcloud::cost

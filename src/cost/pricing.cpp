@@ -1,0 +1,60 @@
+#include "cost/pricing.hpp"
+
+#include <cstdio>
+
+namespace provcloud::cost {
+
+namespace {
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+bool is_s3_put_class(const std::string& op) {
+  return op == "PUT" || op == "COPY" || op == "POST" || op == "LIST";
+}
+}  // namespace
+
+CostEstimate estimate_cost(const sim::MeterSnapshot& snapshot,
+                           const PriceSheet& prices) {
+  CostEstimate out;
+  for (const auto& [key, counter] : snapshot.counters) {
+    const auto& [service, op] = key;
+    const double calls = static_cast<double>(counter.calls);
+    const double in_gb = static_cast<double>(counter.bytes_in) / kGiB;
+    const double out_gb = static_cast<double>(counter.bytes_out) / kGiB;
+    if (service == "s3") {
+      if (is_s3_put_class(op))
+        out.s3_requests += calls / 1000.0 * prices.s3_per_1000_put_copy_list;
+      else
+        out.s3_requests += calls / 10000.0 * prices.s3_per_10000_get_other;
+      out.s3_transfer += in_gb * prices.s3_transfer_in_per_gb +
+                         out_gb * prices.s3_transfer_out_per_gb;
+    } else if (service == "sdb") {
+      const double payload_kb =
+          static_cast<double>(counter.bytes_in + counter.bytes_out) / 1024.0;
+      const double box_seconds = calls * prices.sdb_box_seconds_base +
+                                 payload_kb * prices.sdb_box_seconds_per_kb;
+      out.sdb_box_usage += box_seconds / 3600.0 * prices.sdb_per_machine_hour;
+      out.sdb_transfer += in_gb * prices.sdb_transfer_in_per_gb +
+                          out_gb * prices.sdb_transfer_out_per_gb;
+    } else if (service == "sqs") {
+      out.sqs_requests += calls / 10000.0 * prices.sqs_per_10000_requests;
+      out.sqs_transfer += in_gb * prices.sqs_transfer_in_per_gb +
+                          out_gb * prices.sqs_transfer_out_per_gb;
+    }
+  }
+  out.s3_storage_month = static_cast<double>(snapshot.storage_bytes("s3")) /
+                         kGiB * prices.s3_storage_per_gb_month;
+  out.sdb_storage_month = static_cast<double>(snapshot.storage_bytes("sdb")) /
+                          kGiB * prices.sdb_storage_per_gb_month;
+  return out;
+}
+
+std::string format_usd(double usd) {
+  char buf[32];
+  if (usd >= 0.01)
+    std::snprintf(buf, sizeof buf, "$%.2f", usd);
+  else
+    std::snprintf(buf, sizeof buf, "$%.5f", usd);
+  return buf;
+}
+
+}  // namespace provcloud::cost

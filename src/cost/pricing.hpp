@@ -1,0 +1,68 @@
+// The AWS price sheet the paper quotes (section 2, January 2009 snapshot)
+// and the conversion from meter snapshots to USD.
+//
+// "it costs USD 0.15 per GB for the first 50 TB / month of storage used,
+// USD 0.10 per GB for all data transferred in, USD 0.17 per GB for the
+// first 10 TB / month for data transferred out, USD 0.01 for every 1,000
+// PUT, COPY, POST, or LIST requests, and USD 0.01 for 10,000 GET (and
+// other) requests." SQS billed per 10K requests; SimpleDB billed by
+// machine-hours, which the paper normalizes to operation counts -- we keep
+// both: op counts from the meter plus a per-op box-usage approximation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/metering.hpp"
+
+namespace provcloud::cost {
+
+struct PriceSheet {
+  // S3.
+  double s3_storage_per_gb_month = 0.15;
+  double s3_transfer_in_per_gb = 0.10;
+  double s3_transfer_out_per_gb = 0.17;
+  double s3_per_1000_put_copy_list = 0.01;
+  double s3_per_10000_get_other = 0.01;
+  // SQS (2009: USD 0.01 per 10,000 requests + bandwidth).
+  double sqs_per_10000_requests = 0.01;
+  double sqs_transfer_in_per_gb = 0.10;
+  double sqs_transfer_out_per_gb = 0.17;
+  // SimpleDB (2009: USD 0.14 per machine-hour + bandwidth).
+  double sdb_per_machine_hour = 0.14;
+  double sdb_transfer_in_per_gb = 0.10;
+  double sdb_transfer_out_per_gb = 0.17;
+  double sdb_storage_per_gb_month = 0.25;
+
+  // Box-usage approximations (machine-seconds per call), modeled on the
+  // published 2009 SimpleDB formulas (raw-request overhead plus per-payload
+  // cost). Coarse, but lets the USD table include SimpleDB fairly.
+  double sdb_box_seconds_base = 0.0000219907 * 3600.0 / 1000.0;  // per call
+  double sdb_box_seconds_per_kb = 0.000000100 * 3600.0;          // per payload KB
+};
+
+/// A cost breakdown in USD. Storage is priced per month held.
+struct CostEstimate {
+  double s3_requests = 0;
+  double s3_transfer = 0;
+  double s3_storage_month = 0;
+  double sdb_box_usage = 0;
+  double sdb_transfer = 0;
+  double sdb_storage_month = 0;
+  double sqs_requests = 0;
+  double sqs_transfer = 0;
+
+  double total() const {
+    return s3_requests + s3_transfer + s3_storage_month + sdb_box_usage +
+           sdb_transfer + sdb_storage_month + sqs_requests + sqs_transfer;
+  }
+};
+
+/// Price a meter snapshot (typically a diff over one experiment).
+CostEstimate estimate_cost(const sim::MeterSnapshot& snapshot,
+                           const PriceSheet& prices = PriceSheet{});
+
+/// "$0.0123" formatting helper for tables.
+std::string format_usd(double usd);
+
+}  // namespace provcloud::cost

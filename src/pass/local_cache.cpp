@@ -1,0 +1,61 @@
+#include "pass/local_cache.hpp"
+
+#include <algorithm>
+
+namespace provcloud::pass {
+
+namespace {
+const std::vector<ProvenanceRecord> kNoRecords;
+}
+
+void LocalCache::append_data(const std::string& object, util::BytesView data) {
+  data_[object].append(data);
+}
+
+void LocalCache::truncate_data(const std::string& object) {
+  data_[object].clear();
+}
+
+util::BytesView LocalCache::data(const std::string& object) const {
+  auto it = data_.find(object);
+  if (it == data_.end()) return {};
+  return it->second;
+}
+
+bool LocalCache::add_record(const std::string& object, std::uint32_t version,
+                            const ProvenanceRecord& record) {
+  auto& records = records_[{object, version}];
+  if (std::find(records.begin(), records.end(), record) != records.end())
+    return false;
+  records.push_back(record);
+  return true;
+}
+
+const std::vector<ProvenanceRecord>& LocalCache::records(
+    const std::string& object, std::uint32_t version) const {
+  auto it = records_.find({object, version});
+  return it == records_.end() ? kNoRecords : it->second;
+}
+
+void LocalCache::clear_records(const std::string& object,
+                               std::uint32_t version) {
+  records_.erase({object, version});
+}
+
+void LocalCache::remove(const std::string& object) {
+  data_.erase(object);
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->first.first == object)
+      it = records_.erase(it);
+    else
+      ++it;
+  }
+}
+
+std::uint64_t LocalCache::cached_data_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [object, bytes] : data_) total += bytes.size();
+  return total;
+}
+
+}  // namespace provcloud::pass

@@ -1,0 +1,77 @@
+// The client-side cache the paper's architectures share.
+//
+// "We mirror the file system in a local cache directory, reducing traffic to
+// S3. We also cache provenance locally in a file hidden from the user."
+//
+// LocalCache holds, per object, the pending (not yet flushed) data contents
+// and provenance records of the *current version*. On close, the observer
+// reads the caches and hands a FlushUnit to the backend -- step 1 of every
+// protocol in section 4 ("Read the data cache file and provenance cache file
+// of the object").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pass/pnode.hpp"
+#include "pass/record.hpp"
+#include "util/bytes.hpp"
+
+namespace provcloud::pass {
+
+/// What a backend receives for one object version at flush time.
+struct FlushUnit {
+  std::string object;
+  PnodeKind kind = PnodeKind::kFile;
+  std::uint32_t version = 0;
+  /// File contents; null for transient objects (processes, pipes).
+  util::SharedBytes data;
+  std::vector<ProvenanceRecord> records;
+};
+
+/// Backend entry point. Units arrive ancestors-first (causal order).
+using FlushSink = std::function<void(const FlushUnit&)>;
+
+class LocalCache {
+ public:
+  /// Append to the data cache file of `object`.
+  void append_data(const std::string& object, util::BytesView data);
+
+  /// Truncate the data cache file.
+  void truncate_data(const std::string& object);
+
+  /// Current cached contents ("" when never written).
+  util::BytesView data(const std::string& object) const;
+
+  /// Append a record to the provenance cache of (object, version),
+  /// de-duplicated: identical records within one version are recorded once.
+  /// Returns true when the record was new.
+  bool add_record(const std::string& object, std::uint32_t version,
+                  const ProvenanceRecord& record);
+
+  /// Pending records of (object, version).
+  const std::vector<ProvenanceRecord>& records(const std::string& object,
+                                               std::uint32_t version) const;
+
+  /// Forget the provenance cache of (object, version) -- called once the
+  /// version is flushed.
+  void clear_records(const std::string& object, std::uint32_t version);
+
+  /// Drop everything about an object (unlink).
+  void remove(const std::string& object);
+
+  /// Total bytes of cached data (diagnostics).
+  std::uint64_t cached_data_bytes() const;
+
+ private:
+  std::map<std::string, util::Bytes> data_;
+  std::map<std::pair<std::string, std::uint32_t>,
+           std::vector<ProvenanceRecord>>
+      records_;
+};
+
+}  // namespace provcloud::pass

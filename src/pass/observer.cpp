@@ -1,0 +1,352 @@
+#include "pass/observer.hpp"
+
+#include "util/require.hpp"
+#include "util/string_utils.hpp"
+
+namespace provcloud::pass {
+
+PassObserver::PassObserver(FlushSink sink, std::string transient_namespace)
+    : sink_(std::move(sink)),
+      transient_namespace_(std::move(transient_namespace)) {
+  PROVCLOUD_REQUIRE(sink_ != nullptr);
+}
+
+std::string PassObserver::proc_name(Pid pid, std::uint32_t exec_index) const {
+  return transient_namespace_ + "proc/" + std::to_string(pid) + "/" +
+         std::to_string(exec_index);
+}
+
+std::string PassObserver::pipe_name(std::uint64_t pipe_id) const {
+  return transient_namespace_ + "pipe/" + std::to_string(pipe_id);
+}
+
+PassObserver::Node& PassObserver::node(const std::string& object) {
+  auto it = nodes_.find(object);
+  PROVCLOUD_REQUIRE_MSG(it != nodes_.end(), "unknown pnode " + object);
+  return it->second;
+}
+
+PassObserver::Node& PassObserver::ensure_file(const std::string& path) {
+  auto it = nodes_.find(path);
+  if (it != nodes_.end()) return it->second;
+  // First sighting: a pre-existing input (e.g. /usr/bin/gcc) or a file about
+  // to be created. Either way version 1 begins with identity records.
+  Node n;
+  n.kind = PnodeKind::kFile;
+  n.dirty = true;
+  it = nodes_.emplace(path, n).first;
+  cache_.add_record(path, 1, make_text_record(attr::kType, "file"));
+  cache_.add_record(path, 1, make_text_record(attr::kName, path));
+  return it->second;
+}
+
+PassObserver::Node& PassObserver::ensure_pipe(std::uint64_t pipe_id,
+                                              Pid creator) {
+  const std::string object = pipe_name(pipe_id);
+  auto it = nodes_.find(object);
+  if (it != nodes_.end()) return it->second;
+  Node n;
+  n.kind = PnodeKind::kPipe;
+  n.dirty = true;
+  it = nodes_.emplace(object, n).first;
+  cache_.add_record(object, 1, make_text_record(attr::kType, "pipe"));
+  cache_.add_record(object, 1,
+                    make_text_record(attr::kName, object + "@" +
+                                                      std::to_string(creator)));
+  return it->second;
+}
+
+PassObserver::Process& PassObserver::ensure_process(Pid pid) {
+  auto it = processes_.find(pid);
+  if (it != processes_.end()) return it->second;
+  // Unknown pid acting without exec: synthesize a process pnode.
+  const std::string object = proc_name(pid, 0);
+  Process p;
+  p.object = object;
+  it = processes_.emplace(pid, p).first;
+  Node n;
+  n.kind = PnodeKind::kProcess;
+  n.dirty = true;
+  nodes_.emplace(object, n);
+  cache_.add_record(object, 1, make_text_record(attr::kType, "process"));
+  cache_.add_record(object, 1,
+                    make_text_record(attr::kName, "pid" + std::to_string(pid)));
+  return it->second;
+}
+
+void PassObserver::maybe_bump_process(Process& proc) {
+  if (!proc.wrote_since_bump) return;
+  Node& n = node(proc.object);
+  const std::uint32_t old_version = n.version;
+  ++n.version;
+  n.dirty = true;
+  n.flushed_current = false;
+  proc.wrote_since_bump = false;
+  cache_.add_record(proc.object, n.version,
+                    make_xref_record(attr::kPrev,
+                                     ObjectVersion{proc.object, old_version}));
+}
+
+void PassObserver::maybe_bump_node(const std::string& object, Node& n,
+                                   Pid pid) {
+  const bool other_writer = n.has_writer && n.last_writer != pid;
+  if (!(n.read_since_write || other_writer || n.flushed_current)) return;
+  // Snapshot the superseded version's content if it was never flushed, so a
+  // later ancestors-first flush can still persist exactly what that version
+  // contained.
+  if (n.kind == PnodeKind::kFile && !is_flushed(object, n.version))
+    version_snapshots_[{object, n.version}] =
+        util::make_shared_bytes(cache_.data(object));
+  const std::uint32_t old_version = n.version;
+  ++n.version;
+  n.read_since_write = false;
+  n.dirty = true;
+  n.flushed_current = false;
+  cache_.add_record(object, n.version,
+                    make_xref_record(attr::kPrev,
+                                     ObjectVersion{object, old_version}));
+}
+
+void PassObserver::on_fork(const SyscallEvent& e) {
+  Process& parent = ensure_process(e.pid);
+  const std::string parent_object = parent.object;
+  const std::uint32_t parent_version = node(parent_object).version;
+
+  const std::string child_object = proc_name(e.child, 0);
+  Process child;
+  child.object = child_object;
+  processes_[e.child] = child;
+  Node n;
+  n.kind = PnodeKind::kProcess;
+  n.dirty = true;
+  nodes_[child_object] = n;
+  cache_.add_record(child_object, 1, make_text_record(attr::kType, "process"));
+  cache_.add_record(child_object, 1,
+                    make_text_record(attr::kName,
+                                     "pid" + std::to_string(e.child)));
+  cache_.add_record(
+      child_object, 1,
+      make_xref_record(attr::kForkParent,
+                       ObjectVersion{parent_object, parent_version}));
+}
+
+void PassObserver::on_exec(const SyscallEvent& e) {
+  // The executable file is an ancestor of the new process image.
+  Node& exe = ensure_file(e.path);
+  const std::uint32_t exe_version = exe.version;
+  exe.read_since_write = true;
+
+  Process& proc = ensure_process(e.pid);
+  const std::string prev_object = proc.object;
+  const std::uint32_t prev_version = node(prev_object).version;
+
+  const std::uint32_t n_exec = ++exec_count_[e.pid];
+  const std::string object = proc_name(e.pid, n_exec);
+  proc.object = object;
+  proc.wrote_since_bump = false;
+
+  Node n;
+  n.kind = PnodeKind::kProcess;
+  n.dirty = true;
+  nodes_[object] = n;
+
+  cache_.add_record(object, 1, make_text_record(attr::kType, "process"));
+  cache_.add_record(object, 1, make_text_record(attr::kName, e.path));
+  cache_.add_record(object, 1,
+                    make_xref_record(attr::kInput,
+                                     ObjectVersion{e.path, exe_version}));
+  cache_.add_record(object, 1,
+                    make_xref_record(attr::kPrev,
+                                     ObjectVersion{prev_object, prev_version}));
+  if (!e.argv.empty())
+    cache_.add_record(object, 1,
+                      make_text_record(attr::kArgv, util::join(e.argv, " ")));
+  if (!e.env.empty()) {
+    // The whole environment is one record; real PASS process records
+    // routinely exceed the 1KB SimpleDB value limit this way, which is what
+    // drives the paper's large-record spill path.
+    std::string env;
+    for (const auto& [k, v] : e.env) {
+      if (!env.empty()) env.push_back(';');
+      env += k + "=" + v;
+    }
+    cache_.add_record(object, 1, make_text_record(attr::kEnv, std::move(env)));
+  }
+}
+
+void PassObserver::on_read(Pid pid, const std::string& object) {
+  Node& n = node(object);
+  Process& proc = ensure_process(pid);
+  maybe_bump_process(proc);
+  Node& pn = node(proc.object);
+  if (cache_.add_record(proc.object, pn.version,
+                        make_xref_record(attr::kInput,
+                                         ObjectVersion{object, n.version}))) {
+    pn.dirty = true;
+    pn.flushed_current = false;
+  }
+  n.read_since_write = true;
+}
+
+void PassObserver::on_write(Pid pid, const std::string& object,
+                            util::BytesView data, bool truncate) {
+  Node& n = node(object);
+  Process& proc = ensure_process(pid);
+  maybe_bump_node(object, n, pid);
+  if (truncate)
+    cache_.truncate_data(object);
+  else
+    cache_.append_data(object, data);
+  n.has_writer = true;
+  n.last_writer = pid;
+  n.dirty = true;
+  const Node& pn = node(proc.object);
+  cache_.add_record(object, n.version,
+                    make_xref_record(attr::kInput,
+                                     ObjectVersion{proc.object, pn.version}));
+  proc.wrote_since_bump = true;
+}
+
+void PassObserver::on_close(Pid pid, const std::string& object) {
+  (void)pid;
+  auto it = nodes_.find(object);
+  if (it == nodes_.end()) return;
+  if (!it->second.dirty || it->second.flushed_current) return;
+  flush_with_ancestors(object);
+}
+
+void PassObserver::on_unlink(const SyscallEvent& e) {
+  nodes_.erase(e.path);
+  cache_.remove(e.path);
+}
+
+bool PassObserver::is_flushed(const std::string& object,
+                              std::uint32_t version) const {
+  return flushed_.count({object, version}) > 0;
+}
+
+void PassObserver::flush_with_ancestors(const std::string& object) {
+  Node& n = node(object);
+  flush_one(object, n.version);
+}
+
+void PassObserver::flush_one(const std::string& object, std::uint32_t version) {
+  if (is_flushed(object, version)) return;
+  const auto key = std::make_pair(object, version);
+  if (flushing_.count(key) > 0) return;  // defensive: versioning makes a DAG
+  flushing_.insert(key);
+
+  // Ancestors first (causal ordering).
+  for (const ProvenanceRecord& r : cache_.records(object, version)) {
+    if (!r.is_xref()) continue;
+    const ObjectVersion& ref = r.xref();
+    if (nodes_.count(ref.object) == 0) continue;  // unlinked ancestor
+    flush_one(ref.object, ref.version);
+  }
+
+  auto node_it = nodes_.find(object);
+  PROVCLOUD_REQUIRE(node_it != nodes_.end());
+  Node& n = node_it->second;
+
+  FlushUnit unit;
+  unit.object = object;
+  unit.kind = n.kind;
+  unit.version = version;
+  unit.records = cache_.records(object, version);
+  if (n.kind == PnodeKind::kFile) {
+    auto snap = version_snapshots_.find(key);
+    if (snap != version_snapshots_.end()) {
+      unit.data = snap->second;
+      version_snapshots_.erase(snap);
+    } else {
+      unit.data = util::make_shared_bytes(cache_.data(object));
+    }
+  }
+
+  // Account statistics before handing off.
+  ++stats_.flush_units;
+  if (n.kind == PnodeKind::kFile) {
+    ++stats_.file_units;
+    stats_.data_bytes_flushed += unit.data->size();
+  }
+  stats_.records_emitted += unit.records.size();
+  for (const ProvenanceRecord& r : unit.records) {
+    const std::size_t payload = r.payload_size();
+    stats_.provenance_bytes += payload;
+    if (payload > util::kKiB) ++stats_.large_records;
+  }
+
+  ground_truth_[key] = unit;
+  if (objects_seen_in_flush_order_.insert(object).second)
+    flush_order_.push_back(object);
+
+  sink_(unit);
+
+  flushed_.insert(key);
+  flushing_.erase(key);
+  if (n.version == version) {
+    n.dirty = false;
+    n.flushed_current = true;
+  }
+}
+
+void PassObserver::apply(const SyscallEvent& e) {
+  ++stats_.events;
+  using Type = SyscallEvent::Type;
+  switch (e.type) {
+    case Type::kFork:
+      on_fork(e);
+      break;
+    case Type::kExec:
+      on_exec(e);
+      break;
+    case Type::kRead:
+      ensure_file(e.path);
+      on_read(e.pid, e.path);
+      break;
+    case Type::kWrite:
+      ensure_file(e.path);
+      on_write(e.pid, e.path, e.data, /*truncate=*/false);
+      break;
+    case Type::kTruncate:
+      ensure_file(e.path);
+      on_write(e.pid, e.path, {}, /*truncate=*/true);
+      break;
+    case Type::kClose:
+      on_close(e.pid, e.path);
+      break;
+    case Type::kUnlink:
+      on_unlink(e);
+      break;
+    case Type::kPipe:
+      ensure_pipe(e.pipe_id, e.pid);
+      break;
+    case Type::kPipeWrite:
+      ensure_pipe(e.pipe_id, e.pid);
+      on_write(e.pid, pipe_name(e.pipe_id), {}, /*truncate=*/false);
+      break;
+    case Type::kPipeRead:
+      ensure_pipe(e.pipe_id, e.pid);
+      on_read(e.pid, pipe_name(e.pipe_id));
+      break;
+    case Type::kExit:
+      // Transient state flushes on demand when a persistent descendant is
+      // closed; nothing to do at exit.
+      break;
+  }
+}
+
+void PassObserver::apply_trace(const SyscallTrace& trace) {
+  for (const SyscallEvent& e : trace) apply(e);
+}
+
+void PassObserver::finish() {
+  // Close every dirty file (equivalent to unmounting the PASS volume).
+  std::vector<std::string> dirty_files;
+  for (const auto& [object, n] : nodes_)
+    if (n.kind == PnodeKind::kFile && n.dirty && !n.flushed_current)
+      dirty_files.push_back(object);
+  for (const std::string& object : dirty_files) flush_with_ancestors(object);
+}
+
+}  // namespace provcloud::pass

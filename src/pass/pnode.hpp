@@ -1,0 +1,46 @@
+// Provenance nodes.
+//
+// PASS names every provenanced entity -- persistent files and transient
+// processes and pipes -- as a *pnode* with a monotonically increasing
+// version. A specific (pnode, version) pair is the unit that provenance
+// records reference ("bar:2" in the paper's example).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace provcloud::pass {
+
+/// What kind of entity a pnode names.
+enum class PnodeKind {
+  kFile,     // persistent: has data, maps to an S3 object
+  kProcess,  // transient: provenance only
+  kPipe,     // transient: provenance only
+};
+
+const char* to_string(PnodeKind kind);
+
+/// A reference to a specific version of an object: the paper's "bar:2".
+struct ObjectVersion {
+  std::string object;
+  std::uint32_t version = 0;
+
+  bool operator==(const ObjectVersion&) const = default;
+  auto operator<=>(const ObjectVersion&) const = default;
+
+  /// Canonical string form "object:version".
+  std::string to_string() const {
+    return object + ":" + std::to_string(version);
+  }
+};
+
+inline const char* to_string(PnodeKind kind) {
+  switch (kind) {
+    case PnodeKind::kFile: return "file";
+    case PnodeKind::kProcess: return "process";
+    case PnodeKind::kPipe: return "pipe";
+  }
+  return "?";
+}
+
+}  // namespace provcloud::pass

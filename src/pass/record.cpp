@@ -1,0 +1,28 @@
+#include "pass/record.hpp"
+
+namespace provcloud::pass {
+
+std::string ProvenanceRecord::value_string() const {
+  if (is_xref()) return xref().to_string();
+  return text();
+}
+
+std::size_t ProvenanceRecord::payload_size() const {
+  return attribute.size() + value_string().size();
+}
+
+ProvenanceRecord make_text_record(std::string attribute, std::string value) {
+  return ProvenanceRecord{std::move(attribute), std::move(value)};
+}
+
+ProvenanceRecord make_xref_record(std::string attribute, ObjectVersion ref) {
+  return ProvenanceRecord{std::move(attribute), std::move(ref)};
+}
+
+std::uint64_t records_payload_size(const std::vector<ProvenanceRecord>& records) {
+  std::uint64_t total = 0;
+  for (const auto& r : records) total += r.payload_size();
+  return total;
+}
+
+}  // namespace provcloud::pass

@@ -1,0 +1,56 @@
+// Provenance records.
+//
+// A provenance record is an (attribute, value) pair attached to one version
+// of one object -- e.g. version 2 of "foo" having records (INPUT, bar:2) and
+// (TYPE, file), exactly the paper's section 4.2 example. Values are either
+// plain strings (TYPE, NAME, ARGV, ENV...) or cross-references to another
+// (object, version).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "pass/pnode.hpp"
+
+namespace provcloud::pass {
+
+/// Well-known attribute names. Plain strings so user code can add its own.
+namespace attr {
+inline constexpr const char* kType = "TYPE";         // "file" | "process" | "pipe"
+inline constexpr const char* kName = "NAME";         // path / program name
+inline constexpr const char* kInput = "INPUT";       // xref: data-flow ancestor
+inline constexpr const char* kPrev = "PREV";         // xref: previous version
+inline constexpr const char* kForkParent = "FORKPARENT";  // xref: parent process
+inline constexpr const char* kArgv = "ARGV";
+inline constexpr const char* kEnv = "ENV";
+inline constexpr const char* kCwd = "CWD";
+inline constexpr const char* kMd5 = "MD5";           // consistency token (backends add it)
+}  // namespace attr
+
+struct ProvenanceRecord {
+  std::string attribute;
+  std::variant<std::string, ObjectVersion> value;
+
+  bool is_xref() const { return std::holds_alternative<ObjectVersion>(value); }
+  const ObjectVersion& xref() const { return std::get<ObjectVersion>(value); }
+  const std::string& text() const { return std::get<std::string>(value); }
+
+  /// Serialized value: xrefs render as "object:version".
+  std::string value_string() const;
+
+  /// Total serialized payload size (attribute + value), the quantity the
+  /// paper's storage analysis sums.
+  std::size_t payload_size() const;
+
+  bool operator==(const ProvenanceRecord&) const = default;
+};
+
+ProvenanceRecord make_text_record(std::string attribute, std::string value);
+ProvenanceRecord make_xref_record(std::string attribute, ObjectVersion ref);
+
+/// Sum of payload sizes over a record set.
+std::uint64_t records_payload_size(const std::vector<ProvenanceRecord>& records);
+
+}  // namespace provcloud::pass

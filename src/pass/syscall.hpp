@@ -1,0 +1,153 @@
+// The system-call surface PASS observes.
+//
+// "PASS observes system calls that applications make and captures
+// relationships between objects." Workload generators produce SyscallTrace
+// streams; the PassObserver consumes them and emits provenance.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace provcloud::pass {
+
+using Pid = std::uint32_t;
+
+struct SyscallEvent {
+  enum class Type {
+    kFork,      // pid forks child
+    kExec,      // pid becomes program `path` with argv/env
+    kRead,      // pid reads file `path`
+    kWrite,     // pid appends `data` to file `path`
+    kTruncate,  // pid truncates file `path` to empty
+    kClose,     // pid closes file `path` (triggers flush if dirty)
+    kUnlink,    // pid removes file `path`
+    kPipe,      // pid creates pipe `pipe_id`
+    kPipeWrite, // pid writes into pipe `pipe_id`
+    kPipeRead,  // pid reads from pipe `pipe_id`
+    kExit,      // pid exits
+  };
+
+  Type type;
+  Pid pid = 0;
+  Pid child = 0;                        // kFork
+  std::string path;                     // file events, kExec program path
+  util::Bytes data;                     // kWrite payload
+  std::vector<std::string> argv;        // kExec
+  std::map<std::string, std::string> env;  // kExec
+  std::uint64_t pipe_id = 0;            // pipe events
+};
+
+using SyscallTrace = std::vector<SyscallEvent>;
+
+// Convenience constructors used heavily by workload generators and tests.
+SyscallEvent ev_fork(Pid parent, Pid child);
+SyscallEvent ev_exec(Pid pid, std::string program,
+                     std::vector<std::string> argv = {},
+                     std::map<std::string, std::string> env = {});
+SyscallEvent ev_read(Pid pid, std::string path);
+SyscallEvent ev_write(Pid pid, std::string path, util::Bytes data);
+SyscallEvent ev_truncate(Pid pid, std::string path);
+SyscallEvent ev_close(Pid pid, std::string path);
+SyscallEvent ev_unlink(Pid pid, std::string path);
+SyscallEvent ev_pipe(Pid pid, std::uint64_t pipe_id);
+SyscallEvent ev_pipe_write(Pid pid, std::uint64_t pipe_id);
+SyscallEvent ev_pipe_read(Pid pid, std::uint64_t pipe_id);
+SyscallEvent ev_exit(Pid pid);
+
+inline SyscallEvent ev_fork(Pid parent, Pid child) {
+  SyscallEvent e;
+  e.type = SyscallEvent::Type::kFork;
+  e.pid = parent;
+  e.child = child;
+  return e;
+}
+
+inline SyscallEvent ev_exec(Pid pid, std::string program,
+                            std::vector<std::string> argv,
+                            std::map<std::string, std::string> env) {
+  SyscallEvent e;
+  e.type = SyscallEvent::Type::kExec;
+  e.pid = pid;
+  e.path = std::move(program);
+  e.argv = std::move(argv);
+  e.env = std::move(env);
+  return e;
+}
+
+inline SyscallEvent ev_read(Pid pid, std::string path) {
+  SyscallEvent e;
+  e.type = SyscallEvent::Type::kRead;
+  e.pid = pid;
+  e.path = std::move(path);
+  return e;
+}
+
+inline SyscallEvent ev_write(Pid pid, std::string path, util::Bytes data) {
+  SyscallEvent e;
+  e.type = SyscallEvent::Type::kWrite;
+  e.pid = pid;
+  e.path = std::move(path);
+  e.data = std::move(data);
+  return e;
+}
+
+inline SyscallEvent ev_truncate(Pid pid, std::string path) {
+  SyscallEvent e;
+  e.type = SyscallEvent::Type::kTruncate;
+  e.pid = pid;
+  e.path = std::move(path);
+  return e;
+}
+
+inline SyscallEvent ev_close(Pid pid, std::string path) {
+  SyscallEvent e;
+  e.type = SyscallEvent::Type::kClose;
+  e.pid = pid;
+  e.path = std::move(path);
+  return e;
+}
+
+inline SyscallEvent ev_unlink(Pid pid, std::string path) {
+  SyscallEvent e;
+  e.type = SyscallEvent::Type::kUnlink;
+  e.pid = pid;
+  e.path = std::move(path);
+  return e;
+}
+
+inline SyscallEvent ev_pipe(Pid pid, std::uint64_t pipe_id) {
+  SyscallEvent e;
+  e.type = SyscallEvent::Type::kPipe;
+  e.pid = pid;
+  e.pipe_id = pipe_id;
+  return e;
+}
+
+inline SyscallEvent ev_pipe_write(Pid pid, std::uint64_t pipe_id) {
+  SyscallEvent e;
+  e.type = SyscallEvent::Type::kPipeWrite;
+  e.pid = pid;
+  e.pipe_id = pipe_id;
+  return e;
+}
+
+inline SyscallEvent ev_pipe_read(Pid pid, std::uint64_t pipe_id) {
+  SyscallEvent e;
+  e.type = SyscallEvent::Type::kPipeRead;
+  e.pid = pid;
+  e.pipe_id = pipe_id;
+  return e;
+}
+
+inline SyscallEvent ev_exit(Pid pid) {
+  SyscallEvent e;
+  e.type = SyscallEvent::Type::kExit;
+  e.pid = pid;
+  return e;
+}
+
+}  // namespace provcloud::pass

@@ -1,0 +1,37 @@
+#include "sim/clock.hpp"
+
+#include "util/require.hpp"
+
+namespace provcloud::sim {
+
+void SimClock::schedule_at(SimTime when, std::function<void()> fn) {
+  PROVCLOUD_REQUIRE(fn != nullptr);
+  if (when < now_) when = now_;
+  events_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void SimClock::schedule_after(SimTime delay, std::function<void()> fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void SimClock::advance_to(SimTime when) {
+  PROVCLOUD_REQUIRE_MSG(when >= now_, "SimClock cannot move backwards");
+  while (!events_.empty() && events_.top().when <= when) {
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.when;
+    ev.fn();
+  }
+  now_ = when;
+}
+
+void SimClock::drain() {
+  while (!events_.empty()) {
+    Event ev = events_.top();
+    events_.pop();
+    if (ev.when > now_) now_ = ev.when;
+    ev.fn();
+  }
+}
+
+}  // namespace provcloud::sim

@@ -1,0 +1,76 @@
+// Virtual time.
+//
+// The whole system runs on a discrete-event simulated clock: replica
+// propagation, SQS visibility timeouts, message retention, and daemon wakeups
+// are events scheduled on this clock. Tests advance time explicitly, which
+// makes eventual consistency *controllable*: a test can hold the system in
+// the inconsistent window, observe stale reads, then advance past the window
+// and observe convergence.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace provcloud::sim {
+
+/// Microseconds of simulated time since the epoch of the run.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+inline constexpr SimTime kMinute = 60 * kSecond;
+inline constexpr SimTime kHour = 60 * kMinute;
+inline constexpr SimTime kDay = 24 * kHour;
+
+class SimClock {
+ public:
+  SimClock() = default;
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule fn to run at absolute time `when` (clamped to now). Events at
+  /// the same instant run in scheduling order.
+  void schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Schedule fn to run `delay` after now.
+  void schedule_after(SimTime delay, std::function<void()> fn);
+
+  /// Advance to `when`, firing every event due on the way (including events
+  /// that scheduled further events within the window).
+  void advance_to(SimTime when);
+
+  /// Advance by `delta`.
+  void advance_by(SimTime delta) { advance_to(now_ + delta); }
+
+  /// Run every pending event regardless of its timestamp; the clock jumps to
+  /// the last event time. This is "wait for quiescence": after it returns,
+  /// all scheduled propagation has happened (used to realize *eventual*
+  /// consistency in tests and recovery procedures).
+  void drain();
+
+  std::size_t pending_events() const { return events_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace provcloud::sim

@@ -1,0 +1,67 @@
+// Failure injection.
+//
+// The paper's property analysis (section 3) is all about what happens when a
+// client crashes between protocol steps: crash after storing provenance but
+// before data (atomicity violation in Arch 2), crash after logging part of a
+// transaction (ignored by the commit daemon in Arch 3), commit-daemon crash
+// between stores and WAL deletion (idempotent replay). Backends call
+// FailureInjector::crash_point(name) at every such step; a test arms a point
+// and the protocol throws CrashError there, simulating the process dying with
+// all its volatile state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace provcloud::sim {
+
+/// Thrown at an armed crash point. Protocol code never catches this; the
+/// driver (test / property checker) does, then runs recovery.
+class CrashError : public std::runtime_error {
+ public:
+  explicit CrashError(const std::string& point)
+      : std::runtime_error("injected crash at '" + point + "'"), point_(point) {}
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+class FailureInjector {
+ public:
+  /// Crash the next `nth` time (1 = next) execution reaches `point`.
+  void arm_crash(const std::string& point, std::uint64_t nth = 1);
+
+  /// Remove any armed crash for `point`.
+  void disarm(const std::string& point);
+
+  /// Remove everything.
+  void reset();
+
+  /// Protocol instrumentation. Throws CrashError when armed and the hit
+  /// count reaches the armed occurrence.
+  void crash_point(const std::string& point);
+
+  /// Number of times `point` has been reached (armed or not).
+  std::uint64_t hits(const std::string& point) const;
+
+  /// Every distinct crash point reached so far, in first-hit order. Used by
+  /// the property checker to enumerate the protocol's crash surface and then
+  /// sweep a crash through every step.
+  const std::vector<std::string>& observed_points() const {
+    return observed_order_;
+  }
+
+ private:
+  struct PointState {
+    std::uint64_t hits = 0;
+    std::uint64_t crash_at = 0;  // 0 = disarmed
+  };
+  std::map<std::string, PointState> points_;
+  std::vector<std::string> observed_order_;
+};
+
+}  // namespace provcloud::sim

@@ -1,0 +1,20 @@
+#include "sim/latency.hpp"
+
+#include "util/require.hpp"
+
+namespace provcloud::sim {
+
+SimTime LatencyModel::sample(util::Rng& rng, std::uint64_t bytes_in,
+                             std::uint64_t bytes_out) const {
+  PROVCLOUD_REQUIRE(config_.upload_bytes_per_sec > 0);
+  PROVCLOUD_REQUIRE(config_.download_bytes_per_sec > 0);
+  const SimTime overhead = rng.next_in(config_.request_overhead_min,
+                                       config_.request_overhead_max);
+  const SimTime up =
+      bytes_in * kSecond / config_.upload_bytes_per_sec;
+  const SimTime down =
+      bytes_out * kSecond / config_.download_bytes_per_sec;
+  return overhead + up + down;
+}
+
+}  // namespace provcloud::sim

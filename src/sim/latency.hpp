@@ -1,0 +1,44 @@
+// Wide-area request latency model.
+//
+// The paper's conclusion notes that a prototype would let them "measure the
+// impact of the extra operations on elapsed time". The simulators charge
+// each request a latency drawn from this model (per-request overhead plus
+// bandwidth-proportional transfer time), so bench_cost_usd can report the
+// elapsed-time impact of each architecture's extra operations (experiment
+// A4 in DESIGN.md).
+//
+// Defaults approximate a 2009-era client on a university network talking to
+// AWS us-east: ~40 ms request overhead, ~4 MB/s up, ~8 MB/s down.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/clock.hpp"
+#include "util/rng.hpp"
+
+namespace provcloud::sim {
+
+struct LatencyConfig {
+  SimTime request_overhead_min = 30 * kMillisecond;
+  SimTime request_overhead_max = 60 * kMillisecond;
+  std::uint64_t upload_bytes_per_sec = 4 * 1024 * 1024;
+  std::uint64_t download_bytes_per_sec = 8 * 1024 * 1024;
+};
+
+class LatencyModel {
+ public:
+  LatencyModel() = default;
+  explicit LatencyModel(LatencyConfig config) : config_(config) {}
+
+  /// Latency of one request moving `bytes_in` to the service and
+  /// `bytes_out` back.
+  SimTime sample(util::Rng& rng, std::uint64_t bytes_in,
+                 std::uint64_t bytes_out) const;
+
+  const LatencyConfig& config() const { return config_; }
+
+ private:
+  LatencyConfig config_;
+};
+
+}  // namespace provcloud::sim

@@ -1,0 +1,83 @@
+#include "sim/metering.hpp"
+
+namespace provcloud::sim {
+
+std::uint64_t MeterSnapshot::calls(const std::string& service,
+                                   const std::string& op) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, c] : counters)
+    if (key.first == service && (op.empty() || key.second == op))
+      total += c.calls;
+  return total;
+}
+
+std::uint64_t MeterSnapshot::bytes_in(const std::string& service,
+                                      const std::string& op) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, c] : counters)
+    if (key.first == service && (op.empty() || key.second == op))
+      total += c.bytes_in;
+  return total;
+}
+
+std::uint64_t MeterSnapshot::bytes_out(const std::string& service,
+                                       const std::string& op) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, c] : counters)
+    if (key.first == service && (op.empty() || key.second == op))
+      total += c.bytes_out;
+  return total;
+}
+
+std::uint64_t MeterSnapshot::storage_bytes(const std::string& service) const {
+  auto it = storage.find(service);
+  return it == storage.end() ? 0 : it->second;
+}
+
+std::uint64_t MeterSnapshot::total_calls() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, c] : counters) total += c.calls;
+  return total;
+}
+
+MeterSnapshot MeterSnapshot::diff(const MeterSnapshot& earlier) const {
+  MeterSnapshot out;
+  for (const auto& [key, c] : counters) {
+    OpCounter d = c;
+    auto it = earlier.counters.find(key);
+    if (it != earlier.counters.end()) {
+      d.calls -= it->second.calls;
+      d.bytes_in -= it->second.bytes_in;
+      d.bytes_out -= it->second.bytes_out;
+    }
+    if (d.calls != 0 || d.bytes_in != 0 || d.bytes_out != 0)
+      out.counters.emplace(key, d);
+  }
+  out.storage = storage;
+  return out;
+}
+
+std::vector<MeterSnapshot::Key> MeterSnapshot::keys() const {
+  std::vector<Key> out;
+  out.reserve(counters.size());
+  for (const auto& [key, c] : counters) out.push_back(key);
+  return out;
+}
+
+void Meter::record(const std::string& service, const std::string& op,
+                   std::uint64_t bytes_in, std::uint64_t bytes_out) {
+  auto& c = state_.counters[{service, op}];
+  ++c.calls;
+  c.bytes_in += bytes_in;
+  c.bytes_out += bytes_out;
+}
+
+void Meter::set_storage(const std::string& service, std::uint64_t bytes) {
+  state_.storage[service] = bytes;
+}
+
+MeterSnapshot Meter::snapshot() const { return state_; }
+
+void Meter::reset() { state_ = MeterSnapshot{}; }
+
+}  // namespace provcloud::sim

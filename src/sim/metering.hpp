@@ -1,0 +1,63 @@
+// Billing meters.
+//
+// Amazon bills by operation counts, bytes transferred in/out, and bytes
+// stored (section 2 of the paper). Every simulated service records each
+// request here; Tables 2 and 3 are produced by diffing meter snapshots
+// around a workload or a query, and src/cost turns snapshots into USD.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace provcloud::sim {
+
+/// One (service, operation) counter line, e.g. ("s3", "PUT").
+struct OpCounter {
+  std::uint64_t calls = 0;
+  std::uint64_t bytes_in = 0;   // payload bytes sent to the service
+  std::uint64_t bytes_out = 0;  // payload bytes returned to the client
+};
+
+/// Immutable copy of the meter at an instant.
+class MeterSnapshot {
+ public:
+  using Key = std::pair<std::string, std::string>;  // (service, op)
+
+  std::uint64_t calls(const std::string& service, const std::string& op = "") const;
+  std::uint64_t bytes_in(const std::string& service, const std::string& op = "") const;
+  std::uint64_t bytes_out(const std::string& service, const std::string& op = "") const;
+  std::uint64_t storage_bytes(const std::string& service) const;
+
+  /// Total calls across all services/ops.
+  std::uint64_t total_calls() const;
+
+  /// this - earlier, counter-wise (storage gauges are copied from `this`,
+  /// since storage is a level, not a flow).
+  MeterSnapshot diff(const MeterSnapshot& earlier) const;
+
+  /// All (service, op) keys present.
+  std::vector<Key> keys() const;
+
+  std::map<Key, OpCounter> counters;
+  std::map<std::string, std::uint64_t> storage;  // service -> bytes stored
+};
+
+class Meter {
+ public:
+  void record(const std::string& service, const std::string& op,
+              std::uint64_t bytes_in, std::uint64_t bytes_out);
+
+  /// Set the current stored-byte gauge for a service (called by the service
+  /// whenever its footprint changes).
+  void set_storage(const std::string& service, std::uint64_t bytes);
+
+  MeterSnapshot snapshot() const;
+  void reset();
+
+ private:
+  MeterSnapshot state_;
+};
+
+}  // namespace provcloud::sim

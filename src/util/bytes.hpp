@@ -1,0 +1,37 @@
+// Byte-buffer vocabulary types used across the library.
+//
+// Payloads (S3 object contents, SQS message bodies) are byte strings. We use
+// std::string as the underlying representation because the AWS wire formats
+// in this paper's era are textual, and because it gives us cheap literals in
+// tests. Immutable payloads are shared via SharedBytes so that simulated
+// replicas of the same object do not multiply memory.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace provcloud::util {
+
+using Bytes = std::string;
+using BytesView = std::string_view;
+
+/// Immutable, reference-counted payload. Replicated stores hand these out so
+/// that N replicas of a 1 MB object cost 1 MB, not N MB.
+using SharedBytes = std::shared_ptr<const Bytes>;
+
+inline SharedBytes make_shared_bytes(Bytes b) {
+  return std::make_shared<const Bytes>(std::move(b));
+}
+
+inline SharedBytes make_shared_bytes(BytesView v) {
+  return std::make_shared<const Bytes>(v);
+}
+
+/// Size constants used throughout the AWS limits.
+inline constexpr std::size_t kKiB = 1024;
+inline constexpr std::size_t kMiB = 1024 * kKiB;
+inline constexpr std::size_t kGiB = 1024 * kMiB;
+
+}  // namespace provcloud::util

@@ -1,0 +1,91 @@
+// Minimal Expected<T, E>: a value or an error, C++20 (std::expected is
+// C++23). Service calls whose failures are part of normal operation --
+// eventual consistency returning NoSuchKey right after a PUT, SQS sampling
+// returning nothing -- return Expected rather than throwing.
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "util/require.hpp"
+
+namespace provcloud::util {
+
+template <typename E>
+class Unexpected {
+ public:
+  explicit Unexpected(E e) : error_(std::move(e)) {}
+  const E& error() const& { return error_; }
+  E&& error() && { return std::move(error_); }
+
+ private:
+  E error_;
+};
+
+template <typename E>
+Unexpected(E) -> Unexpected<E>;
+// String literals should produce string errors, not const char* errors.
+Unexpected(const char*) -> Unexpected<std::string>;
+
+template <typename T, typename E>
+class Expected {
+ public:
+  Expected(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> u)
+      : state_(std::in_place_index<1>, std::move(u).error()) {}
+
+  bool has_value() const { return state_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  const T& value() const& {
+    PROVCLOUD_REQUIRE_MSG(has_value(), "Expected: value() on error state");
+    return std::get<0>(state_);
+  }
+  T& value() & {
+    PROVCLOUD_REQUIRE_MSG(has_value(), "Expected: value() on error state");
+    return std::get<0>(state_);
+  }
+  T&& value() && {
+    PROVCLOUD_REQUIRE_MSG(has_value(), "Expected: value() on error state");
+    return std::get<0>(std::move(state_));
+  }
+
+  const E& error() const& {
+    PROVCLOUD_REQUIRE_MSG(!has_value(), "Expected: error() on value state");
+    return std::get<1>(state_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const& {
+    return has_value() ? std::get<0>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> state_;
+};
+
+/// Expected<void, E> specialization: success or error.
+template <typename E>
+class Expected<void, E> {
+ public:
+  Expected() : has_value_(true) {}
+  Expected(Unexpected<E> u) : has_value_(false), error_(std::move(u).error()) {}
+
+  bool has_value() const { return has_value_; }
+  explicit operator bool() const { return has_value_; }
+
+  const E& error() const& {
+    PROVCLOUD_REQUIRE_MSG(!has_value_, "Expected: error() on value state");
+    return error_;
+  }
+
+ private:
+  bool has_value_;
+  E error_{};
+};
+
+}  // namespace provcloud::util

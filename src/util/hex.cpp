@@ -1,0 +1,47 @@
+#include "util/hex.hpp"
+
+namespace provcloud::util {
+namespace {
+constexpr char kDigits[] = "0123456789abcdef";
+
+int digit_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string hex_encode(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (unsigned char c : data) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  return out;
+}
+
+std::optional<Bytes> hex_decode(BytesView hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = digit_value(hex[i]);
+    const int lo = digit_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string hex_u64(std::uint64_t v) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace provcloud::util

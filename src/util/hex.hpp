@@ -1,0 +1,20 @@
+// Lowercase hex encoding/decoding for digests, nonces and transaction ids.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace provcloud::util {
+
+/// Encode bytes as lowercase hex ("abc" -> "616263").
+std::string hex_encode(BytesView data);
+
+/// Decode lowercase or uppercase hex; nullopt on odd length or bad digit.
+std::optional<Bytes> hex_decode(BytesView hex);
+
+/// Render a 64-bit value as 16 hex digits (zero padded).
+std::string hex_u64(std::uint64_t v);
+
+}  // namespace provcloud::util

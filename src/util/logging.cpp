@@ -1,0 +1,50 @@
+#include "util/logging.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace provcloud::util {
+namespace {
+
+LogLevel parse_env_level() {
+  const char* env = std::getenv("PROVCLOUD_LOG");
+  if (env == nullptr) return LogLevel::kOff;
+  const std::string v(env);
+  if (v == "trace") return LogLevel::kTrace;
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+LogLevel& level_ref() {
+  static LogLevel level = parse_env_level();
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Logger::level() { return level_ref(); }
+
+void Logger::set_level(LogLevel level) { level_ref() = level; }
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  std::cerr << "[" << level_name(level) << "] " << component << ": " << message
+            << '\n';
+}
+
+}  // namespace provcloud::util

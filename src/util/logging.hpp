@@ -1,0 +1,52 @@
+// Leveled logging to stderr, off by default so tests and benches stay quiet.
+// Enable with Logger::set_level or the PROVCLOUD_LOG environment variable
+// (trace|debug|info|warn|error).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace provcloud::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static bool enabled(LogLevel level) { return level >= Logger::level(); }
+  static void write(LogLevel level, const std::string& component,
+                    const std::string& message);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { Logger::write(level_, component_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace provcloud::util
+
+#define PROVCLOUD_LOG(level, component)                                     \
+  if (::provcloud::util::Logger::enabled(level))                            \
+  ::provcloud::util::detail::LogLine(level, component)
+
+#define PROVCLOUD_DEBUG(component) \
+  PROVCLOUD_LOG(::provcloud::util::LogLevel::kDebug, component)
+#define PROVCLOUD_INFO(component) \
+  PROVCLOUD_LOG(::provcloud::util::LogLevel::kInfo, component)
+#define PROVCLOUD_WARN(component) \
+  PROVCLOUD_LOG(::provcloud::util::LogLevel::kWarn, component)

@@ -1,0 +1,160 @@
+#include "util/md5.hpp"
+
+#include <cstring>
+
+#include "util/hex.hpp"
+#include "util/require.hpp"
+
+namespace provcloud::util {
+namespace {
+
+constexpr std::array<std::uint32_t, 64> kK = {
+    0xd76aa478u, 0xe8c7b756u, 0x242070dbu, 0xc1bdceeeu, 0xf57c0fafu,
+    0x4787c62au, 0xa8304613u, 0xfd469501u, 0x698098d8u, 0x8b44f7afu,
+    0xffff5bb1u, 0x895cd7beu, 0x6b901122u, 0xfd987193u, 0xa679438eu,
+    0x49b40821u, 0xf61e2562u, 0xc040b340u, 0x265e5a51u, 0xe9b6c7aau,
+    0xd62f105du, 0x02441453u, 0xd8a1e681u, 0xe7d3fbc8u, 0x21e1cde6u,
+    0xc33707d6u, 0xf4d50d87u, 0x455a14edu, 0xa9e3e905u, 0xfcefa3f8u,
+    0x676f02d9u, 0x8d2a4c8au, 0xfffa3942u, 0x8771f681u, 0x6d9d6122u,
+    0xfde5380cu, 0xa4beea44u, 0x4bdecfa9u, 0xf6bb4b60u, 0xbebfbc70u,
+    0x289b7ec6u, 0xeaa127fau, 0xd4ef3085u, 0x04881d05u, 0xd9d4d039u,
+    0xe6db99e5u, 0x1fa27cf8u, 0xc4ac5665u, 0xf4292244u, 0x432aff97u,
+    0xab9423a7u, 0xfc93a039u, 0x655b59c3u, 0x8f0ccc92u, 0xffeff47du,
+    0x85845dd1u, 0x6fa87e4fu, 0xfe2ce6e0u, 0xa3014314u, 0x4e0811a1u,
+    0xf7537e82u, 0xbd3af235u, 0x2ad7d2bbu, 0xeb86d391u};
+
+constexpr std::array<std::uint32_t, 64> kShift = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+std::uint32_t rotl(std::uint32_t x, std::uint32_t c) {
+  return (x << c) | (x >> (32 - c));
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+Md5::Md5() { reset(); }
+
+void Md5::reset() {
+  state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u};
+  total_len_ = 0;
+  buf_len_ = 0;
+  finished_ = false;
+}
+
+void Md5::process_block(const std::uint8_t* block) {
+  std::array<std::uint32_t, 16> m;
+  for (int i = 0; i < 16; ++i) m[static_cast<std::size_t>(i)] = load_le32(block + 4 * i);
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    std::uint32_t f = 0, g = 0;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    const std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + rotl(a + f + kK[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::update(BytesView data) {
+  PROVCLOUD_REQUIRE_MSG(!finished_, "Md5::update after finish");
+  total_len_ += data.size();
+  std::size_t off = 0;
+  if (buf_len_ > 0) {
+    const std::size_t need = 64 - buf_len_;
+    const std::size_t take = std::min(need, data.size());
+    std::memcpy(buf_.data() + buf_len_, data.data(), take);
+    buf_len_ += take;
+    off = take;
+    if (buf_len_ == 64) {
+      process_block(buf_.data());
+      buf_len_ = 0;
+    }
+  }
+  while (off + 64 <= data.size()) {
+    process_block(reinterpret_cast<const std::uint8_t*>(data.data()) + off);
+    off += 64;
+  }
+  if (off < data.size()) {
+    buf_len_ = data.size() - off;
+    std::memcpy(buf_.data(), data.data() + off, buf_len_);
+  }
+}
+
+Md5::Digest Md5::finish() {
+  PROVCLOUD_REQUIRE_MSG(!finished_, "Md5::finish called twice");
+  finished_ = true;
+
+  const std::uint64_t bit_len = total_len_ * 8;
+  // Append 0x80 then zero padding so that length ≡ 56 (mod 64), then the
+  // 64-bit little-endian bit length.
+  std::uint8_t pad[72] = {0x80};
+  const std::size_t pad_len =
+      (buf_len_ < 56) ? (56 - buf_len_) : (120 - buf_len_);
+  finished_ = false;  // allow the two updates below
+  update(BytesView(reinterpret_cast<const char*>(pad), pad_len));
+  std::uint8_t len_le[8];
+  for (int i = 0; i < 8; ++i)
+    len_le[i] = static_cast<std::uint8_t>((bit_len >> (8 * i)) & 0xff);
+  // The length bytes must not count toward total_len_; it is already final.
+  const std::uint64_t saved = total_len_;
+  update(BytesView(reinterpret_cast<const char*>(len_le), 8));
+  total_len_ = saved;
+  finished_ = true;
+  PROVCLOUD_REQUIRE(buf_len_ == 0);
+
+  Digest out;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      out[static_cast<std::size_t>(4 * i + j)] =
+          static_cast<std::uint8_t>((state_[static_cast<std::size_t>(i)] >> (8 * j)) & 0xff);
+  return out;
+}
+
+Md5::Digest Md5::digest(BytesView data) {
+  Md5 h;
+  h.update(data);
+  return h.finish();
+}
+
+std::string Md5::hex_digest(BytesView data) {
+  const Digest d = digest(data);
+  return hex_encode(BytesView(reinterpret_cast<const char*>(d.data()), d.size()));
+}
+
+std::string md5_with_nonce(BytesView data, BytesView nonce) {
+  Md5 h;
+  h.update(data);
+  h.update(nonce);
+  const Md5::Digest d = h.finish();
+  return hex_encode(BytesView(reinterpret_cast<const char*>(d.data()), d.size()));
+}
+
+}  // namespace provcloud::util

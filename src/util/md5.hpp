@@ -1,0 +1,50 @@
+// MD5 (RFC 1321), implemented from scratch -- no external crypto dependency.
+//
+// The paper's Architectures 2 and 3 store MD5(data || nonce) in SimpleDB to
+// detect data/provenance inconsistency under eventual consistency. MD5 is
+// used here exactly as the paper uses it: as a content fingerprint, not as a
+// security primitive.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace provcloud::util {
+
+class Md5 {
+ public:
+  using Digest = std::array<std::uint8_t, 16>;
+
+  Md5();
+
+  /// Absorb more input. May be called repeatedly.
+  void update(BytesView data);
+
+  /// Finalize and return the 16-byte digest. The object must not be reused
+  /// after finish() without reset().
+  Digest finish();
+
+  void reset();
+
+  /// One-shot helpers.
+  static Digest digest(BytesView data);
+  static std::string hex_digest(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_;
+  std::uint64_t total_len_ = 0;       // bytes absorbed so far
+  std::array<std::uint8_t, 64> buf_;  // partial block
+  std::size_t buf_len_ = 0;
+  bool finished_ = false;
+};
+
+/// MD5(data || nonce) rendered as lowercase hex -- the consistency token the
+/// paper stores in SimpleDB next to the provenance (section 4.2).
+std::string md5_with_nonce(BytesView data, BytesView nonce);
+
+}  // namespace provcloud::util

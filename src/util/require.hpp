@@ -1,0 +1,37 @@
+// Precondition / invariant checking.
+//
+// PROVCLOUD_REQUIRE is for programming errors: violated preconditions and
+// broken invariants. It throws LogicError so tests can assert on misuse.
+// Expected, recoverable failures (service errors under eventual consistency)
+// never go through here — they are carried in util::Expected<T>.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace provcloud::util {
+
+class LogicError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw LogicError(std::string("requirement failed: ") + expr + " at " + file +
+                   ":" + std::to_string(line) + (msg.empty() ? "" : ": " + msg));
+}
+
+}  // namespace provcloud::util
+
+#define PROVCLOUD_REQUIRE(expr)                                              \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::provcloud::util::require_failed(#expr, __FILE__, __LINE__, {});      \
+  } while (0)
+
+#define PROVCLOUD_REQUIRE_MSG(expr, msg)                                     \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::provcloud::util::require_failed(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)

@@ -1,0 +1,92 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace provcloud::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // xoshiro must not start in the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  PROVCLOUD_REQUIRE(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Rng::next_in(std::uint64_t lo, std::uint64_t hi) {
+  PROVCLOUD_REQUIRE(lo <= hi);
+  const std::uint64_t span = hi - lo;
+  if (span == UINT64_MAX) return next_u64();
+  return lo + next_below(span + 1);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return next_double() < p;
+}
+
+std::uint64_t Rng::next_log_uniform(std::uint64_t lo, std::uint64_t hi) {
+  PROVCLOUD_REQUIRE(lo > 0 && lo <= hi);
+  if (lo == hi) return lo;
+  const double u = next_double();
+  const double v = static_cast<double>(lo) *
+                   std::pow(static_cast<double>(hi) / static_cast<double>(lo), u);
+  const auto r = static_cast<std::uint64_t>(v);
+  return r < lo ? lo : (r > hi ? hi : r);
+}
+
+Rng Rng::fork(std::uint64_t stream) {
+  return Rng(next_u64() ^ (stream * 0x9e3779b97f4a7c15ull + 0x1234567890abcdefull));
+}
+
+std::string Rng::next_hex(std::size_t n) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(kDigits[next_below(16)]);
+  return out;
+}
+
+}  // namespace provcloud::util

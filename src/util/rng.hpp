@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in the simulators (replica propagation delays,
+// which replica serves a read, which SQS shards a receive samples, workload
+// file sizes) draws from an Rng owned by the CloudEnv, so an entire
+// experiment replays bit-identically from a single seed.
+//
+// Implementation: xoshiro256** seeded via splitmix64 (public-domain
+// algorithms by Blackman & Vigna).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace provcloud::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Geometric-ish heavy-tailed size in [lo, hi]: the distribution of file
+  /// sizes in the paper's workloads is heavily skewed; we model size as
+  /// lo * (hi/lo)^u for uniform u, i.e. log-uniform.
+  std::uint64_t next_log_uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Fork a child generator with an independent stream derived from this
+  /// generator's state and the given stream label.
+  Rng fork(std::uint64_t stream);
+
+  /// Random lowercase-hex string of n characters.
+  std::string next_hex(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace provcloud::util

@@ -1,0 +1,34 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace provcloud::util {
+
+/// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Join with a delimiter.
+std::string join(const std::vector<std::string>& parts, std::string_view delim);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Human-readable byte count ("121.8MB") matching the paper's table style.
+std::string format_bytes(std::uint64_t bytes);
+
+/// Thousands-separated integer ("31,180") matching the paper's table style.
+std::string format_count(std::uint64_t n);
+
+/// Fixed-point percentage string ("9.3%").
+std::string format_percent(double fraction, int decimals = 1);
+
+/// Escape a string so it is safe as a single field in our record wire
+/// formats (escapes '%', ';', '=', ',' and newline as %XX).
+std::string field_escape(std::string_view s);
+std::string field_unescape(std::string_view s);
+
+}  // namespace provcloud::util

@@ -1,0 +1,108 @@
+#include "workloads/blast.hpp"
+
+#include "workloads/datagen.hpp"
+
+namespace provcloud::workloads {
+
+using pass::Pid;
+using pass::SyscallTrace;
+
+pass::SyscallTrace BlastWorkload::generate(
+    const WorkloadOptions& options) const {
+  util::Rng rng(options.seed ^ 0xb1a57ull);
+  SyscallTrace trace;
+  Pid next_pid = 2000;
+
+  // --- stage 0: the raw sequence archive arrives ---
+  const Pid fetch = next_pid++;
+  trace.push_back(pass::ev_exec(fetch, "/usr/bin/wget",
+                                {"wget", "ftp://ncbi/nr.fasta"},
+                                synth_environment(rng, 800)));
+  trace.push_back(pass::ev_write(
+      fetch, "blast/nr.fasta",
+      synth_content(rng, scaled_size(config_.fasta_bytes, options))));
+  trace.push_back(pass::ev_close(fetch, "blast/nr.fasta"));
+  trace.push_back(pass::ev_exit(fetch));
+
+  // --- stage 1: formatdb builds the database index files ---
+  const Pid formatdb = next_pid++;
+  trace.push_back(pass::ev_exec(formatdb, "/usr/bin/formatdb",
+                                {"formatdb", "-i", "blast/nr.fasta"},
+                                synth_environment(rng, rng.next_in(2200, 4200))));
+  trace.push_back(pass::ev_read(formatdb, "blast/nr.fasta"));
+  const std::vector<std::string> db_files = {"blast/nr.phr", "blast/nr.pin",
+                                             "blast/nr.psq"};
+  for (const std::string& db : db_files) {
+    const std::uint64_t size = scaled_size(
+        config_.fasta_bytes / (db.back() == 'q' ? 2 : 16), options);
+    trace.push_back(pass::ev_write(formatdb, db, synth_content(rng, size)));
+    trace.push_back(pass::ev_close(formatdb, db));
+  }
+  trace.push_back(pass::ev_exit(formatdb));
+
+  // --- stage 2: one blastall per query ---
+  const std::size_t n_queries = scaled_count(config_.queries, options);
+  std::vector<std::string> hit_files;
+  hit_files.reserve(n_queries);
+  const Pid driver = next_pid++;
+  trace.push_back(pass::ev_exec(driver, "/bin/sh", {"sh", "run_blast.sh"},
+                                synth_environment(rng, 700)));
+  for (std::size_t q = 0; q < n_queries; ++q) {
+    const std::string query = "blast/query" + std::to_string(q) + ".fa";
+    trace.push_back(pass::ev_write(
+        driver, query,
+        synth_content(rng,
+                      scaled_size(rng.next_log_uniform(config_.query_bytes_min,
+                                                       config_.query_bytes_max),
+                                  options))));
+    trace.push_back(pass::ev_close(driver, query));
+
+    const Pid blast = next_pid++;
+    trace.push_back(pass::ev_fork(driver, blast));
+    trace.push_back(pass::ev_exec(
+        blast, kBlastProgram,
+        {"blastall", "-p", "blastp", "-d", "blast/nr", "-i", query},
+        synth_environment(rng, rng.next_in(2400, 4800))));
+    trace.push_back(pass::ev_read(blast, query));
+    for (const std::string& db : db_files)
+      trace.push_back(pass::ev_read(blast, db));
+    const std::string hits = "blast/hits" + std::to_string(q) + ".out";
+    hit_files.push_back(hits);
+    trace.push_back(pass::ev_write(
+        blast, hits,
+        synth_content(rng,
+                      scaled_size(rng.next_log_uniform(config_.hits_bytes_min,
+                                                       config_.hits_bytes_max),
+                                  options))));
+    trace.push_back(pass::ev_close(blast, hits));
+    trace.push_back(pass::ev_exit(blast));
+  }
+
+  // --- stage 3: summaries over groups of hit files (blast descendants) ---
+  std::size_t summary_index = 0;
+  for (std::size_t start = 0; start < hit_files.size();
+       start += config_.queries_per_summary) {
+    const Pid summarize = next_pid++;
+    trace.push_back(pass::ev_fork(driver, summarize));
+    trace.push_back(pass::ev_exec(
+        summarize, "/usr/bin/python",
+        {"python", "summarize.py"},
+        synth_environment(rng, rng.next_in(2000, 3600))));
+    const std::size_t end =
+        std::min(start + config_.queries_per_summary, hit_files.size());
+    for (std::size_t i = start; i < end; ++i)
+      trace.push_back(pass::ev_read(summarize, hit_files[i]));
+    const std::string summary =
+        "blast/summary" + std::to_string(summary_index++) + ".txt";
+    trace.push_back(pass::ev_write(
+        summarize, summary,
+        synth_content(rng, scaled_size(rng.next_in(4, 64) * util::kKiB,
+                                       options))));
+    trace.push_back(pass::ev_close(summarize, summary));
+    trace.push_back(pass::ev_exit(summarize));
+  }
+  trace.push_back(pass::ev_exit(driver));
+  return trace;
+}
+
+}  // namespace provcloud::workloads

@@ -1,0 +1,40 @@
+// The Blast workload (sequence-alignment pipeline, as in the PASS paper).
+//
+// Shape: `formatdb` reads a raw FASTA archive and produces database index
+// files; one `blastall` process per query reads the query file plus the
+// database and writes a hits file; `summarize` jobs aggregate groups of hit
+// files. The paper's query Q.2 asks for "all the files there were outputs
+// of blast" and Q.3 for their descendants -- the summaries here are those
+// descendants.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace provcloud::workloads {
+
+struct BlastConfig {
+  std::size_t queries = 64;             // blastall runs (scaled)
+  std::size_t queries_per_summary = 8;  // fan-in of the summarize stage
+  std::uint64_t fasta_bytes = 4 * util::kMiB;
+  std::uint64_t query_bytes_min = util::kKiB;
+  std::uint64_t query_bytes_max = 4 * util::kKiB;
+  std::uint64_t hits_bytes_min = 16 * util::kKiB;
+  std::uint64_t hits_bytes_max = 128 * util::kKiB;
+};
+
+class BlastWorkload : public Workload {
+ public:
+  BlastWorkload() = default;
+  explicit BlastWorkload(BlastConfig config) : config_(config) {}
+
+  std::string name() const override { return "blast"; }
+  pass::SyscallTrace generate(const WorkloadOptions& options) const override;
+
+  /// Program name blastall runs as; queries Q.2/Q.3 key off this.
+  static constexpr const char* kBlastProgram = "/usr/bin/blastall";
+
+ private:
+  BlastConfig config_;
+};
+
+}  // namespace provcloud::workloads

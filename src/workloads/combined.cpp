@@ -1,0 +1,89 @@
+#include "workloads/combined.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace provcloud::workloads {
+
+std::size_t scaled_count(std::size_t base, const WorkloadOptions& options) {
+  PROVCLOUD_REQUIRE(options.count_scale > 0);
+  const double scaled = static_cast<double>(base) * options.count_scale;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(scaled)));
+}
+
+std::uint64_t scaled_size(std::uint64_t base, const WorkloadOptions& options) {
+  PROVCLOUD_REQUIRE(options.size_scale > 0);
+  const double scaled = static_cast<double>(base) * options.size_scale;
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::llround(scaled)));
+}
+
+std::map<std::string, std::string> synth_environment(util::Rng& rng,
+                                                     std::size_t target_bytes) {
+  // A plausible 2009 user environment; filler variables pad to the target
+  // size so ENV records have a controlled, often >1KB, payload.
+  std::map<std::string, std::string> env = {
+      {"PATH", "/usr/local/bin:/usr/bin:/bin:/usr/X11R6/bin:/opt/pass/bin"},
+      {"HOME", "/home/scientist"},
+      {"SHELL", "/bin/bash"},
+      {"LANG", "en_US.UTF-8"},
+      {"LD_LIBRARY_PATH", "/usr/local/lib:/opt/pass/lib"},
+      {"HOSTNAME", "node" + std::to_string(rng.next_below(64)) + ".cluster"},
+  };
+  std::size_t current = 0;
+  for (const auto& [k, v] : env) current += k.size() + v.size() + 2;
+  std::size_t i = 0;
+  while (current < target_bytes) {
+    const std::string key = "PASS_SESSION_VAR_" + std::to_string(i++);
+    const std::size_t len = std::min<std::size_t>(
+        64 + rng.next_below(64), target_bytes - std::min(target_bytes, current));
+    const std::string value = rng.next_hex(std::max<std::size_t>(8, len));
+    current += key.size() + value.size() + 2;
+    env.emplace(key, value);
+  }
+  return env;
+}
+
+pass::SyscallTrace build_combined_trace(const WorkloadOptions& options) {
+  pass::SyscallTrace combined;
+  const CompileWorkload compile;
+  const BlastWorkload blast;
+  const ProvenanceChallengeWorkload challenge;
+  for (const Workload* w :
+       {static_cast<const Workload*>(&compile),
+        static_cast<const Workload*>(&blast),
+        static_cast<const Workload*>(&challenge)}) {
+    pass::SyscallTrace t = w->generate(options);
+    combined.insert(combined.end(), std::make_move_iterator(t.begin()),
+                    std::make_move_iterator(t.end()));
+  }
+  return combined;
+}
+
+TraceStats compute_trace_stats(const pass::SyscallTrace& trace) {
+  TraceStats s;
+  s.events = trace.size();
+  for (const pass::SyscallEvent& e : trace) {
+    switch (e.type) {
+      case pass::SyscallEvent::Type::kWrite:
+        ++s.writes;
+        s.bytes_written += e.data.size();
+        break;
+      case pass::SyscallEvent::Type::kRead:
+        ++s.reads;
+        break;
+      case pass::SyscallEvent::Type::kExec:
+        ++s.execs;
+        break;
+      case pass::SyscallEvent::Type::kClose:
+        ++s.closes;
+        break;
+      default:
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace provcloud::workloads

@@ -1,0 +1,29 @@
+// The paper's combined dataset: "We use the combined provenance generated
+// from all three benchmarks as one single dataset."
+#pragma once
+
+#include "workloads/blast.hpp"
+#include "workloads/compile.hpp"
+#include "workloads/provchallenge.hpp"
+#include "workloads/workload.hpp"
+
+namespace provcloud::workloads {
+
+/// Concatenation of the three traces (compile, blast, provenance
+/// challenge), each seeded independently from options.seed.
+pass::SyscallTrace build_combined_trace(const WorkloadOptions& options);
+
+/// Summary statistics of a raw trace (before PASS processing) -- handy for
+/// sanity checks and EXPERIMENTS.md context.
+struct TraceStats {
+  std::uint64_t events = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t execs = 0;
+  std::uint64_t closes = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+TraceStats compute_trace_stats(const pass::SyscallTrace& trace);
+
+}  // namespace provcloud::workloads

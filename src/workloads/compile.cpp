@@ -1,0 +1,115 @@
+#include "workloads/compile.hpp"
+
+#include "workloads/datagen.hpp"
+
+namespace provcloud::workloads {
+
+using pass::Pid;
+using pass::SyscallTrace;
+
+pass::SyscallTrace CompileWorkload::generate(
+    const WorkloadOptions& options) const {
+  util::Rng rng(options.seed ^ 0xc041711eull);
+  SyscallTrace trace;
+  Pid next_pid = 100;
+
+  const std::size_t n_sources = scaled_count(config_.sources, options);
+  const std::size_t n_headers = scaled_count(config_.headers, options);
+
+  // --- untar: materialize the source tree ---
+  const Pid untar = next_pid++;
+  trace.push_back(pass::ev_exec(untar, "/bin/tar", {"tar", "xf", "src.tar"},
+                                synth_environment(rng, 900)));
+  std::vector<std::string> headers;
+  headers.reserve(n_headers);
+  for (std::size_t i = 0; i < n_headers; ++i) {
+    const std::string path = "src/include/h" + std::to_string(i) + ".h";
+    headers.push_back(path);
+    const std::uint64_t size =
+        scaled_size(rng.next_log_uniform(config_.header_bytes_min,
+                                         config_.header_bytes_max),
+                    options);
+    trace.push_back(pass::ev_write(untar, path, synth_source(rng, size)));
+    trace.push_back(pass::ev_close(untar, path));
+  }
+  std::vector<std::string> sources;
+  sources.reserve(n_sources);
+  for (std::size_t i = 0; i < n_sources; ++i) {
+    const std::string path = "src/c" + std::to_string(i) + ".c";
+    sources.push_back(path);
+    const std::uint64_t size =
+        scaled_size(rng.next_log_uniform(config_.source_bytes_min,
+                                         config_.source_bytes_max),
+                    options);
+    trace.push_back(pass::ev_write(untar, path, synth_source(rng, size)));
+    trace.push_back(pass::ev_close(untar, path));
+  }
+  trace.push_back(pass::ev_exit(untar));
+
+  // --- make forks a gcc per translation unit ---
+  const Pid make = next_pid++;
+  trace.push_back(pass::ev_exec(make, "/usr/bin/make", {"make", "-j4", "all"},
+                                synth_environment(rng, 2300)));
+  trace.push_back(pass::ev_read(make, "src/Makefile"));
+
+  std::vector<std::string> objects;
+  objects.reserve(n_sources);
+  for (std::size_t i = 0; i < n_sources; ++i) {
+    const Pid gcc = next_pid++;
+    trace.push_back(pass::ev_fork(make, gcc));
+    // Long -D/-I laden argv: many real compile argv records exceed 1 KB.
+    std::vector<std::string> argv = {"gcc", "-O2", "-g", "-Wall", "-c",
+                                     sources[i]};
+    const std::size_t extra_flags = rng.next_in(16, 64);
+    for (std::size_t f = 0; f < extra_flags; ++f)
+      argv.push_back("-DCONFIG_OPTION_" + std::to_string(f) + "_" +
+                     rng.next_hex(12) + "=1");
+    trace.push_back(pass::ev_exec(
+        gcc, "/usr/bin/gcc", std::move(argv),
+        synth_environment(rng, rng.next_in(2400, 5200))));
+    trace.push_back(pass::ev_read(gcc, sources[i]));
+    const std::size_t deps =
+        std::min(config_.headers_per_unit + rng.next_below(4), headers.size());
+    for (std::size_t d = 0; d < deps; ++d)
+      trace.push_back(
+          pass::ev_read(gcc, headers[rng.next_below(headers.size())]));
+    const std::string obj = "obj/c" + std::to_string(i) + ".o";
+    objects.push_back(obj);
+    // Object files run roughly twice the source size.
+    const std::uint64_t obj_size =
+        scaled_size(rng.next_log_uniform(config_.source_bytes_min * 2,
+                                         config_.source_bytes_max * 2),
+                    options);
+    trace.push_back(pass::ev_write(gcc, obj, synth_content(rng, obj_size)));
+    trace.push_back(pass::ev_close(gcc, obj));
+    trace.push_back(pass::ev_exit(gcc));
+  }
+
+  // --- ld links groups of objects ---
+  std::size_t binary_index = 0;
+  for (std::size_t start = 0; start < objects.size();
+       start += config_.objects_per_link) {
+    const Pid ld = next_pid++;
+    trace.push_back(pass::ev_fork(make, ld));
+    trace.push_back(pass::ev_exec(
+        ld, "/usr/bin/ld",
+        {"ld", "-o", "bin/prog" + std::to_string(binary_index)},
+        synth_environment(rng, rng.next_in(2000, 3800))));
+    std::uint64_t total = 0;
+    const std::size_t end =
+        std::min(start + config_.objects_per_link, objects.size());
+    for (std::size_t i = start; i < end; ++i) {
+      trace.push_back(pass::ev_read(ld, objects[i]));
+      total += 8 * util::kKiB;
+    }
+    const std::string binary = "bin/prog" + std::to_string(binary_index++);
+    trace.push_back(
+        pass::ev_write(ld, binary, synth_content(rng, scaled_size(total, options))));
+    trace.push_back(pass::ev_close(ld, binary));
+    trace.push_back(pass::ev_exit(ld));
+  }
+  trace.push_back(pass::ev_exit(make));
+  return trace;
+}
+
+}  // namespace provcloud::workloads

@@ -1,0 +1,37 @@
+// The Linux-compile workload.
+//
+// Shape: an "untar" process materializes sources and headers; `make` forks
+// one `gcc` per translation unit (each reads its source plus a subset of
+// headers and writes an object file); `ld` links groups of objects into
+// binaries. Compiler processes carry long argv and multi-KB environments,
+// the classic source of oversized provenance records.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace provcloud::workloads {
+
+struct CompileConfig {
+  std::size_t sources = 320;       // .c files (scaled by count_scale)
+  std::size_t headers = 96;        // .h files
+  std::size_t headers_per_unit = 10;
+  std::size_t objects_per_link = 16;
+  std::uint64_t source_bytes_min = 2 * util::kKiB;   // log-uniform
+  std::uint64_t source_bytes_max = 24 * util::kKiB;
+  std::uint64_t header_bytes_min = 512;
+  std::uint64_t header_bytes_max = 8 * util::kKiB;
+};
+
+class CompileWorkload : public Workload {
+ public:
+  CompileWorkload() = default;
+  explicit CompileWorkload(CompileConfig config) : config_(config) {}
+
+  std::string name() const override { return "linux-compile"; }
+  pass::SyscallTrace generate(const WorkloadOptions& options) const override;
+
+ private:
+  CompileConfig config_;
+};
+
+}  // namespace provcloud::workloads

@@ -1,0 +1,42 @@
+#include "workloads/datagen.hpp"
+
+#include <array>
+
+namespace provcloud::workloads {
+
+util::Bytes synth_content(util::Rng& rng, std::size_t n) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .,;\n";
+  constexpr std::size_t kAlphabetSize = sizeof(kAlphabet) - 1;
+  util::Bytes out;
+  out.resize(n);
+  std::size_t i = 0;
+  while (i < n) {
+    // One 64-bit draw yields 8 characters.
+    std::uint64_t r = rng.next_u64();
+    for (int j = 0; j < 8 && i < n; ++j) {
+      out[i++] = kAlphabet[(r & 0xff) % kAlphabetSize];
+      r >>= 8;
+    }
+  }
+  return out;
+}
+
+util::Bytes synth_source(util::Rng& rng, std::size_t n) {
+  static const std::array<const char*, 6> kLines = {
+      "static int compute(int a, int b) { return a * 31 + b; }\n",
+      "#include \"common.h\"\n",
+      "for (size_t i = 0; i < count; ++i) { total += table[i]; }\n",
+      "/* generated block */\n",
+      "if (status != 0) { return status; }\n",
+      "double scale = input / 1024.0;\n",
+  };
+  util::Bytes out;
+  out.reserve(n + 64);
+  while (out.size() < n)
+    out.append(kLines[rng.next_below(kLines.size())]);
+  out.resize(n);
+  return out;
+}
+
+}  // namespace provcloud::workloads

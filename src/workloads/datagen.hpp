@@ -1,0 +1,20 @@
+// Deterministic synthetic file contents.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace provcloud::workloads {
+
+/// `n` bytes of deterministic pseudo-random printable text. Distinct calls
+/// on the same rng produce distinct contents, so MD5 consistency tokens
+/// behave like they would on real data.
+util::Bytes synth_content(util::Rng& rng, std::size_t n);
+
+/// Same but biased to look like C source (for the compile workload's tests
+/// and examples; content never influences the protocols beyond size+hash).
+util::Bytes synth_source(util::Rng& rng, std::size_t n);
+
+}  // namespace provcloud::workloads

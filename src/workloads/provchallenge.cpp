@@ -1,0 +1,146 @@
+#include "workloads/provchallenge.hpp"
+
+#include "workloads/datagen.hpp"
+
+namespace provcloud::workloads {
+
+using pass::Pid;
+using pass::SyscallTrace;
+
+pass::SyscallTrace ProvenanceChallengeWorkload::generate(
+    const WorkloadOptions& options) const {
+  util::Rng rng(options.seed ^ 0xfc4a11e46eull);
+  SyscallTrace trace;
+  Pid next_pid = 5000;
+
+  const std::size_t n_subjects = scaled_count(config_.subjects, options);
+  const std::size_t n_runs = std::max<std::size_t>(1, config_.stages_runs);
+
+  for (std::size_t run = 0; run < n_runs; ++run) {
+    const std::string base = "fmri/run" + std::to_string(run) + "/";
+
+    // Stage 0: acquisition writes the inputs.
+    const Pid acquire = next_pid++;
+    trace.push_back(pass::ev_exec(acquire, "/usr/bin/scanner-import",
+                                  {"scanner-import", "--study", "fmri"},
+                                  synth_environment(rng, 900)));
+    const std::string ref_img = base + "reference.img";
+    const std::string ref_hdr = base + "reference.hdr";
+    trace.push_back(pass::ev_write(
+        acquire, ref_img,
+        synth_content(rng, scaled_size(config_.image_bytes, options))));
+    trace.push_back(pass::ev_close(acquire, ref_img));
+    trace.push_back(pass::ev_write(
+        acquire, ref_hdr, synth_content(rng, config_.header_bytes)));
+    trace.push_back(pass::ev_close(acquire, ref_hdr));
+
+    std::vector<std::string> anatomy_imgs, anatomy_hdrs;
+    for (std::size_t s = 0; s < n_subjects; ++s) {
+      const std::string img = base + "anatomy" + std::to_string(s) + ".img";
+      const std::string hdr = base + "anatomy" + std::to_string(s) + ".hdr";
+      anatomy_imgs.push_back(img);
+      anatomy_hdrs.push_back(hdr);
+      trace.push_back(pass::ev_write(
+          acquire, img,
+          synth_content(rng, scaled_size(config_.image_bytes, options))));
+      trace.push_back(pass::ev_close(acquire, img));
+      trace.push_back(
+          pass::ev_write(acquire, hdr, synth_content(rng, config_.header_bytes)));
+      trace.push_back(pass::ev_close(acquire, hdr));
+    }
+    trace.push_back(pass::ev_exit(acquire));
+
+    // Stage 1+2: per-subject align_warp then reslice.
+    std::vector<std::string> resliced_imgs, resliced_hdrs;
+    for (std::size_t s = 0; s < n_subjects; ++s) {
+      const Pid align = next_pid++;
+      trace.push_back(pass::ev_exec(
+          align, "/usr/local/fsl/align_warp",
+          {"align_warp", anatomy_imgs[s], ref_img, "-m", "12"},
+          synth_environment(rng, rng.next_in(2200, 4400))));
+      trace.push_back(pass::ev_read(align, anatomy_imgs[s]));
+      trace.push_back(pass::ev_read(align, anatomy_hdrs[s]));
+      trace.push_back(pass::ev_read(align, ref_img));
+      trace.push_back(pass::ev_read(align, ref_hdr));
+      const std::string warp = base + "warp" + std::to_string(s) + ".warp";
+      trace.push_back(pass::ev_write(
+          align, warp, synth_content(rng, scaled_size(24 * util::kKiB, options))));
+      trace.push_back(pass::ev_close(align, warp));
+      trace.push_back(pass::ev_exit(align));
+
+      const Pid reslice = next_pid++;
+      trace.push_back(pass::ev_exec(
+          reslice, "/usr/local/fsl/reslice", {"reslice", warp},
+          synth_environment(rng, rng.next_in(2200, 4400))));
+      trace.push_back(pass::ev_read(reslice, warp));
+      trace.push_back(pass::ev_read(reslice, anatomy_imgs[s]));
+      trace.push_back(pass::ev_read(reslice, anatomy_hdrs[s]));
+      const std::string rimg = base + "resliced" + std::to_string(s) + ".img";
+      const std::string rhdr = base + "resliced" + std::to_string(s) + ".hdr";
+      resliced_imgs.push_back(rimg);
+      resliced_hdrs.push_back(rhdr);
+      trace.push_back(pass::ev_write(
+          reslice, rimg,
+          synth_content(rng, scaled_size(config_.image_bytes, options))));
+      trace.push_back(pass::ev_close(reslice, rimg));
+      trace.push_back(
+          pass::ev_write(reslice, rhdr, synth_content(rng, config_.header_bytes)));
+      trace.push_back(pass::ev_close(reslice, rhdr));
+      trace.push_back(pass::ev_exit(reslice));
+    }
+
+    // Stage 3: softmean averages every resliced image into the atlas.
+    const Pid softmean = next_pid++;
+    trace.push_back(pass::ev_exec(softmean, "/usr/local/fsl/softmean",
+                                  {"softmean", "atlas.img", "y", "null"},
+                                  synth_environment(rng, rng.next_in(2200, 4400))));
+    for (std::size_t s = 0; s < n_subjects; ++s) {
+      trace.push_back(pass::ev_read(softmean, resliced_imgs[s]));
+      trace.push_back(pass::ev_read(softmean, resliced_hdrs[s]));
+    }
+    const std::string atlas_img = base + "atlas.img";
+    const std::string atlas_hdr = base + "atlas.hdr";
+    trace.push_back(pass::ev_write(
+        softmean, atlas_img,
+        synth_content(rng, scaled_size(config_.image_bytes, options))));
+    trace.push_back(pass::ev_close(softmean, atlas_img));
+    trace.push_back(pass::ev_write(softmean, atlas_hdr,
+                                   synth_content(rng, config_.header_bytes)));
+    trace.push_back(pass::ev_close(softmean, atlas_hdr));
+    trace.push_back(pass::ev_exit(softmean));
+
+    // Stage 4+5: slicer along three axes, then convert to graphics.
+    static constexpr const char* kAxes[3] = {"x", "y", "z"};
+    for (const char* axis : kAxes) {
+      const Pid slicer = next_pid++;
+      trace.push_back(pass::ev_exec(
+          slicer, "/usr/local/fsl/slicer",
+          {"slicer", atlas_img, std::string("-") + axis, ".5"},
+          synth_environment(rng, rng.next_in(2000, 3800))));
+      trace.push_back(pass::ev_read(slicer, atlas_img));
+      trace.push_back(pass::ev_read(slicer, atlas_hdr));
+      const std::string slice = base + "atlas-" + axis + ".pgm";
+      trace.push_back(pass::ev_write(
+          slicer, slice,
+          synth_content(rng, scaled_size(config_.slice_bytes, options))));
+      trace.push_back(pass::ev_close(slicer, slice));
+      trace.push_back(pass::ev_exit(slicer));
+
+      const Pid convert = next_pid++;
+      trace.push_back(pass::ev_exec(
+          convert, "/usr/bin/convert",
+          {"convert", slice, base + "atlas-" + axis + ".gif"},
+          synth_environment(rng, rng.next_in(2000, 3800))));
+      trace.push_back(pass::ev_read(convert, slice));
+      const std::string gif = base + "atlas-" + axis + ".gif";
+      trace.push_back(pass::ev_write(
+          convert, gif,
+          synth_content(rng, scaled_size(config_.gif_bytes, options))));
+      trace.push_back(pass::ev_close(convert, gif));
+      trace.push_back(pass::ev_exit(convert));
+    }
+  }
+  return trace;
+}
+
+}  // namespace provcloud::workloads

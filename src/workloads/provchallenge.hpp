@@ -1,0 +1,37 @@
+// The First Provenance Challenge workload (Moreau et al., 2008).
+//
+// The fMRI workflow the challenge standardized, and which the paper's PASS
+// dataset includes: for each of N subjects an anatomy image (.img/.hdr pair)
+// is aligned against a reference (`align_warp` -> warp params), resliced
+// (`reslice` -> new img/hdr), all resliced images are averaged
+// (`softmean` -> atlas img/hdr), and the atlas is sliced along three axes
+// (`slicer` -> .pgm) and converted (`convert` -> .gif).
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace provcloud::workloads {
+
+struct ProvenanceChallengeConfig {
+  std::size_t subjects = 5;     // parallel pipelines (the challenge uses 5)
+  std::size_t stages_runs = 1;  // how many independent workflow runs
+  std::uint64_t image_bytes = util::kMiB;       // .img payload
+  std::uint64_t header_bytes = 348;             // .hdr (Analyze format size)
+  std::uint64_t slice_bytes = 96 * util::kKiB;  // .pgm
+  std::uint64_t gif_bytes = 24 * util::kKiB;    // .gif
+};
+
+class ProvenanceChallengeWorkload : public Workload {
+ public:
+  ProvenanceChallengeWorkload() = default;
+  explicit ProvenanceChallengeWorkload(ProvenanceChallengeConfig config)
+      : config_(config) {}
+
+  std::string name() const override { return "provenance-challenge"; }
+  pass::SyscallTrace generate(const WorkloadOptions& options) const override;
+
+ private:
+  ProvenanceChallengeConfig config_;
+};
+
+}  // namespace provcloud::workloads

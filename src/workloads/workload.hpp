@@ -1,0 +1,53 @@
+// Workload generators.
+//
+// The paper generates provenance "for three workloads on a PASS system: a
+// Linux compile, a Blast workload, and the Provenance Challenge Workload"
+// and uses "the combined provenance generated from all three benchmarks as
+// one single dataset". We cannot rerun the authors' 2009 machines, so each
+// workload here is a deterministic synthetic syscall-trace generator shaped
+// like the original: the same process/file DAG structure, file-size and
+// record-size distributions tuned to land in the paper's regime (mean
+// object ~40 KB, provenance ~9-10% of data, a sizable fraction of records
+// above the 1 KB SimpleDB limit). EXPERIMENTS.md records the scale factor
+// against the paper's 1.27 GB / 31,180-object dataset.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pass/syscall.hpp"
+#include "util/rng.hpp"
+
+namespace provcloud::workloads {
+
+/// Knobs shared by the three generators. `count_scale` multiplies entity
+/// counts (files, processes); `size_scale` multiplies file sizes.
+struct WorkloadOptions {
+  std::uint64_t seed = 2009;
+  double count_scale = 1.0;
+  double size_scale = 1.0;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual std::string name() const = 0;
+  /// Deterministic for a given options.seed.
+  virtual pass::SyscallTrace generate(const WorkloadOptions& options) const = 0;
+};
+
+/// Scaled count: max(1, round(base * count_scale)).
+std::size_t scaled_count(std::size_t base, const WorkloadOptions& options);
+
+/// Scaled size: max(1, round(base * size_scale)).
+std::uint64_t scaled_size(std::uint64_t base, const WorkloadOptions& options);
+
+/// A realistic-looking process environment of roughly `target_bytes` bytes.
+/// Process ENV provenance records are the paper's main source of >1 KB
+/// values.
+std::map<std::string, std::string> synth_environment(util::Rng& rng,
+                                                     std::size_t target_bytes);
+
+}  // namespace provcloud::workloads

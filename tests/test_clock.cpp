@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "util/require.hpp"
+
+namespace {
+
+using namespace provcloud::sim;
+
+TEST(ClockTest, StartsAtZero) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+}
+
+TEST(ClockTest, AdvanceMovesTime) {
+  SimClock clock;
+  clock.advance_by(5 * kSecond);
+  EXPECT_EQ(clock.now(), 5 * kSecond);
+}
+
+TEST(ClockTest, CannotMoveBackwards) {
+  SimClock clock;
+  clock.advance_to(10);
+  EXPECT_THROW(clock.advance_to(5), provcloud::util::LogicError);
+}
+
+TEST(ClockTest, EventsFireInTimeOrder) {
+  SimClock clock;
+  std::vector<int> fired;
+  clock.schedule_after(3 * kSecond, [&] { fired.push_back(3); });
+  clock.schedule_after(1 * kSecond, [&] { fired.push_back(1); });
+  clock.schedule_after(2 * kSecond, [&] { fired.push_back(2); });
+  clock.advance_by(10 * kSecond);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ClockTest, SameInstantFiresInScheduleOrder) {
+  SimClock clock;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i)
+    clock.schedule_at(kSecond, [&fired, i] { fired.push_back(i); });
+  clock.advance_by(2 * kSecond);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ClockTest, EventsNotDueDoNotFire) {
+  SimClock clock;
+  bool fired = false;
+  clock.schedule_after(10 * kSecond, [&] { fired = true; });
+  clock.advance_by(9 * kSecond);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(clock.pending_events(), 1u);
+  clock.advance_by(1 * kSecond);
+  EXPECT_TRUE(fired);
+}
+
+TEST(ClockTest, NowIsEventTimeDuringCallback) {
+  SimClock clock;
+  SimTime seen = 0;
+  clock.schedule_after(7 * kSecond, [&] { seen = clock.now(); });
+  clock.advance_by(100 * kSecond);
+  EXPECT_EQ(seen, 7 * kSecond);
+  EXPECT_EQ(clock.now(), 100 * kSecond);
+}
+
+TEST(ClockTest, EventsCanScheduleEventsWithinWindow) {
+  SimClock clock;
+  std::vector<SimTime> fired;
+  clock.schedule_after(kSecond, [&] {
+    fired.push_back(clock.now());
+    clock.schedule_after(kSecond, [&] { fired.push_back(clock.now()); });
+  });
+  clock.advance_by(5 * kSecond);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], kSecond);
+  EXPECT_EQ(fired[1], 2 * kSecond);
+}
+
+TEST(ClockTest, ScheduleInPastClampsToNow) {
+  SimClock clock;
+  clock.advance_to(10 * kSecond);
+  bool fired = false;
+  clock.schedule_at(5 * kSecond, [&] { fired = true; });
+  clock.advance_by(1);
+  EXPECT_TRUE(fired);
+}
+
+TEST(ClockTest, DrainFiresEverything) {
+  SimClock clock;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i)
+    clock.schedule_after(i * kHour, [&] { ++count; });
+  clock.drain();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(clock.pending_events(), 0u);
+  EXPECT_EQ(clock.now(), 10 * kHour);
+}
+
+TEST(ClockTest, DrainHandlesCascades) {
+  SimClock clock;
+  int depth = 0;
+  std::function<void()> cascade = [&] {
+    if (++depth < 5) clock.schedule_after(kMinute, cascade);
+  };
+  clock.schedule_after(kMinute, cascade);
+  clock.drain();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(ClockTest, NullEventRejected) {
+  SimClock clock;
+  EXPECT_THROW(clock.schedule_after(1, nullptr),
+               provcloud::util::LogicError);
+}
+
+}  // namespace

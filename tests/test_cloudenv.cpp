@@ -1,0 +1,98 @@
+// CloudEnv: request charging, latency accounting, consistency plumbing.
+#include <gtest/gtest.h>
+
+#include "aws/common/env.hpp"
+#include "aws/s3/s3.hpp"
+
+namespace {
+
+using namespace provcloud::aws;
+namespace sim = provcloud::sim;
+
+TEST(CloudEnvTest, ChargeRecordsIntoMeter) {
+  CloudEnv env(1);
+  env.charge("s3", "PUT", 100, 0);
+  env.charge("s3", "GET", 0, 50);
+  const auto snap = env.meter().snapshot();
+  EXPECT_EQ(snap.calls("s3"), 2u);
+  EXPECT_EQ(snap.bytes_in("s3"), 100u);
+  EXPECT_EQ(snap.bytes_out("s3"), 50u);
+}
+
+TEST(CloudEnvTest, BusyTimeAccumulatesWithoutAdvancingClock) {
+  CloudEnv env(2);
+  ASSERT_FALSE(env.charge_latency());
+  const sim::SimTime before = env.clock().now();
+  env.charge("s3", "PUT", 1 << 20, 0);
+  EXPECT_EQ(env.clock().now(), before);  // clock untouched by default
+  EXPECT_GT(env.busy_time(), 0u);
+}
+
+TEST(CloudEnvTest, LatencyChargingAdvancesClock) {
+  CloudEnv env(3);
+  env.set_charge_latency(true);
+  const sim::SimTime before = env.clock().now();
+  const sim::SimTime charged = env.charge("s3", "PUT", 4 << 20, 0);
+  EXPECT_EQ(env.clock().now(), before + charged);
+  // 4 MB at 4 MB/s upstream: at least one second.
+  EXPECT_GE(charged, sim::kSecond);
+}
+
+TEST(CloudEnvTest, LatencyChargingLetsPropagationProceed) {
+  // A slow upload outlasts the propagation window: by the time the PUT
+  // "returns", replication of *earlier* writes has completed.
+  ConsistencyConfig c;
+  c.replicas = 3;
+  c.propagation_min = 100 * sim::kMillisecond;
+  c.propagation_max = 900 * sim::kMillisecond;
+  CloudEnv env(4, c);
+  env.set_charge_latency(true);
+  S3Service s3(env);
+  ASSERT_TRUE(s3.put("b", "k", "first").has_value());
+  // A large unrelated transfer (> 1 s) pushes the clock past the window.
+  env.charge("s3", "PUT", 8 << 20, 0);
+  for (int i = 0; i < 50; ++i) {
+    auto got = s3.get("b", "k");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got->data, "first");
+  }
+}
+
+TEST(CloudEnvTest, PropagationDelaySampledWithinConfig) {
+  ConsistencyConfig c;
+  c.propagation_min = 10;
+  c.propagation_max = 20;
+  CloudEnv env(5, c);
+  for (int i = 0; i < 200; ++i) {
+    const sim::SimTime d = env.sample_propagation_delay();
+    EXPECT_GE(d, 10u);
+    EXPECT_LE(d, 20u);
+  }
+}
+
+TEST(CloudEnvTest, DegenerateWindowIsConstant) {
+  ConsistencyConfig c;
+  c.propagation_min = 7;
+  c.propagation_max = 7;
+  CloudEnv env(6, c);
+  EXPECT_EQ(env.sample_propagation_delay(), 7u);
+}
+
+TEST(CloudEnvTest, StrongConfigHasNoDelay) {
+  CloudEnv env(7, ConsistencyConfig::strong());
+  EXPECT_EQ(env.sample_propagation_delay(), 0u);
+  EXPECT_EQ(env.consistency().replicas, 1u);
+}
+
+TEST(CloudEnvTest, SeedsReplayIdentically) {
+  const auto run = [](std::uint64_t seed) {
+    CloudEnv env(seed);
+    std::vector<std::uint64_t> out;
+    for (int i = 0; i < 10; ++i) out.push_back(env.rng().next_u64());
+    return out;
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// Pricing (the paper's section 2 price sheet) and the section 5 estimation
+// formulas.
+#include <gtest/gtest.h>
+
+#include "cost/analysis.hpp"
+#include "cost/pricing.hpp"
+#include "sim/metering.hpp"
+
+namespace {
+
+using namespace provcloud::cost;
+using provcloud::sim::Meter;
+
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+TEST(PricingTest, S3PutClassRequests) {
+  Meter m;
+  for (int i = 0; i < 1000; ++i) m.record("s3", "PUT", 0, 0);
+  const CostEstimate c = estimate_cost(m.snapshot());
+  // USD 0.01 per 1,000 PUT.
+  EXPECT_NEAR(c.s3_requests, 0.01, 1e-9);
+}
+
+TEST(PricingTest, S3GetClassRequests) {
+  Meter m;
+  for (int i = 0; i < 10000; ++i) m.record("s3", "GET", 0, 0);
+  const CostEstimate c = estimate_cost(m.snapshot());
+  // USD 0.01 per 10,000 GET.
+  EXPECT_NEAR(c.s3_requests, 0.01, 1e-9);
+}
+
+TEST(PricingTest, CopyAndListAreBilledAsPutClass) {
+  Meter m;
+  for (int i = 0; i < 500; ++i) m.record("s3", "COPY", 0, 0);
+  for (int i = 0; i < 500; ++i) m.record("s3", "LIST", 0, 0);
+  const CostEstimate c = estimate_cost(m.snapshot());
+  EXPECT_NEAR(c.s3_requests, 0.01, 1e-9);
+}
+
+TEST(PricingTest, TransferRates) {
+  Meter m;
+  m.record("s3", "PUT", static_cast<std::uint64_t>(kGiB), 0);
+  m.record("s3", "GET", 0, static_cast<std::uint64_t>(kGiB));
+  const CostEstimate c = estimate_cost(m.snapshot());
+  // USD 0.10/GB in + 0.17/GB out.
+  EXPECT_NEAR(c.s3_transfer, 0.27, 1e-6);
+}
+
+TEST(PricingTest, StorageMonthly) {
+  Meter m;
+  m.set_storage("s3", static_cast<std::uint64_t>(10 * kGiB));
+  const CostEstimate c = estimate_cost(m.snapshot());
+  EXPECT_NEAR(c.s3_storage_month, 1.5, 1e-6);  // 10 GB * $0.15
+}
+
+TEST(PricingTest, SqsPerTenThousandRequests) {
+  Meter m;
+  for (int i = 0; i < 20000; ++i) m.record("sqs", "SendMessage", 0, 0);
+  const CostEstimate c = estimate_cost(m.snapshot());
+  EXPECT_NEAR(c.sqs_requests, 0.02, 1e-9);
+}
+
+TEST(PricingTest, SdbBoxUsageGrowsWithCallsAndPayload) {
+  Meter a, b;
+  for (int i = 0; i < 100; ++i) a.record("sdb", "PutAttributes", 100, 0);
+  for (int i = 0; i < 100; ++i) b.record("sdb", "PutAttributes", 100000, 0);
+  const double cost_a = estimate_cost(a.snapshot()).sdb_box_usage;
+  const double cost_b = estimate_cost(b.snapshot()).sdb_box_usage;
+  EXPECT_GT(cost_a, 0.0);
+  EXPECT_GT(cost_b, cost_a);
+}
+
+TEST(PricingTest, TotalSumsComponents) {
+  Meter m;
+  m.record("s3", "PUT", 1000, 0);
+  m.record("sqs", "SendMessage", 1000, 0);
+  m.record("sdb", "PutAttributes", 1000, 0);
+  m.set_storage("s3", 1000000);
+  const CostEstimate c = estimate_cost(m.snapshot());
+  EXPECT_NEAR(c.total(),
+              c.s3_requests + c.s3_transfer + c.s3_storage_month +
+                  c.sdb_box_usage + c.sdb_transfer + c.sdb_storage_month +
+                  c.sqs_requests + c.sqs_transfer,
+              1e-12);
+}
+
+TEST(PricingTest, FormatUsd) {
+  EXPECT_EQ(format_usd(1.234), "$1.23");
+  EXPECT_EQ(format_usd(0.05), "$0.05");
+  EXPECT_EQ(format_usd(0.0001), "$0.00010");
+}
+
+// --- the paper's estimation formulas ---
+
+provcloud::cost::TraceQuantities sample_quantities() {
+  TraceQuantities q;
+  q.n_objects = 1000;
+  q.n_items = 1000;
+  q.n_large_records = 80;
+  q.provenance_bytes = 4 * 1024 * 1024;  // 4 MB
+  q.data_bytes = 40 * 1024 * 1024;
+  return q;
+}
+
+TEST(AnalysisTest, RawBaseline) {
+  const StorageEstimate e = estimate_raw(sample_quantities());
+  EXPECT_EQ(e.provenance_bytes, 0u);
+  EXPECT_EQ(e.extra_ops, 1000u);
+}
+
+TEST(AnalysisTest, Arch1OpsAreLargeRecordsOnly) {
+  const StorageEstimate e = estimate_arch1(sample_quantities());
+  EXPECT_EQ(e.extra_ops, 80u);
+  EXPECT_EQ(e.provenance_bytes, 4u * 1024 * 1024);
+}
+
+TEST(AnalysisTest, Arch2OpsAreItemsPlusLargeRecords) {
+  const StorageEstimate e = estimate_arch2(sample_quantities());
+  EXPECT_EQ(e.extra_ops, 1000u + 80u);
+  EXPECT_GT(e.provenance_bytes, 4u * 1024 * 1024);  // representation overhead
+}
+
+TEST(AnalysisTest, Arch3FormulaMatchesPaper) {
+  const TraceQuantities q = sample_quantities();
+  const StorageEstimate e = estimate_arch3(q);
+  const std::uint64_t chunks = (q.provenance_bytes + 8191) / 8192;
+  EXPECT_EQ(e.extra_ops, 2 * (1000 + chunks) + 1000 + 80);
+  // storage = 2*S_SQS + S_SimpleDB > 3x the raw provenance bytes.
+  EXPECT_GE(e.provenance_bytes, 3 * q.provenance_bytes);
+}
+
+TEST(AnalysisTest, OrderingMatchesTableTwo) {
+  // Table 2's qualitative ordering: arch1 < arch2 < arch3 in both space
+  // and operations.
+  const TraceQuantities q = sample_quantities();
+  const StorageEstimate e1 = estimate_arch1(q);
+  const StorageEstimate e2 = estimate_arch2(q);
+  const StorageEstimate e3 = estimate_arch3(q);
+  EXPECT_LT(e1.provenance_bytes, e2.provenance_bytes);
+  EXPECT_LT(e2.provenance_bytes, e3.provenance_bytes);
+  EXPECT_LT(e1.extra_ops, e2.extra_ops);
+  EXPECT_LT(e2.extra_ops, e3.extra_ops);
+}
+
+TEST(AnalysisTest, QuantitiesFromObserverStats) {
+  provcloud::pass::ObserverStats s;
+  s.flush_units = 42;
+  s.file_units = 30;
+  s.large_records = 7;
+  s.provenance_bytes = 1234;
+  s.data_bytes_flushed = 9999;
+  const TraceQuantities q = quantities_from(s);
+  EXPECT_EQ(q.n_objects, 30u);  // raw ops = file PUTs
+  EXPECT_EQ(q.n_items, 42u);    // items = every flushed version
+  EXPECT_EQ(q.n_large_records, 7u);
+  EXPECT_EQ(q.provenance_bytes, 1234u);
+  EXPECT_EQ(q.data_bytes, 9999u);
+}
+
+}  // namespace

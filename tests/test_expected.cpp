@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "util/expected.hpp"
+#include "util/require.hpp"
+
+namespace {
+
+using provcloud::util::Expected;
+using provcloud::util::Unexpected;
+
+TEST(ExpectedTest, ValueState) {
+  Expected<int, std::string> e(42);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(e.value_or(0), 42);
+}
+
+TEST(ExpectedTest, ErrorState) {
+  Expected<int, std::string> e = Unexpected(std::string("boom"));
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error(), "boom");
+  EXPECT_EQ(e.value_or(7), 7);
+}
+
+TEST(ExpectedTest, LiteralErrorBecomesString) {
+  Expected<int, std::string> e = Unexpected("boom");
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error(), "boom");
+}
+
+TEST(ExpectedTest, AccessingWrongStateThrows) {
+  Expected<int, std::string> ok(1);
+  EXPECT_THROW(ok.error(), provcloud::util::LogicError);
+  Expected<int, std::string> bad = Unexpected(std::string("x"));
+  EXPECT_THROW(bad.value(), provcloud::util::LogicError);
+}
+
+TEST(ExpectedTest, MoveOnlyValue) {
+  Expected<std::unique_ptr<int>, std::string> e(std::make_unique<int>(5));
+  ASSERT_TRUE(e.has_value());
+  std::unique_ptr<int> p = std::move(e).value();
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(ExpectedTest, ArrowOperator) {
+  Expected<std::string, int> e(std::string("hello"));
+  EXPECT_EQ(e->size(), 5u);
+}
+
+TEST(ExpectedVoidTest, Success) {
+  Expected<void, std::string> e;
+  EXPECT_TRUE(e.has_value());
+  EXPECT_TRUE(static_cast<bool>(e));
+}
+
+TEST(ExpectedVoidTest, Error) {
+  Expected<void, std::string> e = Unexpected(std::string("fail"));
+  EXPECT_FALSE(e.has_value());
+  EXPECT_EQ(e.error(), "fail");
+}
+
+TEST(RequireTest, ThrowsWithContext) {
+  try {
+    PROVCLOUD_REQUIRE_MSG(false, "details here");
+    FAIL() << "should have thrown";
+  } catch (const provcloud::util::LogicError& e) {
+    EXPECT_NE(std::string(e.what()).find("details here"), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "sim/failure.hpp"
+
+namespace {
+
+using provcloud::sim::CrashError;
+using provcloud::sim::FailureInjector;
+
+TEST(FailureTest, UnarmedPointsNeverThrow) {
+  FailureInjector f;
+  for (int i = 0; i < 10; ++i) EXPECT_NO_THROW(f.crash_point("p"));
+  EXPECT_EQ(f.hits("p"), 10u);
+}
+
+TEST(FailureTest, ArmedPointThrowsOnNthHit) {
+  FailureInjector f;
+  f.arm_crash("p", 3);
+  EXPECT_NO_THROW(f.crash_point("p"));
+  EXPECT_NO_THROW(f.crash_point("p"));
+  EXPECT_THROW(f.crash_point("p"), CrashError);
+}
+
+TEST(FailureTest, CrashIsOneShot) {
+  FailureInjector f;
+  f.arm_crash("p");
+  EXPECT_THROW(f.crash_point("p"), CrashError);
+  EXPECT_NO_THROW(f.crash_point("p"));
+}
+
+TEST(FailureTest, CrashErrorCarriesPointName) {
+  FailureInjector f;
+  f.arm_crash("the.exact.point");
+  try {
+    f.crash_point("the.exact.point");
+    FAIL();
+  } catch (const CrashError& e) {
+    EXPECT_EQ(e.point(), "the.exact.point");
+  }
+}
+
+TEST(FailureTest, ArmingIsRelativeToCurrentHits) {
+  FailureInjector f;
+  f.crash_point("p");
+  f.crash_point("p");
+  f.arm_crash("p", 1);  // next hit
+  EXPECT_THROW(f.crash_point("p"), CrashError);
+}
+
+TEST(FailureTest, DisarmCancels) {
+  FailureInjector f;
+  f.arm_crash("p");
+  f.disarm("p");
+  EXPECT_NO_THROW(f.crash_point("p"));
+}
+
+TEST(FailureTest, DisarmUnknownPointIsNoop) {
+  FailureInjector f;
+  EXPECT_NO_THROW(f.disarm("never-seen"));
+}
+
+TEST(FailureTest, ObservedPointsInFirstHitOrder) {
+  FailureInjector f;
+  f.crash_point("b");
+  f.crash_point("a");
+  f.crash_point("b");
+  f.crash_point("c");
+  EXPECT_EQ(f.observed_points(),
+            (std::vector<std::string>{"b", "a", "c"}));
+}
+
+TEST(FailureTest, ResetClearsEverything) {
+  FailureInjector f;
+  f.crash_point("p");
+  f.arm_crash("q");
+  f.reset();
+  EXPECT_EQ(f.hits("p"), 0u);
+  EXPECT_TRUE(f.observed_points().empty());
+  EXPECT_NO_THROW(f.crash_point("q"));
+}
+
+TEST(FailureTest, IndependentPoints) {
+  FailureInjector f;
+  f.arm_crash("a");
+  EXPECT_NO_THROW(f.crash_point("b"));
+  EXPECT_THROW(f.crash_point("a"), CrashError);
+}
+
+}  // namespace

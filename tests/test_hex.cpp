@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using provcloud::util::hex_decode;
+using provcloud::util::hex_encode;
+using provcloud::util::hex_u64;
+
+TEST(HexTest, EncodeBasics) {
+  EXPECT_EQ(hex_encode(""), "");
+  EXPECT_EQ(hex_encode("abc"), "616263");
+  EXPECT_EQ(hex_encode(std::string("\x00\xff\x10", 3)), "00ff10");
+}
+
+TEST(HexTest, DecodeBasics) {
+  EXPECT_EQ(hex_decode("616263").value(), "abc");
+  EXPECT_EQ(hex_decode("").value(), "");
+  EXPECT_EQ(hex_decode("00FF10").value(), std::string("\x00\xff\x10", 3));
+}
+
+TEST(HexTest, DecodeRejectsOddLength) {
+  EXPECT_FALSE(hex_decode("abc").has_value());
+}
+
+TEST(HexTest, DecodeRejectsBadDigits) {
+  EXPECT_FALSE(hex_decode("zz").has_value());
+  EXPECT_FALSE(hex_decode("0g").has_value());
+}
+
+TEST(HexTest, RoundTripRandomBuffers) {
+  provcloud::util::Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    std::string buf;
+    const std::size_t len = rng.next_below(64);
+    for (std::size_t j = 0; j < len; ++j)
+      buf.push_back(static_cast<char>(rng.next_below(256)));
+    EXPECT_EQ(hex_decode(hex_encode(buf)).value(), buf);
+  }
+}
+
+TEST(HexTest, HexU64) {
+  EXPECT_EQ(hex_u64(0), "0000000000000000");
+  EXPECT_EQ(hex_u64(0xdeadbeef), "00000000deadbeef");
+  EXPECT_EQ(hex_u64(UINT64_MAX), "ffffffffffffffff");
+}
+
+}  // namespace

@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "sim/latency.hpp"
+
+namespace {
+
+using namespace provcloud::sim;
+
+TEST(LatencyTest, ZeroBytesIsJustOverhead) {
+  LatencyModel model;
+  provcloud::util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const SimTime t = model.sample(rng, 0, 0);
+    EXPECT_GE(t, model.config().request_overhead_min);
+    EXPECT_LE(t, model.config().request_overhead_max);
+  }
+}
+
+TEST(LatencyTest, TransferScalesWithBytes) {
+  LatencyConfig cfg;
+  cfg.request_overhead_min = cfg.request_overhead_max = 0;
+  cfg.upload_bytes_per_sec = 1024 * 1024;
+  LatencyModel model(cfg);
+  provcloud::util::Rng rng(2);
+  EXPECT_EQ(model.sample(rng, 1024 * 1024, 0), kSecond);
+  EXPECT_EQ(model.sample(rng, 512 * 1024, 0), kSecond / 2);
+}
+
+TEST(LatencyTest, DownloadUsesDownlinkRate) {
+  LatencyConfig cfg;
+  cfg.request_overhead_min = cfg.request_overhead_max = 0;
+  cfg.upload_bytes_per_sec = 1;
+  cfg.download_bytes_per_sec = 2 * 1024 * 1024;
+  LatencyModel model(cfg);
+  provcloud::util::Rng rng(3);
+  EXPECT_EQ(model.sample(rng, 0, 2 * 1024 * 1024), kSecond);
+}
+
+TEST(LatencyTest, DeterministicForSeed) {
+  LatencyModel model;
+  provcloud::util::Rng a(7), b(7);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(model.sample(a, 100, 100), model.sample(b, 100, 100));
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "pass/local_cache.hpp"
+
+namespace {
+
+using namespace provcloud::pass;
+
+TEST(LocalCacheTest, AppendAccumulates) {
+  LocalCache c;
+  c.append_data("f", "abc");
+  c.append_data("f", "def");
+  EXPECT_EQ(c.data("f"), "abcdef");
+}
+
+TEST(LocalCacheTest, UnknownObjectIsEmpty) {
+  LocalCache c;
+  EXPECT_EQ(c.data("nothing"), "");
+  EXPECT_TRUE(c.records("nothing", 1).empty());
+}
+
+TEST(LocalCacheTest, TruncateClearsData) {
+  LocalCache c;
+  c.append_data("f", "abc");
+  c.truncate_data("f");
+  EXPECT_EQ(c.data("f"), "");
+  c.append_data("f", "x");
+  EXPECT_EQ(c.data("f"), "x");
+}
+
+TEST(LocalCacheTest, RecordsKeyedByVersion) {
+  LocalCache c;
+  EXPECT_TRUE(c.add_record("f", 1, make_text_record("TYPE", "file")));
+  EXPECT_TRUE(c.add_record("f", 2, make_text_record("TYPE", "file")));
+  EXPECT_EQ(c.records("f", 1).size(), 1u);
+  EXPECT_EQ(c.records("f", 2).size(), 1u);
+  EXPECT_TRUE(c.records("f", 3).empty());
+}
+
+TEST(LocalCacheTest, DuplicateRecordsWithinVersionDropped) {
+  LocalCache c;
+  EXPECT_TRUE(c.add_record("f", 1, make_xref_record("INPUT", {"p", 1})));
+  EXPECT_FALSE(c.add_record("f", 1, make_xref_record("INPUT", {"p", 1})));
+  EXPECT_TRUE(c.add_record("f", 1, make_xref_record("INPUT", {"p", 2})));
+  EXPECT_EQ(c.records("f", 1).size(), 2u);
+}
+
+TEST(LocalCacheTest, ClearRecordsIsPerVersion) {
+  LocalCache c;
+  c.add_record("f", 1, make_text_record("A", "1"));
+  c.add_record("f", 2, make_text_record("A", "2"));
+  c.clear_records("f", 1);
+  EXPECT_TRUE(c.records("f", 1).empty());
+  EXPECT_EQ(c.records("f", 2).size(), 1u);
+}
+
+TEST(LocalCacheTest, RemoveDropsEverything) {
+  LocalCache c;
+  c.append_data("f", "data");
+  c.add_record("f", 1, make_text_record("A", "1"));
+  c.add_record("f", 2, make_text_record("A", "2"));
+  c.append_data("g", "keep");
+  c.remove("f");
+  EXPECT_EQ(c.data("f"), "");
+  EXPECT_TRUE(c.records("f", 1).empty());
+  EXPECT_TRUE(c.records("f", 2).empty());
+  EXPECT_EQ(c.data("g"), "keep");
+}
+
+TEST(LocalCacheTest, CachedBytesAccounting) {
+  LocalCache c;
+  c.append_data("a", "12345");
+  c.append_data("b", "123");
+  EXPECT_EQ(c.cached_data_bytes(), 8u);
+}
+
+}  // namespace

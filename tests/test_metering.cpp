@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "sim/metering.hpp"
+
+namespace {
+
+using provcloud::sim::Meter;
+using provcloud::sim::MeterSnapshot;
+
+TEST(MeterTest, RecordsCallsAndBytes) {
+  Meter m;
+  m.record("s3", "PUT", 100, 0);
+  m.record("s3", "PUT", 50, 0);
+  m.record("s3", "GET", 0, 70);
+  const MeterSnapshot s = m.snapshot();
+  EXPECT_EQ(s.calls("s3", "PUT"), 2u);
+  EXPECT_EQ(s.calls("s3", "GET"), 1u);
+  EXPECT_EQ(s.calls("s3"), 3u);
+  EXPECT_EQ(s.bytes_in("s3"), 150u);
+  EXPECT_EQ(s.bytes_out("s3"), 70u);
+}
+
+TEST(MeterTest, ServicesAreIndependent) {
+  Meter m;
+  m.record("s3", "PUT", 1, 0);
+  m.record("sdb", "PutAttributes", 2, 0);
+  const MeterSnapshot s = m.snapshot();
+  EXPECT_EQ(s.calls("s3"), 1u);
+  EXPECT_EQ(s.calls("sdb"), 1u);
+  EXPECT_EQ(s.calls("sqs"), 0u);
+  EXPECT_EQ(s.total_calls(), 2u);
+}
+
+TEST(MeterTest, StorageIsAGauge) {
+  Meter m;
+  m.set_storage("s3", 1000);
+  m.set_storage("s3", 400);
+  EXPECT_EQ(m.snapshot().storage_bytes("s3"), 400u);
+  EXPECT_EQ(m.snapshot().storage_bytes("sdb"), 0u);
+}
+
+TEST(MeterTest, DiffSubtractsFlows) {
+  Meter m;
+  m.record("s3", "PUT", 100, 0);
+  const MeterSnapshot before = m.snapshot();
+  m.record("s3", "PUT", 60, 0);
+  m.record("s3", "GET", 0, 30);
+  const MeterSnapshot diff = m.snapshot().diff(before);
+  EXPECT_EQ(diff.calls("s3", "PUT"), 1u);
+  EXPECT_EQ(diff.bytes_in("s3", "PUT"), 60u);
+  EXPECT_EQ(diff.calls("s3", "GET"), 1u);
+}
+
+TEST(MeterTest, DiffKeepsStorageLevel) {
+  Meter m;
+  m.set_storage("s3", 100);
+  const MeterSnapshot before = m.snapshot();
+  m.set_storage("s3", 250);
+  EXPECT_EQ(m.snapshot().diff(before).storage_bytes("s3"), 250u);
+}
+
+TEST(MeterTest, DiffDropsUnchangedCounters) {
+  Meter m;
+  m.record("s3", "PUT", 1, 0);
+  const MeterSnapshot before = m.snapshot();
+  m.record("sqs", "SendMessage", 5, 0);
+  const MeterSnapshot diff = m.snapshot().diff(before);
+  EXPECT_EQ(diff.calls("s3"), 0u);
+  EXPECT_EQ(diff.calls("sqs"), 1u);
+  EXPECT_EQ(diff.keys().size(), 1u);
+}
+
+TEST(MeterTest, ResetClears) {
+  Meter m;
+  m.record("s3", "PUT", 1, 0);
+  m.set_storage("s3", 9);
+  m.reset();
+  EXPECT_EQ(m.snapshot().total_calls(), 0u);
+  EXPECT_EQ(m.snapshot().storage_bytes("s3"), 0u);
+}
+
+}  // namespace

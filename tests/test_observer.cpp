@@ -1,0 +1,393 @@
+// PassObserver: versioning rules, causal flush ordering, record content.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "pass/observer.hpp"
+
+namespace {
+
+using namespace provcloud::pass;
+
+/// Collects flush units in arrival order.
+struct Collector {
+  std::vector<FlushUnit> units;
+  FlushSink sink() {
+    return [this](const FlushUnit& u) { units.push_back(u); };
+  }
+  const FlushUnit* find(const std::string& object, std::uint32_t version) const {
+    for (const FlushUnit& u : units)
+      if (u.object == object && u.version == version) return &u;
+    return nullptr;
+  }
+  std::size_t index_of(const std::string& object, std::uint32_t version) const {
+    for (std::size_t i = 0; i < units.size(); ++i)
+      if (units[i].object == object && units[i].version == version) return i;
+    return SIZE_MAX;
+  }
+  bool has_record(const FlushUnit& u, const ProvenanceRecord& r) const {
+    for (const auto& rec : u.records)
+      if (rec == r) return true;
+    return false;
+  }
+};
+
+TEST(ObserverTest, SimpleWriteCloseFlushesFileWithProcessAncestor) {
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_exec(1, "/bin/writer", {"writer"}, {{"HOME", "/root"}}));
+  obs.apply(ev_write(1, "out", "hello"));
+  obs.apply(ev_close(1, "out"));
+
+  // Two units: the process (ancestor) then the file.
+  const FlushUnit* proc = c.find("proc/1/1", 1);
+  const FlushUnit* file = c.find("out", 1);
+  ASSERT_NE(proc, nullptr);
+  ASSERT_NE(file, nullptr);
+  EXPECT_LT(c.index_of("proc/1/1", 1), c.index_of("out", 1))
+      << "ancestors must flush first";
+  EXPECT_EQ(file->kind, PnodeKind::kFile);
+  ASSERT_NE(file->data, nullptr);
+  EXPECT_EQ(*file->data, "hello");
+  EXPECT_TRUE(c.has_record(*file, make_xref_record("INPUT", {"proc/1/1", 1})));
+  EXPECT_EQ(proc->kind, PnodeKind::kProcess);
+  EXPECT_EQ(proc->data, nullptr);
+  EXPECT_TRUE(c.has_record(*proc, make_text_record("TYPE", "process")));
+  EXPECT_TRUE(c.has_record(*proc, make_text_record("NAME", "/bin/writer")));
+}
+
+TEST(ObserverTest, ExecutableIsProcessAncestor) {
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_exec(1, "/usr/bin/gcc"));
+  obs.apply(ev_write(1, "a.o", "obj"));
+  obs.apply(ev_close(1, "a.o"));
+  const FlushUnit* proc = c.find("proc/1/1", 1);
+  ASSERT_NE(proc, nullptr);
+  EXPECT_TRUE(c.has_record(*proc, make_xref_record("INPUT", {"/usr/bin/gcc", 1})));
+  // The executable itself flushed (it is an ancestor).
+  EXPECT_NE(c.find("/usr/bin/gcc", 1), nullptr);
+  EXPECT_LT(c.index_of("/usr/bin/gcc", 1), c.index_of("proc/1/1", 1));
+}
+
+TEST(ObserverTest, ReadCreatesProcessDependency) {
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_exec(1, "/bin/p"));
+  obs.apply(ev_write(1, "in", "data"));
+  obs.apply(ev_close(1, "in"));
+  obs.apply(ev_exec(2, "/bin/q"));
+  obs.apply(ev_read(2, "in"));
+  obs.apply(ev_write(2, "out", "derived"));
+  obs.apply(ev_close(2, "out"));
+  const FlushUnit* q = c.find("proc/2/1", 1);
+  ASSERT_NE(q, nullptr);
+  EXPECT_TRUE(c.has_record(*q, make_xref_record("INPUT", {"in", 1})));
+}
+
+TEST(ObserverTest, DuplicateReadsRecordedOnce) {
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_exec(1, "/bin/p"));
+  obs.apply(ev_write(1, "in", "x"));
+  obs.apply(ev_close(1, "in"));
+  obs.apply(ev_exec(2, "/bin/q"));
+  for (int i = 0; i < 5; ++i) obs.apply(ev_read(2, "in"));
+  obs.apply(ev_write(2, "out", "y"));
+  obs.apply(ev_close(2, "out"));
+  const FlushUnit* q = c.find("proc/2/1", 1);
+  ASSERT_NE(q, nullptr);
+  int input_count = 0;
+  for (const auto& r : q->records)
+    if (r == make_xref_record("INPUT", {"in", 1})) ++input_count;
+  EXPECT_EQ(input_count, 1);
+}
+
+TEST(ObserverTest, WriteAfterReadBumpsFileVersion) {
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_exec(1, "/bin/p"));
+  obs.apply(ev_write(1, "f", "v1"));
+  obs.apply(ev_read(2, "f"));         // someone reads the current version
+  obs.apply(ev_write(1, "f", "+v2")); // write-after-read: new version
+  obs.apply(ev_close(1, "f"));
+  const FlushUnit* v2 = c.find("f", 2);
+  ASSERT_NE(v2, nullptr);
+  EXPECT_TRUE(c.has_record(*v2, make_xref_record("PREV", {"f", 1})));
+  // Version 1 was flushed first (it is an ancestor via PREV) with its
+  // snapshot content.
+  const FlushUnit* v1 = c.find("f", 1);
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(*v1->data, "v1");
+  EXPECT_EQ(*v2->data, "v1+v2");
+  EXPECT_LT(c.index_of("f", 1), c.index_of("f", 2));
+}
+
+TEST(ObserverTest, WriteByDifferentProcessBumpsVersion) {
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_write(1, "f", "a"));
+  obs.apply(ev_write(2, "f", "b"));
+  obs.apply(ev_close(2, "f"));
+  EXPECT_NE(c.find("f", 2), nullptr);
+}
+
+TEST(ObserverTest, WriteAfterFlushBumpsVersion) {
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_write(1, "f", "a"));
+  obs.apply(ev_close(1, "f"));  // flush v1
+  obs.apply(ev_write(1, "f", "b"));
+  obs.apply(ev_close(1, "f"));  // must be v2, not a mutation of flushed v1
+  EXPECT_NE(c.find("f", 1), nullptr);
+  EXPECT_NE(c.find("f", 2), nullptr);
+}
+
+TEST(ObserverTest, SameProcessRepeatedWritesSameVersion) {
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_write(1, "f", "a"));
+  obs.apply(ev_write(1, "f", "b"));
+  obs.apply(ev_write(1, "f", "c"));
+  obs.apply(ev_close(1, "f"));
+  EXPECT_NE(c.find("f", 1), nullptr);
+  EXPECT_EQ(c.find("f", 2), nullptr);
+  EXPECT_EQ(*c.find("f", 1)->data, "abc");
+}
+
+TEST(ObserverTest, ReadAfterWriteBumpsProcessVersion) {
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_exec(1, "/bin/p"));
+  obs.apply(ev_write(1, "in0", "x"));
+  obs.apply(ev_close(1, "in0"));
+  obs.apply(ev_write(1, "out1", "y"));  // process wrote
+  obs.apply(ev_read(1, "in0"));         // read-after-write: proc version 2
+  obs.apply(ev_write(1, "out2", "z"));
+  obs.apply(ev_close(1, "out2"));
+  const FlushUnit* out2 = c.find("out2", 1);
+  ASSERT_NE(out2, nullptr);
+  EXPECT_TRUE(c.has_record(*out2, make_xref_record("INPUT", {"proc/1/1", 2})));
+  const FlushUnit* proc2 = c.find("proc/1/1", 2);
+  ASSERT_NE(proc2, nullptr);
+  EXPECT_TRUE(c.has_record(*proc2, make_xref_record("PREV", {"proc/1/1", 1})));
+  EXPECT_TRUE(c.has_record(*proc2, make_xref_record("INPUT", {"in0", 1})));
+}
+
+TEST(ObserverTest, CyclicWorkflowTerminatesViaVersioning) {
+  // P writes F, reads F back, writes F again: without versioning this is a
+  // cycle; with PASS versioning it is a chain F:1 -> P:2 -> F:2.
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_exec(1, "/bin/selfloop"));
+  obs.apply(ev_write(1, "f", "a"));
+  obs.apply(ev_read(1, "f"));
+  obs.apply(ev_write(1, "f", "b"));
+  obs.apply(ev_close(1, "f"));
+  ASSERT_NE(c.find("f", 2), nullptr);
+  const FlushUnit* f2 = c.find("f", 2);
+  EXPECT_TRUE(c.has_record(*f2, make_xref_record("INPUT", {"proc/1/1", 2})));
+  const FlushUnit* p2 = c.find("proc/1/1", 2);
+  ASSERT_NE(p2, nullptr);
+  EXPECT_TRUE(c.has_record(*p2, make_xref_record("INPUT", {"f", 1})));
+}
+
+TEST(ObserverTest, ForkLinksChildToParent) {
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_exec(1, "/bin/make"));
+  obs.apply(ev_fork(1, 2));
+  obs.apply(ev_write(2, "out", "x"));
+  obs.apply(ev_close(2, "out"));
+  const FlushUnit* child = c.find("proc/2/0", 1);
+  ASSERT_NE(child, nullptr);
+  EXPECT_TRUE(
+      c.has_record(*child, make_xref_record("FORKPARENT", {"proc/1/1", 1})));
+  // The parent flushed as an ancestor.
+  EXPECT_NE(c.find("proc/1/1", 1), nullptr);
+}
+
+TEST(ObserverTest, PipeConnectsProcesses) {
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_exec(1, "/bin/producer"));
+  obs.apply(ev_exec(2, "/bin/consumer"));
+  obs.apply(ev_pipe(1, 77));
+  obs.apply(ev_pipe_write(1, 77));
+  obs.apply(ev_pipe_read(2, 77));
+  obs.apply(ev_write(2, "out", "x"));
+  obs.apply(ev_close(2, "out"));
+  const FlushUnit* consumer = c.find("proc/2/1", 1);
+  ASSERT_NE(consumer, nullptr);
+  EXPECT_TRUE(c.has_record(*consumer, make_xref_record("INPUT", {"pipe/77", 1})));
+  const FlushUnit* pipe = c.find("pipe/77", 1);
+  ASSERT_NE(pipe, nullptr);
+  EXPECT_EQ(pipe->kind, PnodeKind::kPipe);
+  EXPECT_TRUE(c.has_record(*pipe, make_xref_record("INPUT", {"proc/1/1", 1})));
+}
+
+TEST(ObserverTest, EnvBecomesOneRecord) {
+  Collector c;
+  PassObserver obs(c.sink());
+  std::map<std::string, std::string> env = {{"A", "1"}, {"B", "2"}};
+  obs.apply(ev_exec(1, "/bin/p", {"p", "arg"}, env));
+  obs.apply(ev_write(1, "f", "x"));
+  obs.apply(ev_close(1, "f"));
+  const FlushUnit* proc = c.find("proc/1/1", 1);
+  ASSERT_NE(proc, nullptr);
+  EXPECT_TRUE(c.has_record(*proc, make_text_record("ENV", "A=1;B=2")));
+  EXPECT_TRUE(c.has_record(*proc, make_text_record("ARGV", "p arg")));
+}
+
+TEST(ObserverTest, ReexecCreatesNewProcessObject) {
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_exec(1, "/bin/first"));
+  obs.apply(ev_exec(1, "/bin/second"));
+  obs.apply(ev_write(1, "f", "x"));
+  obs.apply(ev_close(1, "f"));
+  const FlushUnit* second = c.find("proc/1/2", 1);
+  ASSERT_NE(second, nullptr);
+  EXPECT_TRUE(c.has_record(*second, make_text_record("NAME", "/bin/second")));
+  EXPECT_TRUE(c.has_record(*second, make_xref_record("PREV", {"proc/1/1", 1})));
+}
+
+TEST(ObserverTest, CloseWithoutDirtyDoesNotReflush) {
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_write(1, "f", "x"));
+  obs.apply(ev_close(1, "f"));
+  const std::size_t after_first = c.units.size();
+  obs.apply(ev_close(1, "f"));
+  obs.apply(ev_close(1, "f"));
+  EXPECT_EQ(c.units.size(), after_first);
+}
+
+TEST(ObserverTest, CloseOfReadOnlyFileDoesNotFlushReader) {
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_write(1, "f", "x"));
+  obs.apply(ev_close(1, "f"));
+  const std::size_t after_write = c.units.size();
+  obs.apply(ev_read(2, "f"));
+  obs.apply(ev_close(2, "f"));  // reader closes: file unchanged
+  EXPECT_EQ(c.units.size(), after_write);
+}
+
+TEST(ObserverTest, FinishFlushesDirtyFiles) {
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_write(1, "never-closed", "x"));
+  EXPECT_EQ(c.find("never-closed", 1), nullptr);
+  obs.finish();
+  EXPECT_NE(c.find("never-closed", 1), nullptr);
+}
+
+TEST(ObserverTest, TruncateClearsContentSameVersion) {
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_write(1, "f", "oldcontent"));
+  obs.apply(ev_truncate(1, "f"));
+  obs.apply(ev_write(1, "f", "new"));
+  obs.apply(ev_close(1, "f"));
+  const FlushUnit* v1 = c.find("f", 1);
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(*v1->data, "new");
+  EXPECT_EQ(c.find("f", 2), nullptr);  // same process, no reads: no bump
+}
+
+TEST(ObserverTest, TruncateAfterFlushBumpsVersion) {
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_write(1, "f", "v1data"));
+  obs.apply(ev_close(1, "f"));
+  obs.apply(ev_truncate(2, "f"));  // different process rewrites from scratch
+  obs.apply(ev_write(2, "f", "v2"));
+  obs.apply(ev_close(2, "f"));
+  ASSERT_NE(c.find("f", 2), nullptr);
+  EXPECT_EQ(*c.find("f", 2)->data, "v2");
+  EXPECT_EQ(*c.find("f", 1)->data, "v1data");
+}
+
+TEST(ObserverTest, TruncateRecordsWriterDependency) {
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_exec(1, "/bin/truncator"));
+  obs.apply(ev_truncate(1, "f"));
+  obs.apply(ev_close(1, "f"));
+  const FlushUnit* v1 = c.find("f", 1);
+  ASSERT_NE(v1, nullptr);
+  EXPECT_TRUE(c.has_record(*v1, make_xref_record("INPUT", {"proc/1/1", 1})));
+  EXPECT_TRUE(v1->data->empty());
+}
+
+TEST(ObserverTest, UnlinkForgetsObject) {
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_write(1, "f", "x"));
+  obs.apply(ev_unlink(1, "f"));
+  obs.finish();
+  EXPECT_EQ(c.find("f", 1), nullptr);
+}
+
+TEST(ObserverTest, StatsAccumulate) {
+  Collector c;
+  PassObserver obs(c.sink());
+  std::map<std::string, std::string> big_env;
+  big_env["HUGE"] = std::string(1500, 'e');  // one record > 1 KB
+  obs.apply(ev_exec(1, "/bin/p", {"p"}, big_env));
+  obs.apply(ev_write(1, "f", "12345"));
+  obs.apply(ev_close(1, "f"));
+  const ObserverStats& s = obs.stats();
+  EXPECT_EQ(s.events, 3u);
+  // /bin/p, the pre-exec process stub proc/1/0, proc/1/1, f.
+  EXPECT_EQ(s.flush_units, 4u);
+  EXPECT_EQ(s.file_units, 2u);   // /bin/p (the executable) and f
+  EXPECT_EQ(s.data_bytes_flushed, 5u);  // /bin/p has no cached content
+  EXPECT_EQ(s.large_records, 1u);
+  EXPECT_GT(s.provenance_bytes, 1500u);
+  EXPECT_GT(s.records_emitted, 4u);
+}
+
+TEST(ObserverTest, GroundTruthMatchesUnits) {
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_write(1, "f", "data"));
+  obs.apply(ev_close(1, "f"));
+  const auto& truth = obs.ground_truth();
+  auto it = truth.find({"f", 1});
+  ASSERT_NE(it, truth.end());
+  EXPECT_EQ(*it->second.data, "data");
+}
+
+TEST(ObserverTest, CausalOrderHoldsAcrossDeepChain) {
+  Collector c;
+  PassObserver obs(c.sink());
+  // Chain: a -> p1 -> b -> p2 -> c.
+  obs.apply(ev_exec(1, "/bin/p1"));
+  obs.apply(ev_write(1, "a", "1"));
+  obs.apply(ev_close(1, "a"));
+  obs.apply(ev_exec(2, "/bin/p2"));
+  obs.apply(ev_read(2, "a"));
+  obs.apply(ev_write(2, "b", "2"));
+  obs.apply(ev_close(2, "b"));
+  obs.apply(ev_exec(3, "/bin/p3"));
+  obs.apply(ev_read(3, "b"));
+  obs.apply(ev_write(3, "c", "3"));
+  obs.apply(ev_close(3, "c"));
+
+  // Every xref in every unit must point to an already-flushed unit.
+  std::set<std::pair<std::string, std::uint32_t>> flushed;
+  for (const FlushUnit& u : c.units) {
+    for (const auto& r : u.records) {
+      if (!r.is_xref()) continue;
+      EXPECT_TRUE(flushed.count({r.xref().object, r.xref().version}) > 0)
+          << u.object << ":" << u.version << " references "
+          << r.xref().to_string() << " before it was flushed";
+    }
+    flushed.insert({u.object, u.version});
+  }
+}
+
+}  // namespace

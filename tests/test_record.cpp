@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "pass/record.hpp"
+
+namespace {
+
+using namespace provcloud::pass;
+
+TEST(ObjectVersionTest, ToString) {
+  EXPECT_EQ((ObjectVersion{"foo", 2}).to_string(), "foo:2");
+  EXPECT_EQ((ObjectVersion{"dir/bar.c", 17}).to_string(), "dir/bar.c:17");
+}
+
+TEST(ObjectVersionTest, Ordering) {
+  EXPECT_LT((ObjectVersion{"a", 2}), (ObjectVersion{"b", 1}));
+  EXPECT_LT((ObjectVersion{"a", 1}), (ObjectVersion{"a", 2}));
+  EXPECT_EQ((ObjectVersion{"a", 1}), (ObjectVersion{"a", 1}));
+}
+
+TEST(RecordTest, TextRecord) {
+  const ProvenanceRecord r = make_text_record(attr::kType, "file");
+  EXPECT_FALSE(r.is_xref());
+  EXPECT_EQ(r.text(), "file");
+  EXPECT_EQ(r.value_string(), "file");
+  EXPECT_EQ(r.payload_size(), 4u + 4u);
+}
+
+TEST(RecordTest, XrefRecord) {
+  // The paper's example: version 2 of foo has (input, bar:2).
+  const ProvenanceRecord r =
+      make_xref_record(attr::kInput, ObjectVersion{"bar", 2});
+  EXPECT_TRUE(r.is_xref());
+  EXPECT_EQ(r.xref().object, "bar");
+  EXPECT_EQ(r.xref().version, 2u);
+  EXPECT_EQ(r.value_string(), "bar:2");
+  EXPECT_EQ(r.payload_size(), 5u + 5u);
+}
+
+TEST(RecordTest, Equality) {
+  EXPECT_EQ(make_text_record("A", "v"), make_text_record("A", "v"));
+  EXPECT_NE(make_text_record("A", "v"), make_text_record("A", "w"));
+  EXPECT_NE(make_text_record("A", "v"), make_text_record("B", "v"));
+  EXPECT_EQ(make_xref_record("I", {"x", 1}), make_xref_record("I", {"x", 1}));
+  EXPECT_NE(make_xref_record("I", {"x", 1}), make_xref_record("I", {"x", 2}));
+  // A text record "x:1" is not the same as an xref to x:1.
+  EXPECT_NE(make_text_record("I", "x:1"), make_xref_record("I", {"x", 1}));
+}
+
+TEST(RecordTest, PayloadSizeSum) {
+  std::vector<ProvenanceRecord> records = {
+      make_text_record("TYPE", "file"),          // 8
+      make_xref_record("INPUT", {"bar", 2}),     // 10
+  };
+  EXPECT_EQ(records_payload_size(records), 18u);
+}
+
+TEST(PnodeTest, KindNames) {
+  EXPECT_STREQ(to_string(PnodeKind::kFile), "file");
+  EXPECT_STREQ(to_string(PnodeKind::kProcess), "process");
+  EXPECT_STREQ(to_string(PnodeKind::kPipe), "pipe");
+}
+
+}  // namespace

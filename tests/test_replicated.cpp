@@ -1,0 +1,207 @@
+// The eventually-consistent replicated store: staleness inside the
+// propagation window, convergence after it, last-writer-wins, tombstones.
+#include <gtest/gtest.h>
+
+#include "aws/common/env.hpp"
+#include "aws/common/replicated.hpp"
+
+namespace {
+
+using provcloud::aws::CloudEnv;
+using provcloud::aws::ConsistencyConfig;
+using provcloud::aws::ReplicatedKV;
+namespace sim = provcloud::sim;
+
+ConsistencyConfig slow_config() {
+  ConsistencyConfig c;
+  c.replicas = 4;
+  c.propagation_min = sim::kSecond;
+  c.propagation_max = 5 * sim::kSecond;
+  return c;
+}
+
+TEST(ReplicatedTest, StrongConfigIsImmediatelyConsistent) {
+  CloudEnv env(1, ConsistencyConfig::strong());
+  ReplicatedKV<int> kv(env);
+  kv.put("k", 42);
+  for (int i = 0; i < 20; ++i) {
+    auto got = kv.get("k");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(**got, 42);
+  }
+}
+
+TEST(ReplicatedTest, CoordinatorSeesWriteImmediately) {
+  CloudEnv env(2, slow_config());
+  ReplicatedKV<int> kv(env);
+  kv.put("k", 7);
+  auto got = kv.get_coordinator("k");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(**got, 7);
+}
+
+TEST(ReplicatedTest, ReadsCanBeStaleInsideWindow) {
+  CloudEnv env(3, slow_config());
+  ReplicatedKV<int> kv(env);
+  kv.put("k", 1);
+  env.clock().drain();  // v1 everywhere
+  kv.put("k", 2);
+  // Immediately after the second put, some replicas still serve 1.
+  int stale = 0, fresh = 0, miss = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto got = kv.get("k");
+    if (!got)
+      ++miss;
+    else if (**got == 1)
+      ++stale;
+    else
+      ++fresh;
+  }
+  EXPECT_EQ(miss, 0);
+  EXPECT_GT(stale, 0) << "expected stale reads inside the window";
+  EXPECT_GT(fresh, 0) << "coordinator should serve fresh reads";
+}
+
+TEST(ReplicatedTest, FreshKeyCanBeInvisibleInsideWindow) {
+  CloudEnv env(4, slow_config());
+  ReplicatedKV<int> kv(env);
+  kv.put("new", 9);
+  int miss = 0;
+  for (int i = 0; i < 200; ++i)
+    if (!kv.get("new")) ++miss;
+  EXPECT_GT(miss, 0) << "GET right after PUT should sometimes miss";
+}
+
+TEST(ReplicatedTest, ConvergesAfterDrain) {
+  CloudEnv env(5, slow_config());
+  ReplicatedKV<int> kv(env);
+  kv.put("k", 1);
+  kv.put("k", 2);
+  kv.put("k", 3);
+  env.clock().drain();
+  for (int i = 0; i < 100; ++i) {
+    auto got = kv.get("k");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(**got, 3);
+  }
+}
+
+TEST(ReplicatedTest, LastWriterWinsAgainstLatePropagation) {
+  CloudEnv env(6, slow_config());
+  ReplicatedKV<int> kv(env);
+  kv.put("k", 1);  // propagation events scheduled, not yet delivered
+  env.clock().advance_by(10 * sim::kMillisecond);
+  kv.put("k", 2);  // newer write
+  env.clock().drain();  // old propagation must NOT clobber the new value
+  for (int i = 0; i < 100; ++i) {
+    auto got = kv.get("k");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(**got, 2);
+  }
+}
+
+TEST(ReplicatedTest, SameInstantWritesResolveBySequence) {
+  CloudEnv env(7, slow_config());
+  ReplicatedKV<int> kv(env);
+  kv.put("k", 1);
+  kv.put("k", 2);  // same simulated instant, later sequence
+  env.clock().drain();
+  auto got = kv.get("k");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(**got, 2);
+}
+
+TEST(ReplicatedTest, TombstoneShadowsLateOldWrite) {
+  CloudEnv env(8, slow_config());
+  ReplicatedKV<int> kv(env);
+  kv.put("k", 1);
+  env.clock().advance_by(10 * sim::kMillisecond);
+  kv.erase("k");  // tombstone newer than the pending v1 propagation
+  env.clock().drain();
+  EXPECT_FALSE(kv.get("k").has_value());
+  EXPECT_FALSE(kv.get_coordinator("k").has_value());
+}
+
+TEST(ReplicatedTest, EraseIsIdempotent) {
+  CloudEnv env(9, ConsistencyConfig::strong());
+  ReplicatedKV<int> kv(env);
+  kv.erase("never-existed");
+  kv.put("k", 1);
+  kv.erase("k");
+  kv.erase("k");
+  EXPECT_FALSE(kv.get("k").has_value());
+}
+
+TEST(ReplicatedTest, ListFiltersByPrefixAndTombstones) {
+  CloudEnv env(10, ConsistencyConfig::strong());
+  ReplicatedKV<int> kv(env);
+  kv.put("a/1", 1);
+  kv.put("a/2", 2);
+  kv.put("b/1", 3);
+  kv.erase("a/2");
+  EXPECT_EQ(kv.list("a/"), (std::vector<std::string>{"a/1"}));
+  EXPECT_EQ(kv.list(""), (std::vector<std::string>{"a/1", "b/1"}));
+}
+
+TEST(ReplicatedTest, SizeCoordinatorCountsLiveKeys) {
+  CloudEnv env(11, ConsistencyConfig::strong());
+  ReplicatedKV<int> kv(env);
+  kv.put("x", 1);
+  kv.put("y", 2);
+  kv.erase("x");
+  EXPECT_EQ(kv.size_coordinator(), 1u);
+}
+
+TEST(ReplicatedTest, ValuesAreSharedAcrossReplicas) {
+  CloudEnv env(12, slow_config());
+  ReplicatedKV<std::string> kv(env);
+  kv.put("k", std::string(1024, 'x'));
+  env.clock().drain();
+  auto a = kv.get_coordinator("k");
+  ASSERT_TRUE(a.has_value());
+  // All replicas must hand out the same shared allocation.
+  for (int i = 0; i < 20; ++i) {
+    auto b = kv.get("k");
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->get(), b->get());
+  }
+}
+
+// Convergence property over a parameter sweep of consistency configs.
+class ReplicatedConvergence
+    : public ::testing::TestWithParam<std::tuple<unsigned, sim::SimTime>> {};
+
+TEST_P(ReplicatedConvergence, AllWritesEventuallyVisibleEverywhere) {
+  const auto [replicas, window] = GetParam();
+  ConsistencyConfig c;
+  c.replicas = replicas;
+  c.propagation_min = window / 10 + 1;
+  c.propagation_max = window + 1;
+  CloudEnv env(13 + replicas, c);
+  ReplicatedKV<int> kv(env);
+  for (int i = 0; i < 30; ++i) {
+    kv.put("key" + std::to_string(i % 7), i);
+    env.clock().advance_by(window / 3);
+  }
+  env.clock().drain();
+  // After quiescence every replica must serve the last value written.
+  for (int r = 0; r < 50; ++r) {
+    for (int k = 0; k < 7; ++k) {
+      auto got = kv.get("key" + std::to_string(k));
+      ASSERT_TRUE(got.has_value());
+      // last write to key k is the largest i with i % 7 == k, i < 30.
+      int expected = k;
+      for (int i = 0; i < 30; ++i)
+        if (i % 7 == k) expected = i;
+      EXPECT_EQ(**got, expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReplicatedConvergence,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u, 8u),
+                       ::testing::Values(sim::kMillisecond, sim::kSecond,
+                                         10 * sim::kSecond)));
+
+}  // namespace

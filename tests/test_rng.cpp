@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using provcloud::util::Rng;
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBelowZeroBoundThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_below(0), provcloud::util::LogicError);
+}
+
+TEST(RngTest, NextInInclusiveRange) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextInDegenerate) {
+  Rng rng(9);
+  EXPECT_EQ(rng.next_in(42, 42), 42u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(12);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i)
+    if (rng.next_bool(0.25)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.03);
+}
+
+TEST(RngTest, LogUniformStaysInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_log_uniform(100, 100000);
+    EXPECT_GE(v, 100u);
+    EXPECT_LE(v, 100000u);
+  }
+}
+
+TEST(RngTest, LogUniformIsSkewedTowardSmall) {
+  Rng rng(14);
+  int small = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i)
+    if (rng.next_log_uniform(1, 1000000) < 1000) ++small;
+  // log-uniform: P(v < 10^3) over [1, 10^6] is ~1/2; plain uniform would
+  // put ~0.1% there.
+  EXPECT_GT(small, n / 3);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(15);
+  Rng child = parent.fork(1);
+  Rng parent2(15);
+  Rng child2 = parent2.fork(1);
+  // Same derivation -> same stream.
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(child.next_u64(), child2.next_u64());
+  // Different stream labels -> different streams.
+  Rng parent3(15);
+  Rng other = parent3.fork(2);
+  Rng child3 = Rng(15).fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (other.next_u64() == child3.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextHexFormat) {
+  Rng rng(16);
+  const std::string h = rng.next_hex(32);
+  EXPECT_EQ(h.size(), 32u);
+  for (char c : h)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+}
+
+TEST(RngTest, CoversValueSpace) {
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(64));
+  EXPECT_EQ(seen.size(), 64u);  // all residues reached
+}
+
+}  // namespace

@@ -1,0 +1,323 @@
+// SimpleDB simulator: data model, limits, idempotency, eventual
+// consistency (section 2.2 of the paper).
+#include <gtest/gtest.h>
+
+#include "aws/common/env.hpp"
+#include "aws/simpledb/simpledb.hpp"
+
+namespace {
+
+using namespace provcloud::aws;
+namespace sim = provcloud::sim;
+
+class SdbTest : public ::testing::Test {
+ protected:
+  SdbTest() : env_(1, ConsistencyConfig::strong()), sdb_(env_) {
+    EXPECT_TRUE(sdb_.create_domain("d").has_value());
+  }
+  CloudEnv env_;
+  SimpleDbService sdb_;
+};
+
+TEST_F(SdbTest, PutThenGetAttributes) {
+  ASSERT_TRUE(sdb_.put_attributes("d", "foo_2",
+                                  {{"input", "bar:2", false},
+                                   {"type", "file", false}})
+                  .has_value());
+  auto got = sdb_.get_attributes("d", "foo_2");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->at("input").count("bar:2"), 1u);
+  EXPECT_EQ(got->at("type").count("file"), 1u);
+}
+
+TEST_F(SdbTest, MultiValuedAttributes) {
+  // "an item can have two phone attributes with different values."
+  ASSERT_TRUE(sdb_.put_attributes("d", "item",
+                                  {{"phone", "111", false},
+                                   {"phone", "222", false}})
+                  .has_value());
+  auto got = sdb_.get_attributes("d", "item");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->at("phone").size(), 2u);
+}
+
+TEST_F(SdbTest, PutAttributesIsIdempotent) {
+  const std::vector<SdbReplaceableAttribute> attrs = {
+      {"input", "bar:2", false}, {"type", "file", false}};
+  ASSERT_TRUE(sdb_.put_attributes("d", "i", attrs).has_value());
+  ASSERT_TRUE(sdb_.put_attributes("d", "i", attrs).has_value());
+  ASSERT_TRUE(sdb_.put_attributes("d", "i", attrs).has_value());
+  auto got = sdb_.get_attributes("d", "i");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->at("input").size(), 1u);  // set semantics: no duplicates
+  EXPECT_EQ(got->at("type").size(), 1u);
+}
+
+TEST_F(SdbTest, ReplaceDiscardsOldValues) {
+  ASSERT_TRUE(sdb_.put_attributes("d", "i", {{"v", "old", false}}).has_value());
+  ASSERT_TRUE(sdb_.put_attributes("d", "i", {{"v", "new", true}}).has_value());
+  auto got = sdb_.get_attributes("d", "i");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->at("v").size(), 1u);
+  EXPECT_EQ(got->at("v").count("new"), 1u);
+}
+
+TEST_F(SdbTest, GetMissingItemIsEmptyNotError) {
+  auto got = sdb_.get_attributes("d", "nothing");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST_F(SdbTest, GetAttributesSubset) {
+  ASSERT_TRUE(sdb_.put_attributes("d", "i",
+                                  {{"a", "1", false}, {"b", "2", false}})
+                  .has_value());
+  auto got = sdb_.get_attributes("d", "i", {"a"});
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size(), 1u);
+  EXPECT_EQ(got->count("a"), 1u);
+}
+
+TEST_F(SdbTest, MissingDomainErrors) {
+  auto put = sdb_.put_attributes("nope", "i", {{"a", "1", false}});
+  ASSERT_FALSE(put.has_value());
+  EXPECT_EQ(put.error().code, AwsErrorCode::kNoSuchDomain);
+}
+
+TEST_F(SdbTest, CreateDomainIsIdempotent) {
+  ASSERT_TRUE(sdb_.create_domain("d").has_value());
+  ASSERT_TRUE(sdb_.put_attributes("d", "i", {{"a", "1", false}}).has_value());
+  ASSERT_TRUE(sdb_.create_domain("d").has_value());
+  // Existing data untouched.
+  EXPECT_FALSE(sdb_.get_attributes("d", "i")->empty());
+}
+
+TEST_F(SdbTest, ValueOverOneKbRejected) {
+  auto put =
+      sdb_.put_attributes("d", "i", {{"a", std::string(1025, 'x'), false}});
+  ASSERT_FALSE(put.has_value());
+  EXPECT_EQ(put.error().code, AwsErrorCode::kAttributeTooLarge);
+  // Exactly 1 KB passes.
+  EXPECT_TRUE(sdb_.put_attributes("d", "i", {{"a", std::string(1024, 'x'), false}})
+                  .has_value());
+}
+
+TEST_F(SdbTest, NameOverOneKbRejected) {
+  auto put =
+      sdb_.put_attributes("d", "i", {{std::string(1025, 'n'), "v", false}});
+  ASSERT_FALSE(put.has_value());
+  EXPECT_EQ(put.error().code, AwsErrorCode::kAttributeTooLarge);
+}
+
+TEST_F(SdbTest, MoreThanHundredAttributesPerCallRejected) {
+  std::vector<SdbReplaceableAttribute> attrs;
+  for (int i = 0; i < 101; ++i)
+    attrs.push_back({"a" + std::to_string(i), "v", false});
+  auto put = sdb_.put_attributes("d", "i", attrs);
+  ASSERT_FALSE(put.has_value());
+  EXPECT_EQ(put.error().code, AwsErrorCode::kTooManyAttributes);
+  attrs.resize(100);
+  EXPECT_TRUE(sdb_.put_attributes("d", "i", attrs).has_value());
+}
+
+TEST_F(SdbTest, ItemCapAt256Pairs) {
+  std::vector<SdbReplaceableAttribute> batch;
+  for (int i = 0; i < 100; ++i)
+    batch.push_back({"a" + std::to_string(i), "v", false});
+  ASSERT_TRUE(sdb_.put_attributes("d", "i", batch).has_value());
+  batch.clear();
+  for (int i = 100; i < 200; ++i)
+    batch.push_back({"a" + std::to_string(i), "v", false});
+  ASSERT_TRUE(sdb_.put_attributes("d", "i", batch).has_value());
+  batch.clear();
+  for (int i = 200; i < 257; ++i)
+    batch.push_back({"a" + std::to_string(i), "v", false});
+  auto put = sdb_.put_attributes("d", "i", batch);  // would reach 257
+  ASSERT_FALSE(put.has_value());
+  EXPECT_EQ(put.error().code, AwsErrorCode::kTooManyAttributes);
+}
+
+TEST_F(SdbTest, DeleteSpecificValue) {
+  ASSERT_TRUE(sdb_.put_attributes("d", "i",
+                                  {{"a", "1", false}, {"a", "2", false}})
+                  .has_value());
+  ASSERT_TRUE(sdb_.delete_attributes("d", "i", {{"a", "1"}}).has_value());
+  auto got = sdb_.get_attributes("d", "i");
+  EXPECT_EQ(got->at("a").count("1"), 0u);
+  EXPECT_EQ(got->at("a").count("2"), 1u);
+}
+
+TEST_F(SdbTest, DeleteWholeAttribute) {
+  ASSERT_TRUE(sdb_.put_attributes("d", "i",
+                                  {{"a", "1", false}, {"b", "2", false}})
+                  .has_value());
+  ASSERT_TRUE(sdb_.delete_attributes("d", "i", {{"a", ""}}).has_value());
+  auto got = sdb_.get_attributes("d", "i");
+  EXPECT_EQ(got->count("a"), 0u);
+  EXPECT_EQ(got->count("b"), 1u);
+}
+
+TEST_F(SdbTest, DeleteWholeItem) {
+  ASSERT_TRUE(sdb_.put_attributes("d", "i", {{"a", "1", false}}).has_value());
+  ASSERT_TRUE(sdb_.delete_attributes("d", "i").has_value());
+  EXPECT_TRUE(sdb_.get_attributes("d", "i")->empty());
+  EXPECT_EQ(sdb_.item_count("d"), 0u);
+}
+
+TEST_F(SdbTest, DeleteIsIdempotent) {
+  // "running DeleteAttributes multiple times on the same item or attributes
+  // will not generate an error."
+  ASSERT_TRUE(sdb_.delete_attributes("d", "never-existed").has_value());
+  ASSERT_TRUE(sdb_.put_attributes("d", "i", {{"a", "1", false}}).has_value());
+  ASSERT_TRUE(sdb_.delete_attributes("d", "i", {{"a", "1"}}).has_value());
+  ASSERT_TRUE(sdb_.delete_attributes("d", "i", {{"a", "1"}}).has_value());
+}
+
+TEST_F(SdbTest, QueryEmptyExpressionReturnsEverything) {
+  for (int i = 0; i < 5; ++i)
+    ASSERT_TRUE(sdb_.put_attributes("d", "item" + std::to_string(i),
+                                    {{"a", "1", false}})
+                    .has_value());
+  auto q = sdb_.query("d", "");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->item_names.size(), 5u);
+}
+
+TEST_F(SdbTest, QueryPagination) {
+  for (int i = 0; i < 30; ++i)
+    ASSERT_TRUE(sdb_.put_attributes("d", "item" + std::to_string(100 + i),
+                                    {{"a", "1", false}})
+                    .has_value());
+  auto page1 = sdb_.query("d", "['a' = '1']", 12);
+  ASSERT_TRUE(page1.has_value());
+  EXPECT_EQ(page1->item_names.size(), 12u);
+  ASSERT_TRUE(page1->next_token.has_value());
+  auto page2 = sdb_.query("d", "['a' = '1']", 12, *page1->next_token);
+  ASSERT_TRUE(page2.has_value());
+  EXPECT_EQ(page2->item_names.size(), 12u);
+  auto page3 = sdb_.query("d", "['a' = '1']", 12, *page2->next_token);
+  ASSERT_TRUE(page3.has_value());
+  EXPECT_EQ(page3->item_names.size(), 6u);
+  EXPECT_FALSE(page3->next_token.has_value());
+}
+
+TEST_F(SdbTest, QueryWithAttributesReturnsPairs) {
+  ASSERT_TRUE(sdb_.put_attributes("d", "i1",
+                                  {{"type", "file", false}, {"n", "1", false}})
+                  .has_value());
+  ASSERT_TRUE(sdb_.put_attributes("d", "i2", {{"type", "proc", false}})
+                  .has_value());
+  auto q = sdb_.query_with_attributes("d", "['type' = 'file']");
+  ASSERT_TRUE(q.has_value());
+  ASSERT_EQ(q->items.size(), 1u);
+  EXPECT_EQ(q->items[0].name, "i1");
+  EXPECT_EQ(q->items[0].attributes.at("n").count("1"), 1u);
+}
+
+TEST_F(SdbTest, QueryWithAttributesFilter) {
+  ASSERT_TRUE(sdb_.put_attributes("d", "i1",
+                                  {{"type", "file", false},
+                                   {"secret", "x", false}})
+                  .has_value());
+  auto q = sdb_.query_with_attributes("d", "['type' = 'file']", {"type"});
+  ASSERT_TRUE(q.has_value());
+  ASSERT_EQ(q->items.size(), 1u);
+  EXPECT_EQ(q->items[0].attributes.count("secret"), 0u);
+}
+
+TEST_F(SdbTest, InvalidExpressionErrors) {
+  auto q = sdb_.query("d", "[broken");
+  ASSERT_FALSE(q.has_value());
+  EXPECT_EQ(q.error().code, AwsErrorCode::kInvalidQueryExpression);
+}
+
+TEST_F(SdbTest, SelectCountAndRows) {
+  for (int i = 0; i < 4; ++i)
+    ASSERT_TRUE(sdb_.put_attributes("d", "row" + std::to_string(i),
+                                    {{"kind", i % 2 ? "odd" : "even", false}})
+                    .has_value());
+  auto count = sdb_.select("select count(*) from d where kind = 'even'");
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(count->count.value(), 2u);
+
+  auto rows = sdb_.select("select * from d where kind = 'odd'");
+  ASSERT_TRUE(rows.has_value());
+  EXPECT_EQ(rows->items.size(), 2u);
+}
+
+TEST_F(SdbTest, DeleteDomainRemovesData) {
+  ASSERT_TRUE(sdb_.put_attributes("d", "i", {{"a", "1", false}}).has_value());
+  ASSERT_TRUE(sdb_.delete_domain("d").has_value());
+  auto got = sdb_.get_attributes("d", "i");
+  ASSERT_FALSE(got.has_value());
+  EXPECT_EQ(got.error().code, AwsErrorCode::kNoSuchDomain);
+}
+
+TEST_F(SdbTest, StorageGauge) {
+  ASSERT_TRUE(sdb_.put_attributes("d", "ab", {{"cd", "efgh", false}})
+                  .has_value());
+  // item name (2) + attr name (2) + value (4).
+  EXPECT_EQ(sdb_.stored_bytes(), 8u);
+  EXPECT_EQ(env_.meter().snapshot().storage_bytes("sdb"), 8u);
+}
+
+TEST_F(SdbTest, BillingCountsOps) {
+  const auto before = env_.meter().snapshot();
+  ASSERT_TRUE(sdb_.put_attributes("d", "i", {{"aa", "bbb", false}}).has_value());
+  auto q = sdb_.query("d", "['aa' = 'bbb']");
+  ASSERT_TRUE(q.has_value());
+  const auto diff = env_.meter().snapshot().diff(before);
+  EXPECT_EQ(diff.calls("sdb", "PutAttributes"), 1u);
+  EXPECT_EQ(diff.bytes_in("sdb", "PutAttributes"), 5u);
+  EXPECT_EQ(diff.calls("sdb", "Query"), 1u);
+}
+
+// --- eventual consistency ---
+
+class SdbEventualTest : public ::testing::Test {
+ protected:
+  static ConsistencyConfig slow() {
+    ConsistencyConfig c;
+    c.replicas = 4;
+    c.propagation_min = sim::kSecond;
+    c.propagation_max = 5 * sim::kSecond;
+    return c;
+  }
+  SdbEventualTest() : env_(3, slow()), sdb_(env_) {
+    EXPECT_TRUE(sdb_.create_domain("d").has_value());
+  }
+  CloudEnv env_;
+  SimpleDbService sdb_;
+};
+
+TEST_F(SdbEventualTest, InsertMayBeInvisibleToImmediateQuery) {
+  // "An item inserted might not be returned in a query that is run
+  // immediately after the insert."
+  ASSERT_TRUE(sdb_.put_attributes("d", "i", {{"a", "1", false}}).has_value());
+  int missed = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto q = sdb_.query("d", "['a' = '1']");
+    ASSERT_TRUE(q.has_value());
+    if (q->item_names.empty()) ++missed;
+  }
+  EXPECT_GT(missed, 0);
+  env_.clock().drain();
+  auto q = sdb_.query("d", "['a' = '1']");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->item_names.size(), 1u);
+}
+
+TEST_F(SdbEventualTest, ConvergesAfterWindow) {
+  ASSERT_TRUE(sdb_.put_attributes("d", "i", {{"a", "old", true}}).has_value());
+  env_.clock().drain();
+  ASSERT_TRUE(sdb_.put_attributes("d", "i", {{"a", "new", true}}).has_value());
+  env_.clock().drain();
+  for (int i = 0; i < 50; ++i) {
+    auto got = sdb_.get_attributes("d", "i");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->at("a").count("new"), 1u);
+    EXPECT_EQ(got->at("a").count("old"), 0u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/string_utils.hpp"
+
+namespace {
+
+using namespace provcloud::util;
+
+TEST(SplitTest, Basics) {
+  EXPECT_EQ(split("a;b;c", ';'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ';'), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(";", ';'), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("a;;c", ';'), (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(JoinTest, InverseOfSplit) {
+  const std::vector<std::string> parts = {"x", "", "zz", "q"};
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(StartsEndsTest, Basics) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("ar", "bar"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(FormatBytesTest, UnitSelection) {
+  EXPECT_EQ(format_bytes(0), "0B");
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(1024), "1.0KB");
+  EXPECT_EQ(format_bytes(121u * 1024 * 1024 + 850u * 1024), "121.8MB");
+  EXPECT_EQ(format_bytes(1ull << 30), "1.0GB");
+}
+
+TEST(FormatCountTest, ThousandsSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(31180), "31,180");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+}
+
+TEST(FormatPercentTest, Basics) {
+  EXPECT_EQ(format_percent(0.093), "9.3%");
+  EXPECT_EQ(format_percent(0.322), "32.2%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(FieldEscapeTest, EscapesDelimiters) {
+  const std::string hostile = "a;b=c,d%e\nf";
+  const std::string escaped = field_escape(hostile);
+  EXPECT_EQ(escaped.find(';'), std::string::npos);
+  EXPECT_EQ(escaped.find('='), std::string::npos);
+  EXPECT_EQ(escaped.find(','), std::string::npos);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(field_unescape(escaped), hostile);
+}
+
+TEST(FieldEscapeTest, PlainStringsPassThrough) {
+  EXPECT_EQ(field_escape("plain_string-123/path"), "plain_string-123/path");
+}
+
+class FieldEscapeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(FieldEscapeRoundTrip, RandomBuffers) {
+  provcloud::util::Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    std::string buf;
+    const std::size_t len = rng.next_below(80);
+    for (std::size_t j = 0; j < len; ++j)
+      buf.push_back(static_cast<char>(rng.next_below(256)));
+    EXPECT_EQ(field_unescape(field_escape(buf)), buf);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FieldEscapeRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Parameterized sweeps of the PASS versioning rules: version counts under
+// read/write interleavings of varying width and depth.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "pass/observer.hpp"
+
+namespace {
+
+using namespace provcloud::pass;
+
+struct Collector {
+  std::map<std::pair<std::string, std::uint32_t>, FlushUnit> units;
+  FlushSink sink() {
+    return [this](const FlushUnit& u) { units[{u.object, u.version}] = u; };
+  }
+  std::uint32_t max_version(const std::string& object) const {
+    std::uint32_t v = 0;
+    for (const auto& [key, unit] : units)
+      if (key.first == object) v = std::max(v, key.second);
+    return v;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Sweep 1: N sequential writer processes each append + close one file.
+// Every writer after the first must create a new version (different-writer
+// rule), so max version == N and every version's content is the prefix.
+// ---------------------------------------------------------------------------
+
+class SequentialWriters : public ::testing::TestWithParam<int> {};
+
+TEST_P(SequentialWriters, OneVersionPerWriter) {
+  const int n = GetParam();
+  Collector c;
+  PassObserver obs(c.sink());
+  std::string expected;
+  for (int w = 1; w <= n; ++w) {
+    const std::string chunk(4, static_cast<char>('a' + w % 26));
+    expected += chunk;
+    obs.apply(ev_write(static_cast<Pid>(w), "shared", chunk));
+    obs.apply(ev_close(static_cast<Pid>(w), "shared"));
+  }
+  EXPECT_EQ(c.max_version("shared"), static_cast<std::uint32_t>(n));
+  // The final version holds the full accumulated content.
+  auto it = c.units.find({"shared", static_cast<std::uint32_t>(n)});
+  ASSERT_NE(it, c.units.end());
+  EXPECT_EQ(*it->second.data, expected);
+  // Each version v > 1 carries a PREV link to v-1.
+  for (std::uint32_t v = 2; v <= static_cast<std::uint32_t>(n); ++v) {
+    auto unit = c.units.find({"shared", v});
+    ASSERT_NE(unit, c.units.end());
+    bool prev = false;
+    for (const auto& r : unit->second.records)
+      prev = prev || r == make_xref_record("PREV", {"shared", v - 1});
+    EXPECT_TRUE(prev) << "version " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SequentialWriters,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+// ---------------------------------------------------------------------------
+// Sweep 2: a single process writing K times with no intervening reads or
+// closes never bumps the version.
+// ---------------------------------------------------------------------------
+
+class RepeatedWrites : public ::testing::TestWithParam<int> {};
+
+TEST_P(RepeatedWrites, SameProcessSameVersion) {
+  Collector c;
+  PassObserver obs(c.sink());
+  for (int i = 0; i < GetParam(); ++i)
+    obs.apply(ev_write(1, "f", "x"));
+  obs.apply(ev_close(1, "f"));
+  EXPECT_EQ(c.max_version("f"), 1u);
+  EXPECT_EQ(c.units.at({"f", 1}).data->size(),
+            static_cast<std::size_t>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, RepeatedWrites,
+                         ::testing::Values(1, 2, 10, 100));
+
+// ---------------------------------------------------------------------------
+// Sweep 3: write-read-write cycles by one process: each read-back forces a
+// process version bump and each write-after-read a file version bump, so D
+// cycles produce file version D+1 and process version D+1.
+// ---------------------------------------------------------------------------
+
+class SelfCycles : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelfCycles, VersionsGrowLinearlyWithCycles) {
+  const int depth = GetParam();
+  Collector c;
+  PassObserver obs(c.sink());
+  obs.apply(ev_exec(1, "/bin/loop"));
+  obs.apply(ev_write(1, "f", "0"));
+  for (int d = 0; d < depth; ++d) {
+    obs.apply(ev_read(1, "f"));
+    obs.apply(ev_write(1, "f", std::to_string(d + 1)));
+  }
+  obs.apply(ev_close(1, "f"));
+  EXPECT_EQ(c.max_version("f"), static_cast<std::uint32_t>(depth + 1));
+  EXPECT_EQ(c.max_version("proc/1/1"), static_cast<std::uint32_t>(depth + 1));
+  // Acyclicity: ancestors-first emission order was already checked by the
+  // sink-less fuzz tests; here verify the chain structure end to end.
+  auto top = c.units.find({"f", static_cast<std::uint32_t>(depth + 1)});
+  ASSERT_NE(top, c.units.end());
+  bool depends_on_latest_proc = false;
+  for (const auto& r : top->second.records)
+    depends_on_latest_proc =
+        depends_on_latest_proc ||
+        r == make_xref_record(
+                 "INPUT", {"proc/1/1", static_cast<std::uint32_t>(depth + 1)});
+  EXPECT_TRUE(depends_on_latest_proc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, SelfCycles, ::testing::Values(1, 2, 5, 12));
+
+// ---------------------------------------------------------------------------
+// Sweep 4: fan-in -- K producers write K inputs; one consumer reads all and
+// writes a result. The consumer's process must carry exactly K INPUT
+// records to the files (plus the executable).
+// ---------------------------------------------------------------------------
+
+class FanIn : public ::testing::TestWithParam<int> {};
+
+TEST_P(FanIn, ConsumerRecordsEveryInputOnce) {
+  const int k = GetParam();
+  Collector c;
+  PassObserver obs(c.sink());
+  for (int i = 0; i < k; ++i) {
+    obs.apply(ev_write(static_cast<Pid>(100 + i), "in" + std::to_string(i),
+                       "data"));
+    obs.apply(ev_close(static_cast<Pid>(100 + i), "in" + std::to_string(i)));
+  }
+  obs.apply(ev_exec(1, "/bin/merge"));
+  for (int i = 0; i < k; ++i) {
+    // Double reads must not duplicate records.
+    obs.apply(ev_read(1, "in" + std::to_string(i)));
+    obs.apply(ev_read(1, "in" + std::to_string(i)));
+  }
+  obs.apply(ev_write(1, "out", "merged"));
+  obs.apply(ev_close(1, "out"));
+
+  auto proc = c.units.find({"proc/1/1", 1});
+  ASSERT_NE(proc, c.units.end());
+  int file_inputs = 0;
+  for (const auto& r : proc->second.records)
+    if (r.is_xref() && r.attribute == "INPUT" &&
+        r.xref().object.rfind("in", 0) == 0)
+      ++file_inputs;
+  EXPECT_EQ(file_inputs, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FanIn, ::testing::Values(1, 4, 16, 64));
+
+}  // namespace

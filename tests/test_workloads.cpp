@@ -1,0 +1,179 @@
+// Workload generators: determinism, shape, scaling knobs, and the
+// statistics the paper's tables depend on (large records, overhead ratios).
+#include <gtest/gtest.h>
+
+#include "pass/observer.hpp"
+#include "workloads/blast.hpp"
+#include "workloads/combined.hpp"
+#include "workloads/compile.hpp"
+#include "workloads/datagen.hpp"
+#include "workloads/provchallenge.hpp"
+
+namespace {
+
+using namespace provcloud::workloads;
+using provcloud::pass::FlushUnit;
+using provcloud::pass::PassObserver;
+using provcloud::pass::SyscallTrace;
+
+WorkloadOptions tiny() {
+  WorkloadOptions o;
+  o.seed = 99;
+  o.count_scale = 0.1;
+  o.size_scale = 0.05;
+  return o;
+}
+
+provcloud::pass::ObserverStats run_pass(const SyscallTrace& trace) {
+  PassObserver obs([](const FlushUnit&) {});
+  obs.apply_trace(trace);
+  obs.finish();
+  return obs.stats();
+}
+
+TEST(WorkloadTest, GeneratorsAreDeterministic) {
+  const CompileWorkload w;
+  const SyscallTrace a = w.generate(tiny());
+  const SyscallTrace b = w.generate(tiny());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].type, b[i].type) << i;
+    EXPECT_EQ(a[i].path, b[i].path) << i;
+    EXPECT_EQ(a[i].data, b[i].data) << i;
+  }
+}
+
+TEST(WorkloadTest, SeedChangesContent) {
+  const BlastWorkload w;
+  WorkloadOptions o1 = tiny(), o2 = tiny();
+  o2.seed = 100;
+  const SyscallTrace a = w.generate(o1);
+  const SyscallTrace b = w.generate(o2);
+  bool different = a.size() != b.size();
+  for (std::size_t i = 0; !different && i < a.size(); ++i)
+    different = a[i].data != b[i].data;
+  EXPECT_TRUE(different);
+}
+
+TEST(WorkloadTest, CountScaleScalesEntities) {
+  const CompileWorkload w;
+  WorkloadOptions small = tiny();
+  WorkloadOptions large = tiny();
+  large.count_scale = 0.2;
+  const TraceStats s = compute_trace_stats(w.generate(small));
+  const TraceStats l = compute_trace_stats(w.generate(large));
+  EXPECT_GT(l.writes, s.writes);
+  EXPECT_GT(l.execs, s.execs);
+}
+
+TEST(WorkloadTest, SizeScaleScalesBytesNotCounts) {
+  const BlastWorkload w;
+  WorkloadOptions small = tiny();
+  WorkloadOptions large = tiny();
+  large.size_scale = 0.2;
+  const TraceStats s = compute_trace_stats(w.generate(small));
+  const TraceStats l = compute_trace_stats(w.generate(large));
+  EXPECT_EQ(l.writes, s.writes);
+  EXPECT_GT(l.bytes_written, 2 * s.bytes_written);
+}
+
+TEST(WorkloadTest, CompileShapeThroughPass) {
+  const provcloud::pass::ObserverStats s =
+      run_pass(CompileWorkload().generate(tiny()));
+  EXPECT_GT(s.flush_units, 50u);
+  EXPECT_GT(s.file_units, 30u);
+  EXPECT_GT(s.large_records, 5u);  // compiler env/argv records
+  EXPECT_GT(s.provenance_bytes, 10000u);
+}
+
+TEST(WorkloadTest, BlastOutputsPresent) {
+  const SyscallTrace t = BlastWorkload().generate(tiny());
+  bool saw_blastall = false, saw_hits = false, saw_summary = false;
+  for (const auto& e : t) {
+    if (e.type == provcloud::pass::SyscallEvent::Type::kExec &&
+        e.path == BlastWorkload::kBlastProgram)
+      saw_blastall = true;
+    if (e.path.find("hits") != std::string::npos) saw_hits = true;
+    if (e.path.find("summary") != std::string::npos) saw_summary = true;
+  }
+  EXPECT_TRUE(saw_blastall);
+  EXPECT_TRUE(saw_hits);
+  EXPECT_TRUE(saw_summary);
+}
+
+TEST(WorkloadTest, ProvenanceChallengeHasTheFiveStages) {
+  const SyscallTrace t = ProvenanceChallengeWorkload().generate(tiny());
+  std::set<std::string> programs;
+  for (const auto& e : t)
+    if (e.type == provcloud::pass::SyscallEvent::Type::kExec)
+      programs.insert(e.path);
+  EXPECT_EQ(programs.count("/usr/local/fsl/align_warp"), 1u);
+  EXPECT_EQ(programs.count("/usr/local/fsl/reslice"), 1u);
+  EXPECT_EQ(programs.count("/usr/local/fsl/softmean"), 1u);
+  EXPECT_EQ(programs.count("/usr/local/fsl/slicer"), 1u);
+  EXPECT_EQ(programs.count("/usr/bin/convert"), 1u);
+}
+
+TEST(WorkloadTest, ChallengeProducesAtlasAndGraphics) {
+  const provcloud::pass::ObserverStats ignored =
+      run_pass(ProvenanceChallengeWorkload().generate(tiny()));
+  (void)ignored;
+  const SyscallTrace t = ProvenanceChallengeWorkload().generate(tiny());
+  int gifs = 0;
+  for (const auto& e : t)
+    if (e.type == provcloud::pass::SyscallEvent::Type::kClose &&
+        e.path.find(".gif") != std::string::npos)
+      ++gifs;
+  EXPECT_EQ(gifs, 3);
+}
+
+TEST(WorkloadTest, CombinedConcatenatesAllThree) {
+  const WorkloadOptions o = tiny();
+  const SyscallTrace combined = build_combined_trace(o);
+  const std::size_t parts = CompileWorkload().generate(o).size() +
+                            BlastWorkload().generate(o).size() +
+                            ProvenanceChallengeWorkload().generate(o).size();
+  EXPECT_EQ(combined.size(), parts);
+}
+
+TEST(WorkloadTest, CombinedLandsInPaperRegime) {
+  // At tiny scale the *ratios* should already resemble the paper: overhead
+  // of provenance over raw data in the high single digits to low tens of
+  // percent, and a meaningful population of >1KB records.
+  WorkloadOptions o;
+  o.seed = 2009;
+  o.count_scale = 0.1;
+  o.size_scale = 0.1;
+  const provcloud::pass::ObserverStats s = run_pass(build_combined_trace(o));
+  ASSERT_GT(s.data_bytes_flushed, 0u);
+  const double overhead = static_cast<double>(s.provenance_bytes) /
+                          static_cast<double>(s.data_bytes_flushed);
+  EXPECT_GT(overhead, 0.01);
+  EXPECT_LT(overhead, 0.6);
+  EXPECT_GT(s.large_records, 20u);
+  EXPECT_GT(s.flush_units, 100u);
+}
+
+TEST(DatagenTest, ContentHasRequestedSize) {
+  provcloud::util::Rng rng(1);
+  EXPECT_EQ(synth_content(rng, 0).size(), 0u);
+  EXPECT_EQ(synth_content(rng, 1).size(), 1u);
+  EXPECT_EQ(synth_content(rng, 10000).size(), 10000u);
+  EXPECT_EQ(synth_source(rng, 777).size(), 777u);
+}
+
+TEST(DatagenTest, ContentVariesAcrossCalls) {
+  provcloud::util::Rng rng(1);
+  EXPECT_NE(synth_content(rng, 100), synth_content(rng, 100));
+}
+
+TEST(DatagenTest, EnvironmentHitsTargetSize) {
+  provcloud::util::Rng rng(5);
+  const auto env = synth_environment(rng, 1500);
+  std::size_t total = 0;
+  for (const auto& [k, v] : env) total += k.size() + v.size() + 2;
+  EXPECT_GE(total, 1400u);
+  EXPECT_LE(total, 1900u);
+}
+
+}  // namespace
