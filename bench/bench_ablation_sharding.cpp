@@ -1,0 +1,136 @@
+// Ablation: the batched + sharded SimpleDB write pipeline.
+//
+// The paper's Architectures 2/3 pay one PutAttributes round trip per
+// 100-attribute chunk and funnel every client through a single SimpleDB
+// domain. This ablation sweeps the two knobs the batched pipeline adds:
+//
+//   batch_size   1 -> 25   items per BatchPutAttributes in the WAL commit
+//                          daemon (25 is the SimpleDB cap);
+//   shard_count  1 -> 8    domains the ShardRouter hashes objects across.
+//
+// Reported per point: SimpleDB write round trips, total service calls, and
+// the per-shard peak item count (the contention proxy: SimpleDB throttles
+// per domain, so a lower peak means more client headroom). Query answers
+// are cross-checked against the unsharded layout at every point: sharding
+// must never change an answer.
+#include <cstdio>
+
+#include <set>
+
+#include "bench_common.hpp"
+#include "cloudprov/query.hpp"
+#include "cloudprov/sdb_backend.hpp"
+#include "cloudprov/shard_router.hpp"
+#include "workloads/blast.hpp"
+
+using namespace provcloud;
+using namespace provcloud::cloudprov;
+
+namespace {
+
+struct Point {
+  std::size_t batch = 0;
+  std::size_t shards = 0;
+  std::uint64_t write_rts = 0;
+  std::uint64_t total_calls = 0;
+  std::uint64_t peak_domain_items = 0;
+  std::set<std::string> q2;
+  std::set<std::string> q3;
+};
+
+Point run_point(const pass::SyscallTrace& trace, const std::string& program,
+                std::size_t batch, std::size_t shards) {
+  WalBackendConfig cfg;
+  cfg.batch_size = batch;
+  cfg.shard_count = shards;
+  bench::WorkloadRun run(
+      [&](CloudServices& s) { return make_wal_backend(s, cfg); });
+  run.run(trace);
+
+  Point p;
+  p.batch = batch;
+  p.shards = shards;
+  const auto snap = run.env.meter().snapshot();
+  p.write_rts = snap.calls("sdb", "PutAttributes") +
+                snap.calls("sdb", "BatchPutAttributes");
+  p.total_calls = snap.total_calls();
+  ShardRouter router(shards);
+  for (const std::string& domain : router.domains())
+    p.peak_domain_items =
+        std::max(p.peak_domain_items, run.services.sdb.item_count(domain));
+  auto engine = make_sdb_query_engine(run.services,
+                                      SdbQueryConfig{.shard_count = shards});
+  p.q2 = engine->q2_outputs_of(program);
+  p.q3 = engine->q3_descendants_of(program);
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  const workloads::WorkloadOptions options = bench::bench_workload_options();
+  bench::print_header("Ablation: batched + sharded storage (WAL architecture)");
+  std::printf("workload: combined dataset (count_scale %.2f, size_scale %.2f)\n",
+              options.count_scale, options.size_scale);
+
+  const pass::SyscallTrace trace = workloads::build_combined_trace(options);
+  const std::string program = workloads::BlastWorkload::kBlastProgram;
+
+  std::vector<Point> points;
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{25}})
+    for (const std::size_t shards :
+         {std::size_t{1}, std::size_t{4}, std::size_t{8}})
+      points.push_back(run_point(trace, program, batch, shards));
+
+  std::printf("\n%6s %7s %15s %12s %18s\n", "batch", "shards", "sdb write RTs",
+              "total calls", "peak domain items");
+  bench::print_rule();
+  for (const Point& p : points)
+    std::printf("%6zu %7zu %15s %12s %18s\n", p.batch, p.shards,
+                bench::fmt_count(p.write_rts).c_str(),
+                bench::fmt_count(p.total_calls).c_str(),
+                bench::fmt_count(p.peak_domain_items).c_str());
+
+  const auto find_point = [&](std::size_t batch, std::size_t shards) -> const Point& {
+    for (const Point& p : points)
+      if (p.batch == batch && p.shards == shards) return p;
+    std::fprintf(stderr, "sweep point (%zu, %zu) missing\n", batch, shards);
+    std::abort();
+  };
+  const Point& base = find_point(1, 1);   // the paper's layout
+  const Point& fast = find_point(25, 1);
+  const double speedup =
+      fast.write_rts > 0 ? static_cast<double>(base.write_rts) /
+                               static_cast<double>(fast.write_rts)
+                         : 0.0;
+  std::printf("\nbatch 25 vs 1 (single domain): %.1fx fewer write RTs\n",
+              speedup);
+
+  bool ok = true;
+  for (const Point& p : points) {
+    ok = ok && p.q2 == base.q2;  // answers never depend on the knobs
+    ok = ok && p.q3 == base.q3;
+  }
+  ok = ok && speedup >= 5.0;
+  // More shards -> lower per-domain peak (contention headroom).
+  ok = ok && find_point(25, 8).peak_domain_items < base.peak_domain_items;
+  std::printf("\nshape check (identical answers at every point; batch >= 5x; "
+              "sharding lowers per-domain peak): %s\n",
+              ok ? "PASS" : "FAIL");
+
+  if (const char* path = bench::json_output_path()) {
+    bench::JsonObject j;
+    j.add("bench", std::string("ablation_sharding"));
+    j.add("count_scale", options.count_scale);
+    for (const Point& p : points) {
+      const std::string key =
+          "b" + std::to_string(p.batch) + "_s" + std::to_string(p.shards);
+      j.add(key + "_write_rts", p.write_rts);
+      j.add(key + "_peak_domain_items", p.peak_domain_items);
+    }
+    j.add("batch_speedup", speedup);
+    j.add("shape_check", std::string(ok ? "PASS" : "FAIL"));
+    if (j.write(path)) std::printf("json written: %s\n", path);
+  }
+  return ok ? 0 : 1;
+}

@@ -3,8 +3,10 @@
 // print aligned tables.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,12 +39,25 @@ inline workloads::WorkloadOptions bench_workload_options() {
 }
 
 struct WorkloadRun {
+  using BackendFactory = std::function<std::unique_ptr<cloudprov::ProvenanceBackend>(
+      cloudprov::CloudServices&)>;
+
   explicit WorkloadRun(cloudprov::Architecture arch,
                        aws::ConsistencyConfig consistency =
                            aws::ConsistencyConfig::strong(),
                        std::uint64_t seed = 2009)
       : env(seed, consistency), services(env) {
     backend = cloudprov::make_backend(arch, services);
+  }
+
+  /// Config-sweep variant: the factory builds the backend against the run's
+  /// services (e.g. a sharded/batched SdbBackendConfig).
+  explicit WorkloadRun(const BackendFactory& factory,
+                       aws::ConsistencyConfig consistency =
+                           aws::ConsistencyConfig::strong(),
+                       std::uint64_t seed = 2009)
+      : env(seed, consistency), services(env) {
+    backend = factory(services);
   }
 
   /// Feed a trace through PASS into the backend and settle.
@@ -79,5 +94,54 @@ inline void print_header(const std::string& title) {
 
 inline std::string fmt_bytes(std::uint64_t b) { return util::format_bytes(b); }
 inline std::string fmt_count(std::uint64_t n) { return util::format_count(n); }
+
+// --- machine-readable output (CI perf trajectory) ---
+
+/// Flat JSON object writer: benches dump their headline numbers when
+/// PROVCLOUD_BENCH_JSON names an output file, and CI archives it.
+class JsonObject {
+ public:
+  void add(const std::string& key, const std::string& value) {
+    fields_.push_back("\"" + escape(key) + "\": \"" + escape(value) + "\"");
+  }
+  void add(const std::string& key, std::uint64_t value) {
+    fields_.push_back("\"" + key + "\": " + std::to_string(value));
+  }
+  void add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    fields_.push_back("\"" + key + "\": " + buf);
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fputs("{\n", f);
+    for (std::size_t i = 0; i < fields_.size(); ++i)
+      std::fprintf(f, "  %s%s\n", fields_[i].c_str(),
+                   i + 1 < fields_.size() ? "," : "");
+    std::fputs("}\n", f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<std::string> fields_;
+};
+
+/// Path from PROVCLOUD_BENCH_JSON, or null when no JSON dump is wanted.
+inline const char* json_output_path() {
+  return std::getenv("PROVCLOUD_BENCH_JSON");
+}
 
 }  // namespace provcloud::bench

@@ -22,6 +22,8 @@ enum class AwsErrorCode {
   kMetadataTooLarge,     // S3 user metadata > 2 KB
   kAttributeTooLarge,    // SimpleDB name/value > 1 KB
   kTooManyAttributes,    // SimpleDB > 256 per item or > 100 per call
+  kTooManySubmittedItems,  // SimpleDB BatchPutAttributes > 25 items
+  kDuplicateItemName,      // SimpleDB BatchPutAttributes repeated item
   kInvalidQueryExpression,
   kInvalidReceiptHandle,
   kInvalidArgument,
@@ -54,6 +56,8 @@ inline const char* to_string(AwsErrorCode code) {
     case AwsErrorCode::kMetadataTooLarge: return "MetadataTooLarge";
     case AwsErrorCode::kAttributeTooLarge: return "AttributeTooLarge";
     case AwsErrorCode::kTooManyAttributes: return "TooManyAttributes";
+    case AwsErrorCode::kTooManySubmittedItems: return "NumberSubmittedItemsExceeded";
+    case AwsErrorCode::kDuplicateItemName: return "DuplicateItemName";
     case AwsErrorCode::kInvalidQueryExpression: return "InvalidQueryExpression";
     case AwsErrorCode::kInvalidReceiptHandle: return "InvalidReceiptHandle";
     case AwsErrorCode::kInvalidArgument: return "InvalidArgument";

@@ -177,17 +177,15 @@ std::vector<std::string> SimpleDbService::list_domains() {
   return out;
 }
 
-AwsResult<void> SimpleDbService::put_attributes(
-    const std::string& domain, const std::string& item,
-    const std::vector<SdbReplaceableAttribute>& attrs) {
-  env_->charge(kService, "PutAttributes", attrs_bytes(attrs), 0);
-  Domain* d = find_domain(domain);
-  if (d == nullptr) return aws_error(AwsErrorCode::kNoSuchDomain, domain);
+AwsResult<void> SimpleDbService::validate_put(
+    const Domain& d, const std::string& item,
+    const std::vector<SdbReplaceableAttribute>& attrs, std::size_t max_attrs) {
   if (attrs.empty())
     return aws_error(AwsErrorCode::kInvalidArgument, "no attributes");
-  if (attrs.size() > kSdbMaxAttrsPerCall)
+  if (attrs.size() > max_attrs)
     return aws_error(AwsErrorCode::kTooManyAttributes,
-                     "more than 100 attributes in one PutAttributes");
+                     "more than " + std::to_string(max_attrs) +
+                         " attributes for item: " + item);
   if (item.size() > kSdbMaxNameValueBytes)
     return aws_error(AwsErrorCode::kAttributeTooLarge, "item name over 1KB");
   for (const auto& a : attrs) {
@@ -197,19 +195,64 @@ AwsResult<void> SimpleDbService::put_attributes(
                        "attribute name/value over 1KB: " + a.name);
   }
   // Enforce the 256-pair item limit against the freshest (coordinator) view.
-  {
-    SdbDomainData preview = {};
-    auto it = d->replicas[0].items.find(item);
-    SdbItem merged = it == d->replicas[0].items.end() ? SdbItem{} : it->second;
-    preview.items[item] = std::move(merged);
-    preview.apply_put(item, attrs);
-    if (sdb_pair_count(preview.items[item]) > kSdbMaxPairsPerItem)
-      return aws_error(AwsErrorCode::kTooManyAttributes,
-                       "item would exceed 256 attribute pairs: " + item);
-  }
+  SdbDomainData preview = {};
+  auto it = d.replicas[0].items.find(item);
+  SdbItem merged = it == d.replicas[0].items.end() ? SdbItem{} : it->second;
+  preview.items[item] = std::move(merged);
+  preview.apply_put(item, attrs);
+  if (sdb_pair_count(preview.items[item]) > kSdbMaxPairsPerItem)
+    return aws_error(AwsErrorCode::kTooManyAttributes,
+                     "item would exceed 256 attribute pairs: " + item);
+  return {};
+}
+
+AwsResult<void> SimpleDbService::put_attributes(
+    const std::string& domain, const std::string& item,
+    const std::vector<SdbReplaceableAttribute>& attrs) {
+  env_->charge(kService, "PutAttributes", attrs_bytes(attrs), 0);
+  Domain* d = find_domain(domain);
+  if (d == nullptr) return aws_error(AwsErrorCode::kNoSuchDomain, domain);
+  auto valid = validate_put(*d, item, attrs, kSdbMaxAttrsPerCall);
+  if (!valid) return valid;
   replicate(*d, item,
             [item, attrs](SdbDomainData& r) { r.apply_put(item, attrs); });
   return {};
+}
+
+AwsResult<SimpleDbService::BatchPutResult>
+SimpleDbService::batch_put_attributes(const std::string& domain,
+                                      const std::vector<SdbBatchEntry>& entries) {
+  // Billed like PutAttributes (attribute payload only) so batched and
+  // legacy writes of the same record meter identical bytes.
+  std::uint64_t bytes = 0;
+  for (const auto& e : entries) bytes += attrs_bytes(e.attrs);
+  env_->charge(kService, "BatchPutAttributes", bytes, 0);
+  Domain* d = find_domain(domain);
+  if (d == nullptr) return aws_error(AwsErrorCode::kNoSuchDomain, domain);
+  if (entries.empty())
+    return aws_error(AwsErrorCode::kInvalidArgument, "empty batch");
+  if (entries.size() > kSdbMaxItemsPerBatch)
+    return aws_error(AwsErrorCode::kTooManySubmittedItems,
+                     "more than 25 items in one BatchPutAttributes");
+  {
+    std::set<std::string> seen;
+    for (const auto& e : entries)
+      if (!seen.insert(e.item).second)
+        return aws_error(AwsErrorCode::kDuplicateItemName, e.item);
+  }
+  BatchPutResult result;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const SdbBatchEntry& e = entries[i];
+    auto valid = validate_put(*d, e.item, e.attrs, kSdbMaxPairsPerItem);
+    if (!valid) {
+      result.failed.push_back(BatchItemError{i, valid.error()});
+      continue;
+    }
+    replicate(*d, e.item, [item = e.item, attrs = e.attrs](SdbDomainData& r) {
+      r.apply_put(item, attrs);
+    });
+  }
+  return result;
 }
 
 AwsResult<void> SimpleDbService::delete_attributes(

@@ -42,6 +42,25 @@ class SimpleDbService {
                                  const std::string& item,
                                  const std::vector<SdbReplaceableAttribute>& attrs);
 
+  /// Per-item failure from BatchPutAttributes: `index` of the submitted
+  /// entry plus the error the entry would have produced standalone.
+  struct BatchItemError {
+    std::size_t index = 0;
+    AwsError error;
+  };
+  struct BatchPutResult {
+    std::vector<BatchItemError> failed;
+    bool ok() const { return failed.empty(); }
+  };
+  /// Insert or modify up to 25 items in one round trip (one billed call).
+  /// Whole-call problems -- missing domain, empty batch, more than 25
+  /// entries, duplicate item names -- fail the call and nothing is applied.
+  /// Per-item validation failures (oversized names/values, the 256-pair
+  /// limit) skip only that entry; the rest apply, and every skipped entry is
+  /// reported so the caller can retry or split it.
+  AwsResult<BatchPutResult> batch_put_attributes(
+      const std::string& domain, const std::vector<SdbBatchEntry>& entries);
+
   /// Delete specific attribute pairs, all values of named attributes
   /// (empty value), or the whole item (empty list). Idempotent.
   AwsResult<void> delete_attributes(const std::string& domain,
@@ -110,6 +129,12 @@ class SimpleDbService {
 
   Domain* find_domain(const std::string& name);
   const Domain* find_domain(const std::string& name) const;
+  /// Shared PutAttributes / BatchPutAttributes validation of one item's
+  /// attributes: `max_attrs` per call (100 single, 256 batched), 1 KB
+  /// name/value limits and the 256-pair item limit against the coordinator.
+  static AwsResult<void> validate_put(
+      const Domain& d, const std::string& item,
+      const std::vector<SdbReplaceableAttribute>& attrs, std::size_t max_attrs);
   SdbDomainData& pick_replica(Domain& d);
   /// Apply a write op to the coordinator now and to the other replicas
   /// after propagation delays (FIFO per replica). `item` is the touched

@@ -27,6 +27,7 @@ namespace provcloud::aws {
 inline constexpr std::size_t kSdbMaxNameValueBytes = util::kKiB;
 inline constexpr std::size_t kSdbMaxPairsPerItem = 256;
 inline constexpr std::size_t kSdbMaxAttrsPerCall = 100;
+inline constexpr std::size_t kSdbMaxItemsPerBatch = 25;
 inline constexpr std::size_t kSdbMaxQueryResults = 250;
 inline constexpr std::size_t kSdbDefaultQueryResults = 100;
 
@@ -44,6 +45,15 @@ struct SdbReplaceableAttribute {
   std::string name;
   std::string value;
   bool replace = false;
+};
+
+/// One item's puts inside a BatchPutAttributes call. Unlike PutAttributes'
+/// 100-attribute-per-call ceiling, a batch entry may carry attributes up to
+/// the full 256-pair item limit, so a record that used to take several
+/// PutAttributes round trips fits one batch entry.
+struct SdbBatchEntry {
+  std::string item;
+  std::vector<SdbReplaceableAttribute> attrs;
 };
 
 /// An item's attributes: name -> set of values.

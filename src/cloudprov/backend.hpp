@@ -123,7 +123,10 @@ inline const char* to_string(Architecture arch) {
 
 /// Factories (defined with each backend).
 std::unique_ptr<ProvenanceBackend> make_s3_backend(CloudServices& services);
+struct SdbBackendConfig;
 std::unique_ptr<ProvenanceBackend> make_sdb_backend(CloudServices& services);
+std::unique_ptr<ProvenanceBackend> make_sdb_backend(
+    CloudServices& services, const SdbBackendConfig& config);
 struct WalBackendConfig;
 std::unique_ptr<ProvenanceBackend> make_wal_backend(CloudServices& services);
 std::unique_ptr<ProvenanceBackend> make_wal_backend(

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "cloudprov/backend.hpp"
+#include "cloudprov/shard_router.hpp"
 
 namespace provcloud::cloudprov {
 
@@ -24,18 +25,21 @@ inline constexpr const char* kMd5Attribute = "MD5";
 /// Nonce of a version ("the nonce is typically the file version").
 std::string nonce_for_version(std::uint32_t version);
 
-/// The read path: GET data, look up the provenance item named by the nonce,
-/// verify MD5(data || nonce); on any mismatch or miss, retry the whole
-/// round. After max_retries the best-effort pair is returned with
-/// verified=false.
+/// The read path: GET data, look up the provenance item named by the nonce
+/// in the object's shard domain, verify MD5(data || nonce); on any mismatch
+/// or miss, retry the whole round. After max_retries the best-effort pair is
+/// returned with verified=false.
 BackendResult<ReadResult> consistency_checked_read(CloudServices& services,
+                                                   const ShardRouter& router,
                                                    const std::string& object,
                                                    std::uint32_t max_retries);
 
-/// Fetch provenance records of (object, version) from SimpleDB, retrying
-/// empty reads (propagation races) and resolving S3 spill pointers.
+/// Fetch provenance records of (object, version) from the object's shard
+/// domain, retrying empty reads (propagation races) and resolving S3 spill
+/// pointers.
 BackendResult<std::vector<pass::ProvenanceRecord>> fetch_sdb_provenance(
-    CloudServices& services, const std::string& object, std::uint32_t version,
+    CloudServices& services, const ShardRouter& router,
+    const std::string& object, std::uint32_t version,
     std::uint32_t max_retries);
 
 }  // namespace provcloud::cloudprov

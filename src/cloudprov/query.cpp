@@ -5,6 +5,7 @@
 
 #include "cloudprov/consistency_read.hpp"
 #include "cloudprov/serialize.hpp"
+#include "cloudprov/shard_router.hpp"
 #include "util/require.hpp"
 #include "util/string_utils.hpp"
 
@@ -135,28 +136,33 @@ class S3QueryEngine final : public QueryEngine {
 class SdbQueryEngine final : public QueryEngine {
  public:
   SdbQueryEngine(CloudServices& services, SdbQueryConfig config)
-      : services_(&services), config_(config) {}
-  std::string name() const override { return "SimpleDB"; }
+      : services_(&services), config_(config), router_(config.shard_count) {}
+  std::string name() const override {
+    if (router_.shard_count() == 1) return "SimpleDB";
+    return "SimpleDB[x" + std::to_string(router_.shard_count()) + "]";
+  }
 
   Q1Result q1_all_provenance() override {
     // "There is no way for SimpleDB to generalize the query and [it] needs
     // to issue one query per item": enumerate items, then GetAttributes
-    // each.
+    // each -- per shard domain; the union covers every item exactly once.
     Q1Result out;
-    std::string token;
-    for (;;) {
-      auto page = services_->sdb.query(kProvenanceDomain, "",
-                                       aws::kSdbMaxQueryResults, token);
-      if (!page) break;
-      for (const std::string& item : page->item_names) {
-        auto attrs = services_->sdb.get_attributes(kProvenanceDomain, item);
-        if (!attrs) continue;
-        ++out.object_versions;
-        for (const auto& [name, values] : *attrs)
-          out.records += values.size();
+    for (const std::string& domain : router_.domains()) {
+      std::string token;
+      for (;;) {
+        auto page =
+            services_->sdb.query(domain, "", aws::kSdbMaxQueryResults, token);
+        if (!page) break;
+        for (const std::string& item : page->item_names) {
+          auto attrs = services_->sdb.get_attributes(domain, item);
+          if (!attrs) continue;
+          ++out.object_versions;
+          for (const auto& [name, values] : *attrs)
+            out.records += values.size();
+        }
+        if (!page->next_token) break;
+        token = *page->next_token;
       }
-      if (!page->next_token) break;
-      token = *page->next_token;
     }
     return out;
   }
@@ -205,24 +211,29 @@ class SdbQueryEngine final : public QueryEngine {
   }
 
   /// Phase 1 of Q2/Q3: item names of process versions whose NAME matches.
+  /// Scatter the indexed query to every shard domain, gather the union.
   std::set<std::string> producer_versions(const std::string& program) {
     std::set<std::string> out;
     const std::string expr = "['NAME' = '" + program + "']";
-    std::string token;
-    for (;;) {
-      auto page = services_->sdb.query_with_attributes(
-          kProvenanceDomain, expr, {"x-kind"}, aws::kSdbMaxQueryResults, token);
-      if (!page) break;
-      for (const auto& item : page->items)
-        if (kind_of(item.attributes) == "process") out.insert(item.name);
-      if (!page->next_token) break;
-      token = *page->next_token;
+    for (const std::string& domain : router_.domains()) {
+      std::string token;
+      for (;;) {
+        auto page = services_->sdb.query_with_attributes(
+            domain, expr, {"x-kind"}, aws::kSdbMaxQueryResults, token);
+        if (!page) break;
+        for (const auto& item : page->items)
+          if (kind_of(item.attributes) == "process") out.insert(item.name);
+        if (!page->next_token) break;
+        token = *page->next_token;
+      }
     }
     return out;
   }
 
   /// Items whose INPUT attribute points at any member of `ancestors`
-  /// (item-name strings "object:version"). Chunked into OR-predicates.
+  /// (item-name strings "object:version"). Chunked into OR-predicates; a
+  /// descendant can live in any shard, so each chunk scatters to every
+  /// domain and the pages are gathered.
   std::vector<std::pair<std::string, aws::SdbItem>> items_with_input_in(
       const std::set<std::string>& ancestors) {
     std::vector<std::pair<std::string, aws::SdbItem>> out;
@@ -237,16 +248,17 @@ class SdbQueryEngine final : public QueryEngine {
         expr += "'INPUT' = '" + list[i] + "'";
       }
       expr += "]";
-      std::string token;
-      for (;;) {
-        auto page = services_->sdb.query_with_attributes(
-            kProvenanceDomain, expr, {"x-kind"}, aws::kSdbMaxQueryResults,
-            token);
-        if (!page) break;
-        for (auto& item : page->items)
-          out.emplace_back(item.name, std::move(item.attributes));
-        if (!page->next_token) break;
-        token = *page->next_token;
+      for (const std::string& domain : router_.domains()) {
+        std::string token;
+        for (;;) {
+          auto page = services_->sdb.query_with_attributes(
+              domain, expr, {"x-kind"}, aws::kSdbMaxQueryResults, token);
+          if (!page) break;
+          for (auto& item : page->items)
+            out.emplace_back(item.name, std::move(item.attributes));
+          if (!page->next_token) break;
+          token = *page->next_token;
+        }
       }
     }
     return out;
@@ -254,6 +266,7 @@ class SdbQueryEngine final : public QueryEngine {
 
   CloudServices* services_;
   SdbQueryConfig config_;
+  ShardRouter router_;
 };
 
 }  // namespace
@@ -268,6 +281,13 @@ std::unique_ptr<QueryEngine> make_sdb_query_engine(CloudServices& services) {
 
 std::unique_ptr<QueryEngine> make_sdb_query_engine(
     CloudServices& services, const SdbQueryConfig& config) {
+  return std::make_unique<SdbQueryEngine>(services, config);
+}
+
+std::unique_ptr<QueryEngine> make_sdb_query_engine(CloudServices& services,
+                                                   const ShardRouter& router) {
+  SdbQueryConfig config;
+  config.shard_count = router.shard_count();
   return std::make_unique<SdbQueryEngine>(services, config);
 }
 

@@ -52,13 +52,23 @@ std::unique_ptr<QueryEngine> make_s3_query_engine(CloudServices& services);
 
 /// Arch-2/3 engine: indexed SimpleDB queries ("The query results are the
 /// same for the last two architectures (as they both query SimpleDB)").
+/// With shard_count > 1 every query scatters across the shard domains and
+/// the per-domain answers are gathered: since items are partitioned by
+/// object hash, the merged result is identical at any shard count.
 struct SdbQueryConfig {
   /// OR-terms per predicate when chunking large ancestor sets into
   /// ['INPUT' = 'a' or 'INPUT' = 'b' ...] expressions.
   std::size_t or_terms_per_query = 20;
+  /// Must match the shard_count the storing backend used.
+  std::size_t shard_count = 1;
 };
+class ShardRouter;
 std::unique_ptr<QueryEngine> make_sdb_query_engine(CloudServices& services);
 std::unique_ptr<QueryEngine> make_sdb_query_engine(CloudServices& services,
                                                    const SdbQueryConfig& config);
+/// Build the engine from the storing backend's router (SdbBackend::router(),
+/// WalBackend::router()), so the shard layout cannot drift out of sync.
+std::unique_ptr<QueryEngine> make_sdb_query_engine(CloudServices& services,
+                                                   const ShardRouter& router);
 
 }  // namespace provcloud::cloudprov

@@ -22,12 +22,14 @@ std::string nonce_for_version(std::uint32_t version) {
 }
 
 BackendResult<std::vector<pass::ProvenanceRecord>> fetch_sdb_provenance(
-    CloudServices& services, const std::string& object, std::uint32_t version,
+    CloudServices& services, const ShardRouter& router,
+    const std::string& object, std::uint32_t version,
     std::uint32_t max_retries) {
   const std::string item = item_name(object, version);
+  const std::string& domain = router.domain_for_object(object);
   aws::SdbItem attrs;
   for (std::uint32_t attempt = 0;; ++attempt) {
-    auto got = services.sdb.get_attributes(kProvenanceDomain, item);
+    auto got = services.sdb.get_attributes(domain, item);
     if (got && !got->empty()) {
       attrs = std::move(*got);
       break;
@@ -66,6 +68,7 @@ BackendResult<std::vector<pass::ProvenanceRecord>> fetch_sdb_provenance(
 }
 
 BackendResult<ReadResult> consistency_checked_read(CloudServices& services,
+                                                   const ShardRouter& router,
                                                    const std::string& object,
                                                    std::uint32_t max_retries) {
   ReadResult best;
@@ -86,7 +89,8 @@ BackendResult<ReadResult> consistency_checked_read(CloudServices& services,
 
     // Round part 2: the provenance item named by the nonce.
     const std::string item = item_name(object, version);
-    auto attrs = services.sdb.get_attributes(kProvenanceDomain, item);
+    auto attrs =
+        services.sdb.get_attributes(router.domain_for_object(object), item);
     if (!attrs || attrs->empty()) continue;
 
     // Round part 3: the MD5(data || nonce) comparison.
@@ -104,7 +108,7 @@ BackendResult<ReadResult> consistency_checked_read(CloudServices& services,
       best.verified = true;
       // Spill pointers resolve through the slower path.
       auto resolved =
-          fetch_sdb_provenance(services, object, version, max_retries);
+          fetch_sdb_provenance(services, router, object, version, max_retries);
       if (resolved) best.records = std::move(*resolved);
       return best;
     }
@@ -119,9 +123,14 @@ BackendResult<ReadResult> consistency_checked_read(CloudServices& services,
 // SdbBackend
 // ---------------------------------------------------------------------------
 
-SdbBackend::SdbBackend(CloudServices& services) : services_(&services) {
-  auto created = services_->sdb.create_domain(kProvenanceDomain);
-  PROVCLOUD_REQUIRE(created.has_value());
+SdbBackend::SdbBackend(CloudServices& services, SdbBackendConfig config)
+    : services_(&services),
+      config_(config),
+      router_(config.shard_count) {
+  for (const std::string& domain : router_.domains()) {
+    auto created = services_->sdb.create_domain(domain);
+    PROVCLOUD_REQUIRE(created.has_value());
+  }
 }
 
 void SdbBackend::store(const pass::FlushUnit& unit) {
@@ -143,18 +152,33 @@ void SdbBackend::store(const pass::FlushUnit& unit) {
   enc.attributes.push_back(aws::SdbReplaceableAttribute{
       kMd5Attribute, util::md5_with_nonce(*data, nonce), true});
 
-  // Step 3: PutAttributes, chunked at the 100-attribute limit.
+  // Step 3: the record into the object's shard domain. Batched path: one
+  // BatchPutAttributes round trip carries all attributes (batch entries
+  // admit the full 256-pair item limit); legacy path (batch_size == 1):
+  // PutAttributes chunked at the 100-attribute call limit.
   const std::string item = item_name(unit.object, unit.version);
-  for (std::size_t start = 0; start < enc.attributes.size();
-       start += aws::kSdbMaxAttrsPerCall) {
-    const std::size_t end = std::min(start + aws::kSdbMaxAttrsPerCall,
-                                     enc.attributes.size());
-    std::vector<aws::SdbReplaceableAttribute> chunk(
-        enc.attributes.begin() + static_cast<std::ptrdiff_t>(start),
-        enc.attributes.begin() + static_cast<std::ptrdiff_t>(end));
-    auto put = services_->sdb.put_attributes(kProvenanceDomain, item, chunk);
+  const std::string& domain = router_.domain_for_object(unit.object);
+  if (config_.batch_size <= 1) {
+    for (std::size_t start = 0; start < enc.attributes.size();
+         start += aws::kSdbMaxAttrsPerCall) {
+      const std::size_t end = std::min(start + aws::kSdbMaxAttrsPerCall,
+                                       enc.attributes.size());
+      std::vector<aws::SdbReplaceableAttribute> chunk(
+          enc.attributes.begin() + static_cast<std::ptrdiff_t>(start),
+          enc.attributes.begin() + static_cast<std::ptrdiff_t>(end));
+      auto put = services_->sdb.put_attributes(domain, item, chunk);
+      PROVCLOUD_REQUIRE_MSG(put.has_value(),
+                            "PutAttributes failed: " + put.error().message);
+      env.failures().crash_point("sdb.store.mid_putattrs");
+    }
+  } else {
+    auto put = services_->sdb.batch_put_attributes(
+        domain, {aws::SdbBatchEntry{item, enc.attributes}});
     PROVCLOUD_REQUIRE_MSG(put.has_value(),
-                          "PutAttributes failed: " + put.error().message);
+                          "BatchPutAttributes failed: " + put.error().message);
+    PROVCLOUD_REQUIRE_MSG(put->ok(),
+                          "BatchPutAttributes rejected item: " +
+                              put->failed.front().error.message);
     env.failures().crash_point("sdb.store.mid_putattrs");
   }
 
@@ -178,12 +202,12 @@ void SdbBackend::store(const pass::FlushUnit& unit) {
 
 BackendResult<ReadResult> SdbBackend::read(const std::string& object,
                                            std::uint32_t max_retries) {
-  return consistency_checked_read(*services_, object, max_retries);
+  return consistency_checked_read(*services_, router_, object, max_retries);
 }
 
 BackendResult<std::vector<pass::ProvenanceRecord>> SdbBackend::get_provenance(
     const std::string& object, std::uint32_t version) {
-  return fetch_sdb_provenance(*services_, object, version, 64);
+  return fetch_sdb_provenance(*services_, router_, object, version, 64);
 }
 
 void SdbBackend::recover() {
@@ -192,61 +216,66 @@ void SdbBackend::recover() {
   // this is an inelegant solution as it involves a scan of the entire
   // SimpleDB domain" -- which is exactly what this is.
   last_orphans_ = 0;
-  std::string token;
-  for (;;) {
-    auto page = services_->sdb.query(kProvenanceDomain, "",
-                                     aws::kSdbMaxQueryResults, token);
-    if (!page) return;
-    for (const std::string& item : page->item_names) {
-      std::string object;
-      std::uint32_t version = 0;
-      if (!parse_item_name(item, object, version)) continue;
+  for (const std::string& domain : router_.domains()) {
+    std::string token;
+    for (;;) {
+      auto page =
+          services_->sdb.query(domain, "", aws::kSdbMaxQueryResults, token);
+      if (!page) break;
+      for (const std::string& item : page->item_names) {
+        std::string object;
+        std::uint32_t version = 0;
+        if (!parse_item_name(item, object, version)) continue;
 
-      // Transient pnodes have no data object by design: never orphans.
-      auto attrs = services_->sdb.get_attributes(kProvenanceDomain, item,
-                                                 {"x-kind"});
-      if (attrs && !attrs->empty()) {
-        auto kind_it = attrs->find("x-kind");
-        if (kind_it != attrs->end() && !kind_it->second.empty() &&
-            *kind_it->second.begin() != "file")
-          continue;
-      }
+        // Transient pnodes have no data object by design: never orphans.
+        auto attrs = services_->sdb.get_attributes(domain, item, {"x-kind"});
+        if (attrs && !attrs->empty()) {
+          auto kind_it = attrs->find("x-kind");
+          if (kind_it != attrs->end() && !kind_it->second.empty() &&
+              *kind_it->second.begin() != "file")
+            continue;
+        }
 
-      // Retry HEAD a few times so a propagation race is not mistaken for a
-      // missing object.
-      bool data_present = false;
-      std::uint32_t data_version = 0;
-      for (int attempt = 0; attempt < 8; ++attempt) {
-        auto head = services_->s3.head(kDataBucket, object);
-        if (!head) continue;
-        auto v = head->metadata.find(kVersionMetaKey);
-        std::uint32_t seen = 0;
-        if (v != head->metadata.end()) {
-          try {
-            seen = static_cast<std::uint32_t>(std::stoul(v->second));
-          } catch (...) {
+        // Retry HEAD a few times so a propagation race is not mistaken for
+        // a missing object.
+        bool data_present = false;
+        std::uint32_t data_version = 0;
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          auto head = services_->s3.head(kDataBucket, object);
+          if (!head) continue;
+          auto v = head->metadata.find(kVersionMetaKey);
+          std::uint32_t seen = 0;
+          if (v != head->metadata.end()) {
+            try {
+              seen = static_cast<std::uint32_t>(std::stoul(v->second));
+            } catch (...) {
+            }
+          }
+          data_version = std::max(data_version, seen);
+          if (seen >= version) {
+            data_present = true;
+            break;
           }
         }
-        data_version = std::max(data_version, seen);
-        if (seen >= version) {
-          data_present = true;
-          break;
+        if (!data_present) {
+          // Provenance for a version whose data never arrived: orphan.
+          auto del = services_->sdb.delete_attributes(domain, item, {});
+          if (del) ++last_orphans_;
         }
       }
-      if (!data_present) {
-        // Provenance for a version whose data never arrived: orphan.
-        auto del =
-            services_->sdb.delete_attributes(kProvenanceDomain, item, {});
-        if (del) ++last_orphans_;
-      }
+      if (!page->next_token) break;
+      token = *page->next_token;
     }
-    if (!page->next_token) break;
-    token = *page->next_token;
   }
 }
 
 std::unique_ptr<ProvenanceBackend> make_sdb_backend(CloudServices& services) {
   return std::make_unique<SdbBackend>(services);
+}
+
+std::unique_ptr<ProvenanceBackend> make_sdb_backend(
+    CloudServices& services, const SdbBackendConfig& config) {
+  return std::make_unique<SdbBackend>(services, config);
 }
 
 }  // namespace provcloud::cloudprov

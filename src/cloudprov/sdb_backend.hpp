@@ -18,12 +18,25 @@
 #pragma once
 
 #include "cloudprov/backend.hpp"
+#include "cloudprov/shard_router.hpp"
 
 namespace provcloud::cloudprov {
 
+/// Storage-path knobs. The defaults enable the batched write path (fewer
+/// SimpleDB round trips per close); batch_size = 1 with shard_count = 1
+/// restores the paper's exact PutAttributes-chunked protocol.
+struct SdbBackendConfig {
+  /// SimpleDB domains provenance items are hashed across. 1 keeps the
+  /// original single-"provenance"-domain layout bit-identically.
+  std::size_t shard_count = 1;
+  /// Items per BatchPutAttributes write call; 1 selects the legacy
+  /// one-PutAttributes-per-100-attribute-chunk path.
+  std::size_t batch_size = aws::kSdbMaxItemsPerBatch;
+};
+
 class SdbBackend final : public ProvenanceBackend {
  public:
-  explicit SdbBackend(CloudServices& services);
+  explicit SdbBackend(CloudServices& services, SdbBackendConfig config = {});
 
   Architecture architecture() const override {
     return Architecture::kS3SimpleDb;
@@ -49,8 +62,13 @@ class SdbBackend final : public ProvenanceBackend {
   /// Number of orphan items the last recover() removed (diagnostics).
   std::uint64_t last_recovery_orphans() const { return last_orphans_; }
 
+  const SdbBackendConfig& config() const { return config_; }
+  const ShardRouter& router() const { return router_; }
+
  private:
   CloudServices* services_;
+  SdbBackendConfig config_;
+  ShardRouter router_;
   std::uint64_t last_orphans_ = 0;
 };
 

@@ -1,0 +1,44 @@
+#include "cloudprov/shard_router.hpp"
+
+#include "cloudprov/serialize.hpp"
+
+namespace provcloud::cloudprov {
+
+ShardRouter::ShardRouter(std::size_t shard_count, std::string base_domain) {
+  if (base_domain.empty()) base_domain = kProvenanceDomain;
+  if (shard_count <= 1) {
+    domains_.push_back(std::move(base_domain));
+    return;
+  }
+  domains_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i)
+    domains_.push_back(base_domain + "-" + std::to_string(i));
+}
+
+std::uint64_t ShardRouter::stable_hash(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::size_t ShardRouter::shard_of(std::string_view object) const {
+  if (domains_.size() == 1) return 0;
+  return static_cast<std::size_t>(stable_hash(object) % domains_.size());
+}
+
+const std::string& ShardRouter::domain_for_object(
+    std::string_view object) const {
+  return domains_[shard_of(object)];
+}
+
+const std::string& ShardRouter::domain_for_item(const std::string& item) const {
+  std::string object;
+  std::uint32_t version = 0;
+  if (parse_item_name(item, object, version)) return domain_for_object(object);
+  return domain_for_object(item);
+}
+
+}  // namespace provcloud::cloudprov

@@ -1,0 +1,53 @@
+// ShardRouter: partitions the provenance store across N SimpleDB domains.
+//
+// SimpleDB throttles per domain; the paper's Architectures 2 and 3 funnel
+// every client through one domain, which is the first wall on the road to
+// many clients. Following Brantner et al.'s partitioning advice, the router
+// hashes the *object* id (not the item name) so every version of an object
+// lands in the same domain, and ancestry queries can scatter/gather across
+// the fixed domain list.
+//
+// Lookups are pure functions of (object, shard_count): no directory, no
+// rebalancing state. With shard_count == 1 the single domain is the
+// original "provenance" name, so existing layouts are bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace provcloud::cloudprov {
+
+class ShardRouter {
+ public:
+  /// `base_domain` defaults to kProvenanceDomain (serialize.hpp); shard i of
+  /// N > 1 is named "<base>-<i>", while N == 1 keeps the bare base name.
+  explicit ShardRouter(std::size_t shard_count = 1,
+                       std::string base_domain = std::string());
+
+  std::size_t shard_count() const { return domains_.size(); }
+
+  /// Every shard domain, in index order (for domain creation and
+  /// scatter/gather queries).
+  const std::vector<std::string>& domains() const { return domains_; }
+
+  /// Shard index of an object id: stable_hash(object) % shard_count.
+  std::size_t shard_of(std::string_view object) const;
+
+  /// Domain holding provenance items of `object` (all its versions).
+  const std::string& domain_for_object(std::string_view object) const;
+
+  /// Domain of a provenance item "object:version" (parses the object part;
+  /// hashes the whole name when it does not parse).
+  const std::string& domain_for_item(const std::string& item) const;
+
+  /// FNV-1a 64-bit. Fixed for all time: changing it would orphan every
+  /// stored item, so it is pinned by tests.
+  static std::uint64_t stable_hash(std::string_view s);
+
+ private:
+  std::vector<std::string> domains_;
+};
+
+}  // namespace provcloud::cloudprov

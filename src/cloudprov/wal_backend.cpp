@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <set>
 
 #include "cloudprov/consistency_read.hpp"
 #include "cloudprov/serialize.hpp"
@@ -16,9 +17,13 @@ constexpr const char* kTempCreatedMetaKey = "x-temp-created";
 }  // namespace
 
 WalBackend::WalBackend(CloudServices& services, WalBackendConfig config)
-    : services_(&services), config_(std::move(config)) {
-  auto domain = services_->sdb.create_domain(kProvenanceDomain);
-  PROVCLOUD_REQUIRE(domain.has_value());
+    : services_(&services),
+      config_(std::move(config)),
+      router_(config_.shard_count) {
+  for (const std::string& domain : router_.domains()) {
+    auto created = services_->sdb.create_domain(domain);
+    PROVCLOUD_REQUIRE(created.has_value());
+  }
   auto queue =
       services_->sqs.create_queue(config_.queue_name, config_.visibility_timeout);
   PROVCLOUD_REQUIRE(queue.has_value());
@@ -138,8 +143,22 @@ void WalBackend::commit_phase(bool forced) {
               };
               return num(a->txid) < num(b->txid);
             });
+  // The batched pipeline: promote every transaction's data first, coalesce
+  // all their SimpleDB writes into per-shard batch calls, then delete log
+  // messages and temp objects only for transactions whose writes landed.
+  // Every step stays idempotent, so a crash between phases replays safely.
+  std::vector<StagedTxn> staged;
+  staged.reserve(ready.size());
   for (const WalTransaction* txn : ready) {
-    if (process_transaction(*txn)) ++committed_count_;
+    auto prepared = prepare_transaction(*txn);
+    if (prepared) staged.push_back(std::move(*prepared));
+  }
+  flush_staged(staged);
+  env.failures().crash_point("commitd.after_sdb");
+  for (const StagedTxn& s : staged) {
+    if (!s.flushed) continue;  // deferred: a later pump retries
+    finish_transaction(s);
+    ++committed_count_;
   }
   // Transactions that were incomplete (commit record not yet visible, or
   // sampling missed pieces) keep their messages; the visibility timeout
@@ -147,7 +166,8 @@ void WalBackend::commit_phase(bool forced) {
   // vanish via the 4-day retention.
 }
 
-bool WalBackend::process_transaction(const WalTransaction& txn) {
+std::optional<WalBackend::StagedTxn> WalBackend::prepare_transaction(
+    const WalTransaction& txn) {
   aws::CloudEnv& env = *services_->env;
   PROVCLOUD_REQUIRE(txn.data && txn.md5 && txn.begin);
   const WalRecord& data = *txn.data;
@@ -205,12 +225,13 @@ bool WalBackend::process_transaction(const WalTransaction& txn) {
         }
       }
     }
-    if (!already_applied) return false;  // defer to a later pump
+    if (!already_applied) return std::nullopt;  // defer to a later pump
   }
   env.failures().crash_point("commitd.after_copy");
 
-  // (c) provenance into SimpleDB. Rebuild the flush unit from the chunks,
-  // spill > 1 KB values to S3, chunk PutAttributes at 100 attrs.
+  // (c) provenance toward SimpleDB. Rebuild the flush unit from the chunks
+  // and spill > 1 KB values to S3 now; the attribute writes themselves are
+  // coalesced across transactions and flushed by flush_staged.
   pass::FlushUnit unit;
   unit.object = data.object;
   unit.version = data.version;
@@ -235,20 +256,80 @@ bool WalBackend::process_transaction(const WalTransaction& txn) {
   }
   enc.attributes.push_back(
       aws::SdbReplaceableAttribute{kMd5Attribute, txn.md5->md5, true});
-  const std::string item = item_name(unit.object, unit.version);
-  for (std::size_t start = 0; start < enc.attributes.size();
-       start += aws::kSdbMaxAttrsPerCall) {
-    const std::size_t end =
-        std::min(start + aws::kSdbMaxAttrsPerCall, enc.attributes.size());
-    std::vector<aws::SdbReplaceableAttribute> chunk(
-        enc.attributes.begin() + static_cast<std::ptrdiff_t>(start),
-        enc.attributes.begin() + static_cast<std::ptrdiff_t>(end));
-    auto put = services_->sdb.put_attributes(kProvenanceDomain, item, chunk);
-    PROVCLOUD_REQUIRE_MSG(put.has_value(),
-                          "PutAttributes failed: " + put.error().message);
-  }
-  env.failures().crash_point("commitd.after_sdb");
 
+  StagedTxn out;
+  out.txn = &txn;
+  out.has_data = has_data;
+  out.domain = router_.domain_for_object(unit.object);
+  out.item = item_name(unit.object, unit.version);
+  out.attributes = std::move(enc.attributes);
+  return out;
+}
+
+void WalBackend::flush_staged(std::vector<StagedTxn>& staged) {
+  if (config_.batch_size <= 1) {
+    // Legacy path: one PutAttributes per 100-attribute chunk per item.
+    for (StagedTxn& s : staged) {
+      for (std::size_t start = 0; start < s.attributes.size();
+           start += aws::kSdbMaxAttrsPerCall) {
+        const std::size_t end =
+            std::min(start + aws::kSdbMaxAttrsPerCall, s.attributes.size());
+        std::vector<aws::SdbReplaceableAttribute> chunk(
+            s.attributes.begin() + static_cast<std::ptrdiff_t>(start),
+            s.attributes.begin() + static_cast<std::ptrdiff_t>(end));
+        auto put = services_->sdb.put_attributes(s.domain, s.item, chunk);
+        PROVCLOUD_REQUIRE_MSG(put.has_value(),
+                              "PutAttributes failed: " + put.error().message);
+      }
+      s.flushed = true;
+    }
+    return;
+  }
+
+  // Batched path: group the staged items per shard domain and write them
+  // batch_size (<= 25) at a time. A replayed transaction can stage the same
+  // item twice; duplicates split into the next call because a single
+  // BatchPutAttributes rejects repeated item names.
+  const std::size_t batch_limit =
+      std::min(config_.batch_size, aws::kSdbMaxItemsPerBatch);
+  std::map<std::string, std::vector<StagedTxn*>> by_domain;
+  for (StagedTxn& s : staged) by_domain[s.domain].push_back(&s);
+  for (auto& [domain, group] : by_domain) {
+    std::vector<StagedTxn*> pending(group.begin(), group.end());
+    while (!pending.empty()) {
+      std::vector<StagedTxn*> call;
+      std::vector<StagedTxn*> rest;
+      std::set<std::string> names;
+      for (StagedTxn* s : pending) {
+        if (call.size() < batch_limit && names.insert(s->item).second)
+          call.push_back(s);
+        else
+          rest.push_back(s);
+      }
+      std::vector<aws::SdbBatchEntry> entries;
+      entries.reserve(call.size());
+      for (StagedTxn* s : call)
+        // Moving is safe: a deferred transaction is re-prepared from its WAL
+        // records on the next pump, never re-flushed from this staging.
+        entries.push_back(aws::SdbBatchEntry{s->item, std::move(s->attributes)});
+      auto put = services_->sdb.batch_put_attributes(domain, entries);
+      PROVCLOUD_REQUIRE_MSG(put.has_value(), "BatchPutAttributes failed: " +
+                                                 put.error().message);
+      // Per-item rejections are deterministic validation failures (size and
+      // pair limits): retrying cannot succeed, so fail as loudly as the
+      // legacy PutAttributes path instead of deferring forever.
+      PROVCLOUD_REQUIRE_MSG(put->ok(),
+                            "BatchPutAttributes rejected item: " +
+                                put->failed.front().error.message);
+      for (StagedTxn* s : call) s->flushed = true;
+      pending = std::move(rest);
+    }
+  }
+}
+
+void WalBackend::finish_transaction(const StagedTxn& staged) {
+  aws::CloudEnv& env = *services_->env;
+  const WalTransaction& txn = *staged.txn;
   // (d) delete the WAL messages first, then the temp object: a crash in
   // between leaks only a temp object (the cleaner reaps it); the reverse
   // order would strand undeletable log records that replay against a
@@ -259,12 +340,11 @@ bool WalBackend::process_transaction(const WalTransaction& txn) {
     env.failures().crash_point("commitd.mid_message_delete");
   }
   env.failures().crash_point("commitd.before_temp_delete");
-  if (has_data) {
-    auto del_temp = services_->s3.del(kDataBucket, data.temp_key);
+  if (staged.has_data) {
+    auto del_temp = services_->s3.del(kDataBucket, txn.data->temp_key);
     PROVCLOUD_REQUIRE(del_temp.has_value());
   }
   env.failures().crash_point("commitd.after_txn");
-  return true;
 }
 
 void WalBackend::recover() {
@@ -314,12 +394,12 @@ void WalBackend::clean_temp_objects() {
 
 BackendResult<ReadResult> WalBackend::read(const std::string& object,
                                            std::uint32_t max_retries) {
-  return consistency_checked_read(*services_, object, max_retries);
+  return consistency_checked_read(*services_, router_, object, max_retries);
 }
 
 BackendResult<std::vector<pass::ProvenanceRecord>> WalBackend::get_provenance(
     const std::string& object, std::uint32_t version) {
-  return fetch_sdb_provenance(*services_, object, version, 64);
+  return fetch_sdb_provenance(*services_, router_, object, version, 64);
 }
 
 std::unique_ptr<ProvenanceBackend> make_wal_backend(CloudServices& services) {

@@ -23,8 +23,10 @@
 #pragma once
 
 #include <map>
+#include <vector>
 
 #include "cloudprov/backend.hpp"
+#include "cloudprov/shard_router.hpp"
 #include "cloudprov/txn.hpp"
 
 namespace provcloud::cloudprov {
@@ -43,6 +45,12 @@ struct WalBackendConfig {
   /// Cleaner: temp objects older than this are removed (the paper uses
   /// SQS's 4-day retention as the matching bound).
   sim::SimTime temp_object_ttl = 4 * sim::kDay;
+  /// SimpleDB domains provenance items are hashed across. 1 keeps the
+  /// original single-"provenance"-domain layout bit-identically.
+  std::size_t shard_count = 1;
+  /// Items per BatchPutAttributes when the commit daemon flushes a batch of
+  /// transactions; 1 selects the legacy one-PutAttributes-per-chunk path.
+  std::size_t batch_size = aws::kSdbMaxItemsPerBatch;
 };
 
 class WalBackend final : public ProvenanceBackend {
@@ -83,17 +91,37 @@ class WalBackend final : public ProvenanceBackend {
   }
 
   const WalBackendConfig& config() const { return config_; }
+  const ShardRouter& router() const { return router_; }
   /// Transactions the commit daemon has fully processed (diagnostics).
   std::uint64_t committed_count() const { return committed_count_; }
 
  private:
+  /// A transaction whose S3 promotion is done and whose SimpleDB writes are
+  /// coalesced, waiting for the batched flush.
+  struct StagedTxn {
+    const WalTransaction* txn = nullptr;
+    bool has_data = false;
+    std::string domain;  // shard the item hashes to
+    std::string item;
+    std::vector<aws::SdbReplaceableAttribute> attributes;
+    bool flushed = false;
+  };
+
   void commit_phase(bool forced);
-  /// Process one assembled transaction; returns true when fully applied and
-  /// its messages deleted.
-  bool process_transaction(const WalTransaction& txn);
+  /// Per-transaction front half: COPY/supersede handling, spill PUTs, and
+  /// the attribute encoding. nullopt defers the transaction to a later pump.
+  std::optional<StagedTxn> prepare_transaction(const WalTransaction& txn);
+  /// Write every staged transaction's attributes: BatchPutAttributes in
+  /// batch_size groups per shard domain (batch_size == 1: the legacy
+  /// PutAttributes chunk loop). Marks `flushed` per transaction.
+  void flush_staged(std::vector<StagedTxn>& staged);
+  /// Per-transaction back half after a successful flush: delete the WAL
+  /// messages, then the temp object.
+  void finish_transaction(const StagedTxn& staged);
 
   CloudServices* services_;
   WalBackendConfig config_;
+  ShardRouter router_;
   std::string queue_url_;
   std::uint64_t next_txid_ = 1;
   std::uint64_t committed_count_ = 0;

@@ -1,0 +1,143 @@
+// BatchPutAttributes: the batched SimpleDB write path -- the 25-item cap,
+// whole-call versus per-item error semantics, and single-call billing.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "aws/common/env.hpp"
+#include "aws/simpledb/simpledb.hpp"
+
+namespace {
+
+using namespace provcloud::aws;
+
+class BatchPutTest : public ::testing::Test {
+ protected:
+  BatchPutTest() : env_(7, ConsistencyConfig::strong()), sdb_(env_) {
+    EXPECT_TRUE(sdb_.create_domain("d").has_value());
+  }
+
+  static SdbBatchEntry entry(const std::string& item, int attrs) {
+    SdbBatchEntry e;
+    e.item = item;
+    for (int i = 0; i < attrs; ++i)
+      e.attrs.push_back({"a" + std::to_string(i), "v", false});
+    return e;
+  }
+
+  CloudEnv env_;
+  SimpleDbService sdb_;
+};
+
+TEST_F(BatchPutTest, WritesManyItemsInOneCall) {
+  std::vector<SdbBatchEntry> entries;
+  for (int i = 0; i < 25; ++i)
+    entries.push_back(entry("item" + std::to_string(i), 2));
+  const auto before = env_.meter().snapshot();
+  auto put = sdb_.batch_put_attributes("d", entries);
+  ASSERT_TRUE(put.has_value());
+  EXPECT_TRUE(put->ok());
+  const auto diff = env_.meter().snapshot().diff(before);
+  EXPECT_EQ(diff.calls("sdb", "BatchPutAttributes"), 1u);
+  EXPECT_EQ(sdb_.item_count("d"), 25u);
+}
+
+TEST_F(BatchPutTest, TwentySixItemsFailTheWholeCall) {
+  std::vector<SdbBatchEntry> entries;
+  for (int i = 0; i < 26; ++i)
+    entries.push_back(entry("item" + std::to_string(i), 1));
+  auto put = sdb_.batch_put_attributes("d", entries);
+  ASSERT_FALSE(put.has_value());
+  EXPECT_EQ(put.error().code, AwsErrorCode::kTooManySubmittedItems);
+  EXPECT_EQ(sdb_.item_count("d"), 0u);  // nothing applied
+}
+
+TEST_F(BatchPutTest, DuplicateItemNamesFailTheWholeCall) {
+  auto put = sdb_.batch_put_attributes("d", {entry("same", 1), entry("same", 1)});
+  ASSERT_FALSE(put.has_value());
+  EXPECT_EQ(put.error().code, AwsErrorCode::kDuplicateItemName);
+  EXPECT_EQ(sdb_.item_count("d"), 0u);
+}
+
+TEST_F(BatchPutTest, EmptyBatchIsInvalid) {
+  auto put = sdb_.batch_put_attributes("d", {});
+  ASSERT_FALSE(put.has_value());
+  EXPECT_EQ(put.error().code, AwsErrorCode::kInvalidArgument);
+}
+
+TEST_F(BatchPutTest, MissingDomainFailsTheWholeCall) {
+  auto put = sdb_.batch_put_attributes("nope", {entry("i", 1)});
+  ASSERT_FALSE(put.has_value());
+  EXPECT_EQ(put.error().code, AwsErrorCode::kNoSuchDomain);
+}
+
+TEST_F(BatchPutTest, PartialFailureAppliesTheRestAndReportsIndexes) {
+  SdbBatchEntry oversized;
+  oversized.item = "bad";
+  oversized.attrs.push_back({"k", std::string(2000, 'x'), false});
+  auto put = sdb_.batch_put_attributes(
+      "d", {entry("ok0", 2), oversized, entry("ok2", 2)});
+  ASSERT_TRUE(put.has_value());
+  ASSERT_EQ(put->failed.size(), 1u);
+  EXPECT_EQ(put->failed[0].index, 1u);
+  EXPECT_EQ(put->failed[0].error.code, AwsErrorCode::kAttributeTooLarge);
+  // The healthy entries landed; the rejected one did not.
+  EXPECT_TRUE(sdb_.peek_item("d", "ok0").has_value());
+  EXPECT_TRUE(sdb_.peek_item("d", "ok2").has_value());
+  EXPECT_FALSE(sdb_.peek_item("d", "bad").has_value());
+}
+
+TEST_F(BatchPutTest, EntryWithNoAttributesIsAPerItemError) {
+  auto put = sdb_.batch_put_attributes("d", {entry("ok", 1), entry("empty", 0)});
+  ASSERT_TRUE(put.has_value());
+  ASSERT_EQ(put->failed.size(), 1u);
+  EXPECT_EQ(put->failed[0].index, 1u);
+  EXPECT_EQ(put->failed[0].error.code, AwsErrorCode::kInvalidArgument);
+  EXPECT_TRUE(sdb_.peek_item("d", "ok").has_value());
+}
+
+TEST_F(BatchPutTest, EntryCarriesUpToTheFullItemPairLimit) {
+  // PutAttributes caps a call at 100 attributes; a batch entry admits the
+  // 256-pair item limit in one round trip.
+  auto put = sdb_.batch_put_attributes("d", {entry("wide", 256)});
+  ASSERT_TRUE(put.has_value());
+  EXPECT_TRUE(put->ok());
+  auto got = sdb_.get_attributes("d", "wide");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(sdb_pair_count(*got), 256u);
+
+  // One more pair would push the item over 256: per-item error, and the
+  // item is left untouched.
+  auto over = sdb_.batch_put_attributes("d", {{"wide", {{"extra", "v", false}}}});
+  ASSERT_TRUE(over.has_value());
+  ASSERT_EQ(over->failed.size(), 1u);
+  EXPECT_EQ(over->failed[0].error.code, AwsErrorCode::kTooManyAttributes);
+}
+
+TEST_F(BatchPutTest, BatchedWritesAreIdempotent) {
+  const std::vector<SdbBatchEntry> entries = {entry("i", 3), entry("j", 2)};
+  ASSERT_TRUE(sdb_.batch_put_attributes("d", entries).has_value());
+  ASSERT_TRUE(sdb_.batch_put_attributes("d", entries).has_value());
+  auto got = sdb_.get_attributes("d", "i");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(sdb_pair_count(*got), 3u);  // set semantics: no duplicates
+}
+
+TEST_F(BatchPutTest, ReplicatesLikePutAttributes) {
+  // Under eventual consistency a batched write still reaches every replica.
+  ConsistencyConfig c;
+  c.replicas = 3;
+  CloudEnv env(8, c);
+  SimpleDbService sdb(env);
+  ASSERT_TRUE(sdb.create_domain("d").has_value());
+  ASSERT_TRUE(sdb.batch_put_attributes("d", {entry("i", 1)}).has_value());
+  env.clock().drain();
+  for (int i = 0; i < 8; ++i) {
+    auto got = sdb.get_attributes("d", "i");  // random replica each read
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(sdb_pair_count(*got), 1u);
+  }
+}
+
+}  // namespace

@@ -212,7 +212,8 @@ TEST(IntegrationStatsTest, MeterCapturesAllServices) {
   EXPECT_GT(snap.calls("s3", "COPY"), 0u);
   EXPECT_GT(snap.calls("sqs", "SendMessage"), 0u);
   EXPECT_GT(snap.calls("sqs", "ReceiveMessage"), 0u);
-  EXPECT_GT(snap.calls("sdb", "PutAttributes"), 0u);
+  // The commit daemon batches its writes by default.
+  EXPECT_GT(snap.calls("sdb", "BatchPutAttributes"), 0u);
   EXPECT_GT(snap.storage_bytes("s3"), 0u);
 }
 

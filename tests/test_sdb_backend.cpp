@@ -97,14 +97,32 @@ TEST_F(SdbBackendTest, LargeValueSpillsToS3) {
 }
 
 TEST_F(SdbBackendTest, ManyRecordsChunkPutAttributes) {
+  // batch_size = 1 pins the legacy one-PutAttributes-per-chunk path.
+  auto legacy = make_sdb_backend(services_, SdbBackendConfig{.batch_size = 1});
+  std::vector<ProvenanceRecord> records;
+  for (int i = 0; i < 230; ++i)
+    records.push_back(make_xref_record("INPUT", {"in" + std::to_string(i), 1}));
+  const auto before = env_.meter().snapshot();
+  legacy->store(file_unit("fanin", 1, "x", std::move(records)));
+  const auto diff = env_.meter().snapshot().diff(before);
+  // 230 records + kind + md5 = 232 attrs -> 3 calls at the 100-attr limit.
+  EXPECT_EQ(diff.calls("sdb", "PutAttributes"), 3u);
+}
+
+TEST_F(SdbBackendTest, ManyRecordsCoalesceIntoOneBatchPut) {
+  // The default batched path: the same 232-attribute record is one
+  // BatchPutAttributes round trip (batch entries admit 256 pairs).
   std::vector<ProvenanceRecord> records;
   for (int i = 0; i < 230; ++i)
     records.push_back(make_xref_record("INPUT", {"in" + std::to_string(i), 1}));
   const auto before = env_.meter().snapshot();
   backend_->store(file_unit("fanin", 1, "x", std::move(records)));
   const auto diff = env_.meter().snapshot().diff(before);
-  // 230 records + kind + md5 = 232 attrs -> 3 calls at the 100-attr limit.
-  EXPECT_EQ(diff.calls("sdb", "PutAttributes"), 3u);
+  EXPECT_EQ(diff.calls("sdb", "BatchPutAttributes"), 1u);
+  EXPECT_EQ(diff.calls("sdb", "PutAttributes"), 0u);
+  auto prov = backend_->get_provenance("fanin", 1);
+  ASSERT_TRUE(prov.has_value());
+  EXPECT_EQ(prov->size(), 230u);
 }
 
 TEST_F(SdbBackendTest, ClaimsMatchTableOne) {

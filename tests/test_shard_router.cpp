@@ -1,0 +1,78 @@
+// ShardRouter: stable hashing, directory-free lookups, and the
+// shard_count == 1 compatibility guarantee.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "cloudprov/serialize.hpp"
+#include "cloudprov/shard_router.hpp"
+
+namespace {
+
+using provcloud::cloudprov::ShardRouter;
+using provcloud::cloudprov::kProvenanceDomain;
+
+TEST(ShardRouterTest, SingleShardKeepsTheOriginalDomainName) {
+  ShardRouter r(1);
+  ASSERT_EQ(r.shard_count(), 1u);
+  EXPECT_EQ(r.domains().front(), kProvenanceDomain);
+  EXPECT_EQ(r.domain_for_object("anything"), kProvenanceDomain);
+}
+
+TEST(ShardRouterTest, ZeroShardsClampToOne) {
+  ShardRouter r(0);
+  EXPECT_EQ(r.shard_count(), 1u);
+  EXPECT_EQ(r.domains().front(), kProvenanceDomain);
+}
+
+TEST(ShardRouterTest, MultiShardDomainsAreIndexed) {
+  ShardRouter r(4);
+  ASSERT_EQ(r.shard_count(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(r.domains()[i],
+              std::string(kProvenanceDomain) + "-" + std::to_string(i));
+}
+
+TEST(ShardRouterTest, StableHashIsPinnedForAllTime) {
+  // FNV-1a 64 test vectors: changing the hash would orphan every stored
+  // item, so these values must never move.
+  EXPECT_EQ(ShardRouter::stable_hash(""), 14695981039346656037ull);
+  EXPECT_EQ(ShardRouter::stable_hash("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(ShardRouter::stable_hash("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(ShardRouterTest, LookupsAreRebalanceFree) {
+  // Pure function of (object, shard_count): two routers agree with no
+  // shared state, and repeated lookups never move an object.
+  ShardRouter a(8), b(8);
+  for (int i = 0; i < 200; ++i) {
+    const std::string object = "obj/" + std::to_string(i);
+    EXPECT_EQ(a.shard_of(object), b.shard_of(object));
+    EXPECT_EQ(a.shard_of(object), a.shard_of(object));
+  }
+}
+
+TEST(ShardRouterTest, AllVersionsOfAnObjectShareADomain) {
+  ShardRouter r(4);
+  for (int i = 0; i < 50; ++i) {
+    const std::string object = "dir/file" + std::to_string(i);
+    for (std::uint32_t v = 1; v <= 5; ++v)
+      EXPECT_EQ(r.domain_for_item(object + ":" + std::to_string(v)),
+                r.domain_for_object(object));
+  }
+}
+
+TEST(ShardRouterTest, HashSpreadsObjectsAcrossShards) {
+  ShardRouter r(4);
+  std::map<std::size_t, int> load;
+  for (int i = 0; i < 1000; ++i)
+    ++load[r.shard_of("path/to/object-" + std::to_string(i))];
+  ASSERT_EQ(load.size(), 4u);  // every shard is used
+  for (const auto& [shard, n] : load) {
+    EXPECT_GT(n, 150) << "shard " << shard << " underloaded";
+    EXPECT_LT(n, 350) << "shard " << shard << " overloaded";
+  }
+}
+
+}  // namespace
