@@ -6,13 +6,18 @@
 //
 //   batch_size   1 -> 25   items per BatchPutAttributes in the WAL commit
 //                          daemon (25 is the SimpleDB cap);
-//   shard_count  1 -> 8    domains the ShardRouter hashes objects across.
+//   shard_count  1 -> 8    domains the ShardRouter hashes objects across;
+//   parallelism  1 -> N    concurrent shard requests (DomainTopology
+//                          executor): the commit daemon flushes per-domain
+//                          batches concurrently and queries scatter/gather
+//                          in parallel.
 //
-// Reported per point: SimpleDB write round trips, total service calls, and
-// the per-shard peak item count (the contention proxy: SimpleDB throttles
-// per domain, so a lower peak means more client headroom). Query answers
-// are cross-checked against the unsharded layout at every point: sharding
-// must never change an answer.
+// Reported per point: SimpleDB write round trips, total service calls, the
+// per-shard peak item count (the contention proxy: SimpleDB throttles per
+// domain, so a lower peak means more client headroom), and wall-clock for
+// the workload + queries. Query answers are cross-checked against the
+// unsharded layout at every point: sharding and parallelism must never
+// change an answer.
 #include <cstdio>
 
 #include <set>
@@ -31,25 +36,31 @@ namespace {
 struct Point {
   std::size_t batch = 0;
   std::size_t shards = 0;
+  std::size_t parallelism = 1;
   std::uint64_t write_rts = 0;
   std::uint64_t total_calls = 0;
   std::uint64_t peak_domain_items = 0;
+  double store_ms = 0;  // wall-clock: workload through PASS + WAL drain
+  double query_ms = 0;  // wall-clock: Q.2 + Q.3 scatter/gather
   std::set<std::string> q2;
   std::set<std::string> q3;
 };
 
 Point run_point(const pass::SyscallTrace& trace, const std::string& program,
-                std::size_t batch, std::size_t shards) {
+                std::size_t batch, std::size_t shards,
+                std::size_t parallelism = 1) {
   WalBackendConfig cfg;
   cfg.batch_size = batch;
   cfg.shard_count = shards;
+  cfg.parallelism = parallelism;
   bench::WorkloadRun run(
       [&](CloudServices& s) { return make_wal_backend(s, cfg); });
-  run.run(trace);
 
   Point p;
   p.batch = batch;
   p.shards = shards;
+  p.parallelism = parallelism;
+  p.store_ms = bench::wall_clock_ms([&] { run.run(trace); });
   const auto snap = run.env.meter().snapshot();
   p.write_rts = snap.calls("sdb", "PutAttributes") +
                 snap.calls("sdb", "BatchPutAttributes");
@@ -58,10 +69,13 @@ Point run_point(const pass::SyscallTrace& trace, const std::string& program,
   for (const std::string& domain : router.domains())
     p.peak_domain_items =
         std::max(p.peak_domain_items, run.services.sdb.item_count(domain));
-  auto engine = make_sdb_query_engine(run.services,
-                                      SdbQueryConfig{.shard_count = shards});
-  p.q2 = engine->q2_outputs_of(program);
-  p.q3 = engine->q3_descendants_of(program);
+  auto engine = make_sdb_query_engine(
+      run.services,
+      SdbQueryConfig{.shard_count = shards, .parallelism = parallelism});
+  p.query_ms = bench::wall_clock_ms([&] {
+    p.q2 = engine->q2_outputs_of(program);
+    p.q3 = engine->q3_descendants_of(program);
+  });
   return p;
 }
 
@@ -76,25 +90,38 @@ int main() {
   const pass::SyscallTrace trace = workloads::build_combined_trace(options);
   const std::string program = workloads::BlastWorkload::kBlastProgram;
 
+  const std::size_t parallelism = bench::bench_parallelism();
   std::vector<Point> points;
   for (const std::size_t batch : {std::size_t{1}, std::size_t{25}})
     for (const std::size_t shards :
          {std::size_t{1}, std::size_t{4}, std::size_t{8}})
       points.push_back(run_point(trace, program, batch, shards));
+  // The shard-parallel points: same layouts, concurrent shard requests.
+  // Skipped at parallelism 1 -- they would duplicate the sequential points
+  // (same key in the JSON, self-comparing shape checks).
+  if (parallelism > 1)
+    for (const std::size_t shards : {std::size_t{4}, std::size_t{8}})
+      points.push_back(run_point(trace, program, 25, shards, parallelism));
 
-  std::printf("\n%6s %7s %15s %12s %18s\n", "batch", "shards", "sdb write RTs",
-              "total calls", "peak domain items");
+  std::printf("\n%6s %7s %4s %15s %12s %18s %9s %9s\n", "batch", "shards",
+              "par", "sdb write RTs", "total calls", "peak domain items",
+              "store ms", "query ms");
   bench::print_rule();
   for (const Point& p : points)
-    std::printf("%6zu %7zu %15s %12s %18s\n", p.batch, p.shards,
+    std::printf("%6zu %7zu %4zu %15s %12s %18s %9.1f %9.1f\n", p.batch,
+                p.shards, p.parallelism,
                 bench::fmt_count(p.write_rts).c_str(),
                 bench::fmt_count(p.total_calls).c_str(),
-                bench::fmt_count(p.peak_domain_items).c_str());
+                bench::fmt_count(p.peak_domain_items).c_str(), p.store_ms,
+                p.query_ms);
 
-  const auto find_point = [&](std::size_t batch, std::size_t shards) -> const Point& {
+  const auto find_point = [&](std::size_t batch, std::size_t shards,
+                              std::size_t par = 1) -> const Point& {
     for (const Point& p : points)
-      if (p.batch == batch && p.shards == shards) return p;
-    std::fprintf(stderr, "sweep point (%zu, %zu) missing\n", batch, shards);
+      if (p.batch == batch && p.shards == shards && p.parallelism == par)
+        return p;
+    std::fprintf(stderr, "sweep point (%zu, %zu, %zu) missing\n", batch,
+                 shards, par);
     std::abort();
   };
   const Point& base = find_point(1, 1);   // the paper's layout
@@ -105,6 +132,17 @@ int main() {
                          : 0.0;
   std::printf("\nbatch 25 vs 1 (single domain): %.1fx fewer write RTs\n",
               speedup);
+  double query_wall_speedup = 0.0;
+  if (parallelism > 1) {
+    const Point& par8 = find_point(25, 8, parallelism);
+    const Point& seq8 = find_point(25, 8);
+    query_wall_speedup =
+        par8.query_ms > 0 ? seq8.query_ms / par8.query_ms : 0.0;
+    std::printf("shards 8, parallelism %zu vs 1: query wall-clock %.1f -> "
+                "%.1f ms (%.2fx on %zu hardware threads)\n",
+                parallelism, seq8.query_ms, par8.query_ms, query_wall_speedup,
+                bench::hardware_threads());
+  }
 
   bool ok = true;
   for (const Point& p : points) {
@@ -114,21 +152,36 @@ int main() {
   ok = ok && speedup >= 5.0;
   // More shards -> lower per-domain peak (contention headroom).
   ok = ok && find_point(25, 8).peak_domain_items < base.peak_domain_items;
+  // Parallelism changes wall-clock only: identical billing and layout.
+  if (parallelism > 1) {
+    const Point& par8 = find_point(25, 8, parallelism);
+    const Point& seq8 = find_point(25, 8);
+    ok = ok && par8.write_rts == seq8.write_rts;
+    ok = ok && par8.total_calls == seq8.total_calls;
+    ok = ok && par8.peak_domain_items == seq8.peak_domain_items;
+  }
   std::printf("\nshape check (identical answers at every point; batch >= 5x; "
-              "sharding lowers per-domain peak): %s\n",
+              "sharding lowers per-domain peak; parallelism billing-"
+              "neutral): %s\n",
               ok ? "PASS" : "FAIL");
 
   if (const char* path = bench::json_output_path()) {
     bench::JsonObject j;
     j.add("bench", std::string("ablation_sharding"));
     j.add("count_scale", options.count_scale);
+    j.add("parallelism", static_cast<std::uint64_t>(parallelism));
+    j.add("hw_threads", static_cast<std::uint64_t>(bench::hardware_threads()));
     for (const Point& p : points) {
-      const std::string key =
-          "b" + std::to_string(p.batch) + "_s" + std::to_string(p.shards);
+      const std::string key = "b" + std::to_string(p.batch) + "_s" +
+                              std::to_string(p.shards) + "_p" +
+                              std::to_string(p.parallelism);
       j.add(key + "_write_rts", p.write_rts);
       j.add(key + "_peak_domain_items", p.peak_domain_items);
+      j.add(key + "_store_ms", p.store_ms);
+      j.add(key + "_query_ms", p.query_ms);
     }
     j.add("batch_speedup", speedup);
+    j.add("query_wall_speedup", query_wall_speedup);
     j.add("shape_check", std::string(ok ? "PASS" : "FAIL"));
     if (j.write(path)) std::printf("json written: %s\n", path);
   }

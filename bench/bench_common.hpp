@@ -3,12 +3,14 @@
 // print aligned tables.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cloudprov/backend.hpp"
@@ -36,6 +38,35 @@ inline workloads::WorkloadOptions bench_workload_options() {
     }
   }
   return o;
+}
+
+/// Hardware threads available to the bench process. Wall-clock speedup from
+/// shard-parallel sections is bounded by this; on a single-core box the
+/// parallel numbers measure pure overhead (expect ~1.0x).
+inline std::size_t hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+/// Scatter/gather parallelism for the shard-parallel bench sections.
+/// Default 4 (one thread per shard of the standard sweep); override with
+/// PROVCLOUD_BENCH_PARALLELISM.
+inline std::size_t bench_parallelism() {
+  if (const char* env = std::getenv("PROVCLOUD_BENCH_PARALLELISM")) {
+    const long p = std::atol(env);
+    if (p > 0) return static_cast<std::size_t>(p);
+  }
+  return 4;
+}
+
+/// Milliseconds of wall-clock spent in fn() -- the simulated clock never
+/// moves during queries, so scatter/gather speedups only show up here.
+template <typename Fn>
+double wall_clock_ms(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
 struct WorkloadRun {

@@ -129,6 +129,35 @@ int main() {
               bench::fmt_bytes(q3_sh.bytes).c_str(),
               bench::fmt_count(q3_sh.ops).c_str(), q3_sh.results);
 
+  // --- shard-parallel scatter/gather: wall-clock on the same layout ---
+  const std::size_t parallelism = bench::bench_parallelism();
+  bench::print_header("Shard-parallel scatter/gather (wall-clock)");
+  std::printf("shard_count = %zu, parallelism = 1 vs %zu (%zu hardware "
+              "threads%s)\n",
+              shards, parallelism, bench::hardware_threads(),
+              bench::hardware_threads() == 1
+                  ? "; single core: expect ~1.0x, measures overhead only"
+                  : "");
+  auto parallel_engine = make_sdb_query_engine(
+      sharded_run.services, SdbQueryConfig{.shard_count = shards,
+                                           .parallelism = parallelism});
+  std::size_t seq_versions = 0, par_versions = 0;
+  std::set<std::string> seq_q3_par_check, par_q3;
+  const double seq_ms = bench::wall_clock_ms([&] {
+    seq_versions = static_cast<std::size_t>(
+        sharded_engine->q1_all_provenance().object_versions);
+    seq_q3_par_check = sharded_engine->q3_descendants_of(program);
+  });
+  const double par_ms = bench::wall_clock_ms([&] {
+    par_versions = static_cast<std::size_t>(
+        parallel_engine->q1_all_provenance().object_versions);
+    par_q3 = parallel_engine->q3_descendants_of(program);
+  });
+  const double parallel_speedup = par_ms > 0 ? seq_ms / par_ms : 0.0;
+  std::printf("Q.1+Q.3 sequential: %8.2f ms\n", seq_ms);
+  std::printf("Q.1+Q.3 parallel:   %8.2f ms   (%.2fx speedup)\n", par_ms,
+              parallel_speedup);
+
   // Shape checks.
   bool ok = true;
   // Sharding must not change any answer (identical result counts and the
@@ -147,8 +176,11 @@ int main() {
   ok = ok && q2_sdb.bytes * 10 <= q2_s3.bytes;
   // Both engines agree on the answers.
   ok = ok && q2_s3.results == q2_sdb.results && q3_s3.results == q3_sdb.results;
+  // Parallel scatter/gather returns the same answers (wall-clock speedup is
+  // reported, not gated: CI machines and tiny scales are too noisy).
+  ok = ok && par_versions == seq_versions && par_q3 == seq_q3_par_check;
   std::printf("\nshape check (S3 flat scan cost; SDB selective on Q.2/Q.3; "
-              "engines agree; sharded answers identical): %s\n",
+              "engines agree; sharded + parallel answers identical): %s\n",
               ok ? "PASS" : "FAIL");
 
   if (const char* path = bench::json_output_path()) {
@@ -162,6 +194,11 @@ int main() {
     j.add("q1_sharded_ops", q1_sh.ops);
     j.add("q2_sharded_ops", q2_sh.ops);
     j.add("q3_sharded_ops", q3_sh.ops);
+    j.add("parallelism", static_cast<std::uint64_t>(parallelism));
+    j.add("hw_threads", static_cast<std::uint64_t>(bench::hardware_threads()));
+    j.add("scatter_sequential_ms", seq_ms);
+    j.add("scatter_parallel_ms", par_ms);
+    j.add("scatter_parallel_speedup", parallel_speedup);
     j.add("shape_check", std::string(ok ? "PASS" : "FAIL"));
     if (j.write(path)) std::printf("json written: %s\n", path);
   }

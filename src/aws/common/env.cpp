@@ -5,8 +5,12 @@ namespace provcloud::aws {
 sim::SimTime CloudEnv::charge(const std::string& service, const std::string& op,
                               std::uint64_t bytes_in, std::uint64_t bytes_out) {
   meter_.record(service, op, bytes_in, bytes_out);
-  const sim::SimTime latency = latency_model_.sample(rng_, bytes_in, bytes_out);
-  busy_time_ += latency;
+  sim::SimTime latency = 0;
+  {
+    std::lock_guard<util::Spinlock> lock(fabric_mu_);
+    latency = latency_model_.sample(rng_, bytes_in, bytes_out);
+  }
+  busy_time_.fetch_add(latency, std::memory_order_relaxed);
   if (charge_latency_) clock_.advance_by(latency);
   return latency;
 }
@@ -14,8 +18,14 @@ sim::SimTime CloudEnv::charge(const std::string& service, const std::string& op,
 sim::SimTime CloudEnv::sample_propagation_delay() {
   if (consistency_.propagation_max <= consistency_.propagation_min)
     return consistency_.propagation_min;
+  std::lock_guard<util::Spinlock> lock(fabric_mu_);
   return rng_.next_in(consistency_.propagation_min,
                       consistency_.propagation_max);
+}
+
+std::uint64_t CloudEnv::rng_below(std::uint64_t bound) {
+  std::lock_guard<util::Spinlock> lock(fabric_mu_);
+  return rng_.next_below(bound);
 }
 
 }  // namespace provcloud::aws

@@ -7,7 +7,9 @@
 // single seed.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "sim/clock.hpp"
@@ -15,6 +17,7 @@
 #include "sim/latency.hpp"
 #include "sim/metering.hpp"
 #include "util/rng.hpp"
+#include "util/spinlock.hpp"
 
 namespace provcloud::aws {
 
@@ -54,6 +57,9 @@ class CloudEnv {
   CloudEnv& operator=(const CloudEnv&) = delete;
 
   sim::SimClock& clock() { return clock_; }
+  /// Direct RNG access: single-threaded users only (workload generators,
+  /// tests). Service code running under shard-parallel fan-out must draw
+  /// through rng_below() so the shared stream is not torn.
   util::Rng& rng() { return rng_; }
   sim::Meter& meter() { return meter_; }
   sim::FailureInjector& failures() { return failures_; }
@@ -65,7 +71,10 @@ class CloudEnv {
   /// Charge one service request: meter it and, when latency charging is on,
   /// advance the simulated clock by a sampled request latency (which lets
   /// replica propagation proceed underneath long transfers, exactly as in
-  /// the real system). Returns the charged latency.
+  /// the real system). Returns the charged latency. Thread-safe, except
+  /// that latency charging (which advances the clock and thereby fires
+  /// replica-propagation events) must not be combined with shard-parallel
+  /// fan-out -- see SimClock's contract.
   sim::SimTime charge(const std::string& service, const std::string& op,
                       std::uint64_t bytes_in, std::uint64_t bytes_out);
 
@@ -75,10 +84,17 @@ class CloudEnv {
   /// Total request latency charged so far (the "elapsed time" of the client,
   /// excluding idle waiting). Accumulates even when latency charging does
   /// not advance the clock.
-  sim::SimTime busy_time() const { return busy_time_; }
+  sim::SimTime busy_time() const {
+    return busy_time_.load(std::memory_order_relaxed);
+  }
 
-  /// Pick a uniform propagation delay for a replica.
+  /// Pick a uniform propagation delay for a replica. Thread-safe.
   sim::SimTime sample_propagation_delay();
+
+  /// Uniform in [0, bound) from the shared deterministic stream, serialized
+  /// against concurrent fabric users. Services use this for replica and
+  /// shard picks so parallel fan-out cannot tear the generator state.
+  std::uint64_t rng_below(std::uint64_t bound);
 
  private:
   sim::SimClock clock_;
@@ -88,7 +104,12 @@ class CloudEnv {
   ConsistencyConfig consistency_;
   sim::LatencyModel latency_model_;
   bool charge_latency_ = false;
-  sim::SimTime busy_time_ = 0;
+  std::atomic<sim::SimTime> busy_time_{0};
+  /// Guards rng_ only -- held for one draw at a time, since every metered
+  /// request samples a latency (the meter and clock carry their own locks).
+  /// A spinlock: the section is a handful of instructions and sits on the
+  /// fan-out hot path.
+  mutable util::Spinlock fabric_mu_;
 };
 
 }  // namespace provcloud::aws

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +30,10 @@
 
 namespace provcloud::aws {
 
+/// Internally synchronized: one mutex per store (= per S3 bucket), so
+/// shard-parallel clients can read and write concurrently while ops on the
+/// same store stay linearized. Propagation callbacks retake the lock when
+/// the clock fires them.
 template <typename V>
 class ReplicatedKV {
  public:
@@ -36,7 +41,9 @@ class ReplicatedKV {
 
   /// `env` must outlive the store.
   explicit ReplicatedKV(CloudEnv& env)
-      : env_(&env), replicas_(std::max(1u, env.consistency().replicas)) {}
+      : env_(&env),
+        mu_(std::make_unique<std::mutex>()),
+        replicas_(std::max(1u, env.consistency().replicas)) {}
 
   /// Write `value` under `key`. Returns the version stamp assigned.
   std::uint64_t put(const std::string& key, V value) {
@@ -52,28 +59,35 @@ class ReplicatedKV {
   /// Read from a random replica. nullopt when that replica has no live
   /// version yet (or has a tombstone).
   std::optional<ValuePtr> get(const std::string& key) {
-    return get_from(pick_replica(), key);
+    const std::size_t replica = pick_replica();
+    std::lock_guard<std::mutex> lock(*mu_);
+    return get_from(replica, key);
   }
 
   /// Read from the coordinator replica: the freshest available view. Used
   /// by tests and by ground-truth verification, never billed as a client
   /// read.
   std::optional<ValuePtr> get_coordinator(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(*mu_);
     return get_from(0, key);
   }
 
   /// Keys visible on a random replica, in lexicographic order, optionally
   /// filtered by prefix. (S3 LIST semantics: also eventually consistent.)
   std::vector<std::string> list(const std::string& prefix = "") {
-    return list_from(pick_replica(), prefix);
+    const std::size_t replica = pick_replica();
+    std::lock_guard<std::mutex> lock(*mu_);
+    return list_from(replica, prefix);
   }
 
   std::vector<std::string> list_coordinator(const std::string& prefix = "") const {
+    std::lock_guard<std::mutex> lock(*mu_);
     return list_from(0, prefix);
   }
 
   /// Number of live keys on the coordinator.
   std::size_t size_coordinator() const {
+    std::lock_guard<std::mutex> lock(*mu_);
     std::size_t n = 0;
     for (const auto& [k, e] : replicas_[0].entries)
       if (!e.tombstone) ++n;
@@ -98,13 +112,21 @@ class ReplicatedKV {
   std::uint64_t apply_write(const std::string& key, ValuePtr value,
                             bool tombstone) {
     const std::uint64_t ts = env_->clock().now();
-    const std::uint64_t seq = next_seq_++;
-    const Entry entry{ts, seq, std::move(value), tombstone};
-    apply_to_replica(0, key, entry);
+    std::uint64_t seq = 0;
+    Entry entry{0, 0, std::move(value), tombstone};
+    {
+      std::lock_guard<std::mutex> lock(*mu_);
+      seq = next_seq_++;
+      entry.ts = ts;
+      entry.seq = seq;
+      apply_to_replica(0, key, entry);
+    }
     for (std::size_t i = 1; i < replicas_.size(); ++i) {
       const sim::SimTime delay = env_->sample_propagation_delay();
-      env_->clock().schedule_after(
-          delay, [this, i, key, entry] { apply_to_replica(i, key, entry); });
+      env_->clock().schedule_after(delay, [this, i, key, entry] {
+        std::lock_guard<std::mutex> lock(*mu_);
+        apply_to_replica(i, key, entry);
+      });
     }
     return seq;
   }
@@ -124,7 +146,7 @@ class ReplicatedKV {
 
   std::size_t pick_replica() {
     if (replicas_.size() == 1) return 0;
-    return env_->rng().next_below(replicas_.size());
+    return static_cast<std::size_t>(env_->rng_below(replicas_.size()));
   }
 
   std::optional<ValuePtr> get_from(std::size_t i, const std::string& key) const {
@@ -146,6 +168,10 @@ class ReplicatedKV {
   }
 
   CloudEnv* env_;
+  // Guards replicas_ entries and next_seq_. Heap-held so the store stays
+  // movable (S3 moves buckets into its map at creation time; never after a
+  // callback could hold the lock).
+  std::unique_ptr<std::mutex> mu_;
   std::vector<Replica> replicas_;
   std::uint64_t next_seq_ = 1;
 };

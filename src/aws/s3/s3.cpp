@@ -17,6 +17,13 @@ std::size_t metadata_size(const S3Metadata& metadata) {
 }
 
 S3Service::Bucket& S3Service::bucket_ref(const std::string& bucket) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = buckets_.find(bucket);
+    // Map nodes are address-stable after the lock drops.
+    if (it != buckets_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = buckets_.find(bucket);
   if (it == buckets_.end())
     it = buckets_.emplace(bucket, Bucket(*env_)).first;
@@ -24,17 +31,22 @@ S3Service::Bucket& S3Service::bucket_ref(const std::string& bucket) {
 }
 
 S3Service::Bucket* S3Service::bucket_find(const std::string& bucket) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = buckets_.find(bucket);
   return it == buckets_.end() ? nullptr : &it->second;
 }
 
 const S3Service::Bucket* S3Service::bucket_ptr(const std::string& bucket) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = buckets_.find(bucket);
   return it == buckets_.end() ? nullptr : &it->second;
 }
 
 void S3Service::account_put(const std::string& bucket, const std::string& key,
                             std::uint64_t new_size) {
+  // The gauge is published while mu_ is held so two concurrent writers
+  // cannot publish out of order and strand a stale total on the meter.
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto& slot = sizes_[{bucket, key}];
   stored_bytes_ -= slot;
   slot = new_size;
@@ -44,6 +56,7 @@ void S3Service::account_put(const std::string& bucket, const std::string& key,
 
 void S3Service::account_delete(const std::string& bucket,
                                const std::string& key) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = sizes_.find({bucket, key});
   if (it != sizes_.end()) {
     stored_bytes_ -= it->second;
@@ -229,6 +242,7 @@ std::vector<std::string> S3Service::peek_keys(const std::string& bucket,
 }
 
 std::uint64_t S3Service::object_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::uint64_t n = 0;
   for (const auto& [name, b] : buckets_) n += b.size_coordinator();
   return n;

@@ -14,7 +14,9 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -129,6 +131,10 @@ class S3Service {
   void account_delete(const std::string& bucket, const std::string& key);
 
   CloudEnv* env_;
+  // Guards the bucket map structure and the storage gauge; per-object data
+  // is linearized by each bucket's own ReplicatedKV lock, so shard-parallel
+  // clients only contend here for the brief map lookup and size accounting.
+  mutable std::shared_mutex mu_;
   std::map<std::string, Bucket> buckets_;
   // Logical (coordinator) object sizes for the storage gauge.
   std::map<std::pair<std::string, std::string>, std::uint64_t> sizes_;

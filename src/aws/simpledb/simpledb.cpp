@@ -99,19 +99,21 @@ void SdbDomainData::apply_delete(const std::string& item,
 // ---------------------------------------------------------------------------
 
 SimpleDbService::Domain* SimpleDbService::find_domain(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(domains_mu_);
   auto it = domains_.find(name);
   return it == domains_.end() ? nullptr : &it->second;
 }
 
 const SimpleDbService::Domain* SimpleDbService::find_domain(
     const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(domains_mu_);
   auto it = domains_.find(name);
   return it == domains_.end() ? nullptr : &it->second;
 }
 
 SdbDomainData& SimpleDbService::pick_replica(Domain& d) {
   if (d.replicas.size() == 1) return d.replicas[0];
-  return d.replicas[env_->rng().next_below(d.replicas.size())];
+  return d.replicas[env_->rng_below(d.replicas.size())];
 }
 
 std::uint64_t SimpleDbService::item_stored_bytes(const SdbDomainData& replica,
@@ -123,36 +125,55 @@ std::uint64_t SimpleDbService::item_stored_bytes(const SdbDomainData& replica,
 
 void SimpleDbService::replicate(Domain& d, const std::string& item,
                                 std::function<void(SdbDomainData&)> op) {
+  // Caller holds d.mu: the coordinator apply and the apply_floor update are
+  // covered by it. Replica callbacks retake the lock when the clock fires
+  // them (the clock never runs callbacks while holding its own lock).
   const std::uint64_t before = item_stored_bytes(d.replicas[0], item);
   op(d.replicas[0]);  // coordinator applies immediately (durability)
   const std::uint64_t after = item_stored_bytes(d.replicas[0], item);
-  stored_bytes_ += after;
-  stored_bytes_ -= before;
-  env_->meter().set_storage(kService, stored_bytes_);
+  {
+    // Cross-domain writers share the gauge: update and publish under one
+    // lock so a slower thread cannot overwrite a newer total with a stale
+    // one (the per-domain mutex orders writes within a domain only).
+    std::lock_guard<util::Spinlock> gauge_lock(storage_gauge_mu_);
+    stored_bytes_ += after;
+    stored_bytes_ -= before;
+    env_->meter().set_storage(kService, stored_bytes_.load());
+  }
   for (std::size_t i = 1; i < d.replicas.size(); ++i) {
     SdbDomainData* replica = &d.replicas[i];
+    std::mutex* mu = d.mu.get();
     // FIFO per replica: an op never applies before an earlier op (equal
     // times fire in schedule order on the event queue).
     sim::SimTime when =
         env_->clock().now() + env_->sample_propagation_delay();
     when = std::max(when, d.apply_floor[i]);
     d.apply_floor[i] = when;
-    env_->clock().schedule_at(when, [replica, op] { op(*replica); });
+    env_->clock().schedule_at(when, [replica, mu, op] {
+      std::lock_guard<std::mutex> lock(*mu);
+      op(*replica);
+    });
   }
 }
 
 void SimpleDbService::recompute_storage_gauge() {
   std::uint64_t total = 0;
-  for (const auto& [name, d] : domains_) {
-    for (const auto& [item, attrs] : d.replicas[0].items)
-      total += item.size() + item_subset_bytes(attrs);
+  {
+    std::shared_lock<std::shared_mutex> map_lock(domains_mu_);
+    for (const auto& [name, d] : domains_) {
+      std::lock_guard<std::mutex> lock(*d.mu);
+      for (const auto& [item, attrs] : d.replicas[0].items)
+        total += item.size() + item_subset_bytes(attrs);
+    }
   }
+  std::lock_guard<util::Spinlock> gauge_lock(storage_gauge_mu_);
   stored_bytes_ = total;
   env_->meter().set_storage(kService, total);
 }
 
 AwsResult<void> SimpleDbService::create_domain(const std::string& domain) {
   env_->charge(kService, "CreateDomain", domain.size(), 0);
+  std::unique_lock<std::shared_mutex> lock(domains_mu_);
   if (domains_.find(domain) == domains_.end()) {
     Domain d;
     d.replicas.resize(std::max(1u, env_->consistency().replicas));
@@ -164,13 +185,17 @@ AwsResult<void> SimpleDbService::create_domain(const std::string& domain) {
 
 AwsResult<void> SimpleDbService::delete_domain(const std::string& domain) {
   env_->charge(kService, "DeleteDomain", domain.size(), 0);
-  domains_.erase(domain);
+  {
+    std::unique_lock<std::shared_mutex> lock(domains_mu_);
+    domains_.erase(domain);
+  }
   recompute_storage_gauge();
   return {};
 }
 
 std::vector<std::string> SimpleDbService::list_domains() {
   env_->charge(kService, "ListDomains", 0, 0);
+  std::shared_lock<std::shared_mutex> lock(domains_mu_);
   std::vector<std::string> out;
   out.reserve(domains_.size());
   for (const auto& [name, d] : domains_) out.push_back(name);
@@ -212,6 +237,7 @@ AwsResult<void> SimpleDbService::put_attributes(
   env_->charge(kService, "PutAttributes", attrs_bytes(attrs), 0);
   Domain* d = find_domain(domain);
   if (d == nullptr) return aws_error(AwsErrorCode::kNoSuchDomain, domain);
+  std::lock_guard<std::mutex> lock(*d->mu);
   auto valid = validate_put(*d, item, attrs, kSdbMaxAttrsPerCall);
   if (!valid) return valid;
   replicate(*d, item,
@@ -240,6 +266,7 @@ SimpleDbService::batch_put_attributes(const std::string& domain,
       if (!seen.insert(e.item).second)
         return aws_error(AwsErrorCode::kDuplicateItemName, e.item);
   }
+  std::lock_guard<std::mutex> lock(*d->mu);
   BatchPutResult result;
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const SdbBatchEntry& e = entries[i];
@@ -263,6 +290,7 @@ AwsResult<void> SimpleDbService::delete_attributes(
   env_->charge(kService, "DeleteAttributes", bytes, 0);
   Domain* d = find_domain(domain);
   if (d == nullptr) return aws_error(AwsErrorCode::kNoSuchDomain, domain);
+  std::lock_guard<std::mutex> lock(*d->mu);
   replicate(*d, item,
             [item, attrs](SdbDomainData& r) { r.apply_delete(item, attrs); });
   return {};
@@ -276,16 +304,19 @@ AwsResult<SdbItem> SimpleDbService::get_attributes(
     env_->charge(kService, "GetAttributes", 0, 0);
     return aws_error(AwsErrorCode::kNoSuchDomain, domain);
   }
-  const SdbDomainData& replica = pick_replica(*d);
   SdbItem out;
-  auto it = replica.items.find(item);
-  if (it != replica.items.end()) {
-    if (names.empty()) {
-      out = it->second;
-    } else {
-      for (const std::string& n : names) {
-        auto attr_it = it->second.find(n);
-        if (attr_it != it->second.end()) out[n] = attr_it->second;
+  {
+    std::lock_guard<std::mutex> lock(*d->mu);
+    const SdbDomainData& replica = pick_replica(*d);
+    auto it = replica.items.find(item);
+    if (it != replica.items.end()) {
+      if (names.empty()) {
+        out = it->second;
+      } else {
+        for (const std::string& n : names) {
+          auto attr_it = it->second.find(n);
+          if (attr_it != it->second.end()) out[n] = attr_it->second;
+        }
       }
     }
   }
@@ -312,6 +343,7 @@ AwsResult<SimpleDbService::QueryResult> SimpleDbService::query(
   }
   max_results = std::min(std::max<std::size_t>(1, max_results),
                          kSdbMaxQueryResults);
+  std::unique_lock<std::mutex> lock(*d->mu);
   const SdbDomainData& replica = pick_replica(*d);
 
   std::set<std::string> matches;
@@ -320,6 +352,7 @@ AwsResult<SimpleDbService::QueryResult> SimpleDbService::query(
   } else {
     auto parsed = sdbql::parse_query(expression);
     if (!parsed) {
+      lock.unlock();
       env_->charge(kService, "Query", expression.size(), 0);
       return aws_error(AwsErrorCode::kInvalidQueryExpression, parsed.error());
     }
@@ -339,6 +372,7 @@ AwsResult<SimpleDbService::QueryResult> SimpleDbService::query(
     bytes_out += name.size();
     out.item_names.push_back(name);
   }
+  lock.unlock();
   env_->charge(kService, "Query", expression.size(), bytes_out);
   return out;
 }
@@ -355,6 +389,7 @@ SimpleDbService::query_with_attributes(
   }
   max_results = std::min(std::max<std::size_t>(1, max_results),
                          kSdbMaxQueryResults);
+  std::unique_lock<std::mutex> lock(*d->mu);
   const SdbDomainData& replica = pick_replica(*d);
 
   std::set<std::string> matches;
@@ -363,6 +398,7 @@ SimpleDbService::query_with_attributes(
   } else {
     auto parsed = sdbql::parse_query(expression);
     if (!parsed) {
+      lock.unlock();
       env_->charge(kService, "QueryWithAttributes", expression.size(), 0);
       return aws_error(AwsErrorCode::kInvalidQueryExpression, parsed.error());
     }
@@ -392,6 +428,7 @@ SimpleDbService::query_with_attributes(
     bytes_out += name.size() + item_subset_bytes(picked);
     out.items.push_back(ItemWithAttributes{name, std::move(picked)});
   }
+  lock.unlock();
   env_->charge(kService, "QueryWithAttributes", expression.size(), bytes_out);
   return out;
 }
@@ -409,6 +446,7 @@ AwsResult<SimpleDbService::SelectResult> SimpleDbService::select(
     env_->charge(kService, "Select", expression.size(), 0);
     return aws_error(AwsErrorCode::kNoSuchDomain, stmt.domain);
   }
+  std::unique_lock<std::mutex> lock(*d->mu);
   const SdbDomainData& replica = pick_replica(*d);
   const std::vector<std::string> matches =
       sdbql::evaluate_select_order(*parsed, replica);
@@ -418,6 +456,7 @@ AwsResult<SimpleDbService::SelectResult> SimpleDbService::select(
   if (stmt.output == sdbql::SelectOutput::kCount) {
     out.count = matches.size();
     bytes_out = sizeof(std::uint64_t);
+    lock.unlock();
     env_->charge(kService, "Select", expression.size(), bytes_out);
     return out;
   }
@@ -450,6 +489,7 @@ AwsResult<SimpleDbService::SelectResult> SimpleDbService::select(
     bytes_out += row.name.size() + item_subset_bytes(row.attributes);
     out.items.push_back(std::move(row));
   }
+  lock.unlock();
   env_->charge(kService, "Select", expression.size(), bytes_out);
   return out;
 }
@@ -458,6 +498,7 @@ std::optional<SdbItem> SimpleDbService::peek_item(const std::string& domain,
                                                   const std::string& item) const {
   const Domain* d = find_domain(domain);
   if (d == nullptr) return std::nullopt;
+  std::lock_guard<std::mutex> lock(*d->mu);
   auto it = d->replicas[0].items.find(item);
   if (it == d->replicas[0].items.end()) return std::nullopt;
   return it->second;
@@ -467,6 +508,7 @@ std::vector<std::string> SimpleDbService::peek_item_names(
     const std::string& domain) const {
   const Domain* d = find_domain(domain);
   if (d == nullptr) return {};
+  std::lock_guard<std::mutex> lock(*d->mu);
   std::vector<std::string> out;
   out.reserve(d->replicas[0].items.size());
   for (const auto& [name, item] : d->replicas[0].items) out.push_back(name);
@@ -475,7 +517,9 @@ std::vector<std::string> SimpleDbService::peek_item_names(
 
 std::uint64_t SimpleDbService::item_count(const std::string& domain) const {
   const Domain* d = find_domain(domain);
-  return d == nullptr ? 0 : d->replicas[0].items.size();
+  if (d == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(*d->mu);
+  return d->replicas[0].items.size();
 }
 
 }  // namespace provcloud::aws

@@ -11,10 +11,14 @@
 // (src/cost can convert both ways).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +26,7 @@
 #include "aws/common/errors.hpp"
 #include "aws/simpledb/query_language.hpp"
 #include "aws/simpledb/types.hpp"
+#include "util/spinlock.hpp"
 
 namespace provcloud::aws {
 
@@ -125,6 +130,11 @@ class SimpleDbService {
     /// would leave replicas permanently divergent instead of *eventually*
     /// consistent.
     std::vector<sim::SimTime> apply_floor;
+    /// Per-domain lock: SimpleDB throttles (and here, serializes) per
+    /// domain, so scatter/gather over distinct shard domains runs truly in
+    /// parallel while ops on one domain stay linearized. Heap-held to keep
+    /// Domain movable into the map; propagation callbacks retake it.
+    std::unique_ptr<std::mutex> mu = std::make_unique<std::mutex>();
   };
 
   Domain* find_domain(const std::string& name);
@@ -150,8 +160,13 @@ class SimpleDbService {
   static std::size_t token_offset(const std::string& token);
 
   CloudEnv* env_;
+  // Guards the domain map structure only (shared for the per-call domain
+  // lookup on every request; exclusive for create/delete).
+  mutable std::shared_mutex domains_mu_;
   std::map<std::string, Domain> domains_;
-  std::uint64_t stored_bytes_ = 0;
+  /// Orders concurrent cross-domain gauge updates and their meter publish.
+  util::Spinlock storage_gauge_mu_;
+  std::atomic<std::uint64_t> stored_bytes_{0};
 };
 
 }  // namespace provcloud::aws

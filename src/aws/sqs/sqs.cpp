@@ -53,6 +53,7 @@ AwsResult<std::string> SqsService::create_queue(
     const std::string& name, sim::SimTime visibility_timeout) {
   env_->charge(kService, "CreateQueue", name.size(), 0);
   const std::string url = "sqs://queue/" + name;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = queues_.find(url);
   if (it == queues_.end()) {
     Queue q;
@@ -66,6 +67,7 @@ AwsResult<std::string> SqsService::create_queue(
 
 AwsResult<void> SqsService::delete_queue(const std::string& url) {
   env_->charge(kService, "DeleteQueue", 0, 0);
+  std::lock_guard<std::mutex> lock(mu_);
   queues_.erase(url);
   refresh_storage_gauge();
   return {};
@@ -74,6 +76,7 @@ AwsResult<void> SqsService::delete_queue(const std::string& url) {
 AwsResult<std::string> SqsService::send_message(const std::string& url,
                                                 util::BytesView body) {
   env_->charge(kService, "SendMessage", body.size(), 0);
+  std::lock_guard<std::mutex> lock(mu_);
   Queue* q = find_queue(url);
   if (q == nullptr) return aws_error(AwsErrorCode::kNoSuchQueue, url);
   if (body.size() > kSqsMaxMessageBytes)
@@ -86,7 +89,7 @@ AwsResult<std::string> SqsService::send_message(const std::string& url,
   m.body = util::Bytes(body);
   m.sent_at = env_->clock().now();
   m.visible_at = m.sent_at;
-  const std::size_t shard = env_->rng().next_below(q->shards.size());
+  const std::size_t shard = env_->rng_below(q->shards.size());
   q->shards[shard].messages.push_back(std::move(m));
   refresh_storage_gauge();
   return q->shards[shard].messages.back().message_id;
@@ -95,8 +98,10 @@ AwsResult<std::string> SqsService::send_message(const std::string& url,
 AwsResult<std::vector<SqsMessage>> SqsService::receive_message(
     const std::string& url, std::size_t max_messages,
     std::optional<sim::SimTime> visibility_timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
   Queue* q = find_queue(url);
   if (q == nullptr) {
+    lock.unlock();
     env_->charge(kService, "ReceiveMessage", 0, 0);
     return aws_error(AwsErrorCode::kNoSuchQueue, url);
   }
@@ -118,7 +123,7 @@ AwsResult<std::vector<SqsMessage>> SqsService::receive_message(
   // Partial Fisher-Yates for the sampled prefix.
   for (std::size_t i = 0; i < sample_count; ++i) {
     const std::size_t j =
-        i + env_->rng().next_below(shard_order.size() - i);
+        i + env_->rng_below(shard_order.size() - i);
     std::swap(shard_order[i], shard_order[j]);
   }
 
@@ -140,6 +145,7 @@ AwsResult<std::vector<SqsMessage>> SqsService::receive_message(
       out.push_back(std::move(delivered));
     }
   }
+  lock.unlock();
   env_->charge(kService, "ReceiveMessage", 0, bytes_out);
   return out;
 }
@@ -147,6 +153,7 @@ AwsResult<std::vector<SqsMessage>> SqsService::receive_message(
 AwsResult<void> SqsService::delete_message(const std::string& url,
                                            const std::string& receipt_handle) {
   env_->charge(kService, "DeleteMessage", receipt_handle.size(), 0);
+  std::lock_guard<std::mutex> lock(mu_);
   Queue* q = find_queue(url);
   if (q == nullptr) return aws_error(AwsErrorCode::kNoSuchQueue, url);
   const std::vector<std::string> parts = util::split(receipt_handle, ':');
@@ -174,6 +181,7 @@ AwsResult<void> SqsService::delete_message(const std::string& url,
 AwsResult<std::uint64_t> SqsService::approximate_number_of_messages(
     const std::string& url) {
   env_->charge(kService, "GetQueueAttributes", 0, sizeof(std::uint64_t));
+  std::lock_guard<std::mutex> lock(mu_);
   Queue* q = find_queue(url);
   if (q == nullptr) return aws_error(AwsErrorCode::kNoSuchQueue, url);
   expire_old(*q);
@@ -187,7 +195,7 @@ AwsResult<std::uint64_t> SqsService::approximate_number_of_messages(
   std::vector<std::size_t> shard_order(q->shards.size());
   for (std::size_t i = 0; i < shard_order.size(); ++i) shard_order[i] = i;
   for (std::size_t i = 0; i < sample_count; ++i) {
-    const std::size_t j = i + env_->rng().next_below(shard_order.size() - i);
+    const std::size_t j = i + env_->rng_below(shard_order.size() - i);
     std::swap(shard_order[i], shard_order[j]);
   }
   std::uint64_t sampled = 0;
@@ -200,6 +208,7 @@ AwsResult<std::uint64_t> SqsService::approximate_number_of_messages(
 }
 
 std::uint64_t SqsService::exact_message_count(const std::string& url) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const Queue* q = find_queue(url);
   if (q == nullptr) return 0;
   std::uint64_t n = 0;

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -109,6 +110,11 @@ class SqsService {
                                   std::uint64_t seq);
 
   CloudEnv* env_;
+  // Coarse service lock: each WAL client owns its queue, but the queue map,
+  // message-id counter and storage gauge are shared, and concurrent clients
+  // send/receive in parallel. SQS is not a scatter/gather fan-out target,
+  // so per-queue granularity is not worth the complexity (yet).
+  mutable std::mutex mu_;
   std::map<std::string, Queue> queues_;  // by URL
   std::uint64_t next_message_id_ = 1;
   std::uint64_t stored_bytes_ = 0;

@@ -85,6 +85,18 @@ class ProvenanceBackend {
   virtual BackendResult<ReadResult> read(const std::string& object,
                                          std::uint32_t max_retries = 64) = 0;
 
+  /// Multi-object read path: one read() per object, results in input
+  /// order. Backends with a parallel topology overlap the per-object
+  /// consistency rounds; the default is a sequential loop.
+  virtual std::vector<BackendResult<ReadResult>> read_many(
+      const std::vector<std::string>& objects, std::uint32_t max_retries = 64) {
+    std::vector<BackendResult<ReadResult>> out;
+    out.reserve(objects.size());
+    for (const std::string& object : objects)
+      out.push_back(read(object, max_retries));
+    return out;
+  }
+
   /// Retrieve the provenance of one (object, version), resolving spilled
   /// records.
   virtual BackendResult<std::vector<pass::ProvenanceRecord>> get_provenance(

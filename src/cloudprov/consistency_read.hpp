@@ -9,9 +9,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cloudprov/backend.hpp"
-#include "cloudprov/shard_router.hpp"
+#include "cloudprov/domain_topology.hpp"
 
 namespace provcloud::cloudprov {
 
@@ -26,19 +27,26 @@ inline constexpr const char* kMd5Attribute = "MD5";
 std::string nonce_for_version(std::uint32_t version);
 
 /// The read path: GET data, look up the provenance item named by the nonce
-/// in the object's shard domain, verify MD5(data || nonce); on any mismatch
-/// or miss, retry the whole round. After max_retries the best-effort pair is
-/// returned with verified=false.
-BackendResult<ReadResult> consistency_checked_read(CloudServices& services,
-                                                   const ShardRouter& router,
-                                                   const std::string& object,
-                                                   std::uint32_t max_retries);
+/// in the object's shard domain (resolved through the topology), verify
+/// MD5(data || nonce); on any mismatch or miss, retry the whole round.
+/// After max_retries the best-effort pair is returned with verified=false.
+BackendResult<ReadResult> consistency_checked_read(
+    CloudServices& services, const DomainTopology& topology,
+    const std::string& object, std::uint32_t max_retries);
+
+/// Multi-object read: one consistency_checked_read per object, overlapped
+/// on the topology's executor so the GetAttributes/GET rounds of distinct
+/// objects proceed concurrently. Results are returned in input order; with
+/// parallelism == 1 this is exactly a sequential loop of single reads.
+std::vector<BackendResult<ReadResult>> consistency_checked_read_many(
+    CloudServices& services, const DomainTopology& topology,
+    const std::vector<std::string>& objects, std::uint32_t max_retries);
 
 /// Fetch provenance records of (object, version) from the object's shard
 /// domain, retrying empty reads (propagation races) and resolving S3 spill
 /// pointers.
 BackendResult<std::vector<pass::ProvenanceRecord>> fetch_sdb_provenance(
-    CloudServices& services, const ShardRouter& router,
+    CloudServices& services, const DomainTopology& topology,
     const std::string& object, std::uint32_t version,
     std::uint32_t max_retries);
 

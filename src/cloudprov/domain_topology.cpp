@@ -1,0 +1,25 @@
+#include "cloudprov/domain_topology.hpp"
+
+#include "aws/simpledb/simpledb.hpp"
+#include "util/require.hpp"
+
+namespace provcloud::cloudprov {
+
+DomainTopology::DomainTopology(TopologyConfig config)
+    : router_(config.shard_count, std::move(config.base_domain)),
+      executor_(std::make_unique<util::Executor>(
+          config.parallelism == 0 ? 1 : config.parallelism)) {}
+
+std::shared_ptr<const DomainTopology> DomainTopology::make(
+    TopologyConfig config) {
+  return std::make_shared<const DomainTopology>(std::move(config));
+}
+
+void DomainTopology::ensure_domains(aws::SimpleDbService& sdb) const {
+  for (const std::string& domain : domains()) {
+    auto created = sdb.create_domain(domain);
+    PROVCLOUD_REQUIRE(created.has_value());
+  }
+}
+
+}  // namespace provcloud::cloudprov

@@ -10,8 +10,35 @@
 namespace provcloud::cloudprov {
 
 ProvenanceCache::ProvenanceCache(CloudServices& services, PrefetchConfig config)
-    : services_(&services), config_(config) {
+    : ProvenanceCache(services, config, DomainTopology::make()) {}
+
+ProvenanceCache::ProvenanceCache(CloudServices& services, PrefetchConfig config,
+                                 std::shared_ptr<const DomainTopology> topology)
+    : services_(&services), config_(config), topology_(std::move(topology)) {
   PROVCLOUD_REQUIRE(config_.cache_capacity > 0);
+  PROVCLOUD_REQUIRE(topology_ != nullptr);
+}
+
+std::vector<aws::SimpleDbService::ItemWithAttributes>
+ProvenanceCache::scatter_prefetch_query(
+    const std::string& expression,
+    const std::vector<std::string>& attribute_filter, std::size_t limit) {
+  using Page = std::vector<aws::SimpleDbService::ItemWithAttributes>;
+  const std::vector<Page> parts = topology_->scatter<Page>(
+      [this, &expression, &attribute_filter, limit](std::size_t,
+                                                    const std::string& domain) {
+        Page part;
+        auto q = services_->sdb.query_with_attributes(domain, expression,
+                                                      attribute_filter, limit);
+        // Distinguish internal traffic for the cost analysis.
+        services_->env->meter().record("sdb", "Query.prefetch", 0, 0);
+        if (q) part = std::move(q->items);
+        return part;
+      });
+  Page out;
+  for (const Page& part : parts)
+    out.insert(out.end(), part.begin(), part.end());
+  return out;
 }
 
 void ProvenanceCache::touch(const std::string& object,
@@ -57,7 +84,8 @@ std::vector<std::string> ProvenanceCache::hint_candidates(
   if (version_it == head->metadata.end()) return out;
   const std::string item = object + ":" + version_it->second;
 
-  auto attrs = services_->sdb.get_attributes(kProvenanceDomain, item);
+  auto attrs = services_->sdb.get_attributes(
+      topology_->domain_for_object(object), item);
   if (!attrs || attrs->empty()) return out;
 
   std::vector<std::string> producers;
@@ -71,13 +99,10 @@ std::vector<std::string> ProvenanceCache::hint_candidates(
   std::size_t siblings = 0;
   for (const std::string& producer : producers) {
     if (siblings >= config_.sibling_limit) break;
-    auto q = services_->sdb.query_with_attributes(
-        kProvenanceDomain, "['INPUT' = '" + producer + "']", {"x-kind"},
-        config_.sibling_limit);
-    // Distinguish internal traffic for the cost analysis.
-    services_->env->meter().record("sdb", "Query.prefetch", 0, 0);
-    if (!q) continue;
-    for (const auto& sibling : q->items) {
+    // A consumer of `producer` can live in any shard: scatter the query.
+    const auto siblings_found = scatter_prefetch_query(
+        "['INPUT' = '" + producer + "']", {"x-kind"}, config_.sibling_limit);
+    for (const auto& sibling : siblings_found) {
       std::string sib_object;
       std::uint32_t sib_version = 0;
       if (!parse_item_name(sibling.name, sib_object, sib_version)) continue;
@@ -95,13 +120,12 @@ std::vector<std::string> ProvenanceCache::hint_candidates(
   //    researcher's next click is often downstream), and the *other* inputs
   //    of the consuming processes (the rest of an aggregation's fan-in --
   //    e.g. the sibling hits files feeding the same summary).
-  auto q = services_->sdb.query_with_attributes(
-      kProvenanceDomain, "['INPUT' = '" + item + "']", {},
-      config_.descendant_limit + 4);
-  services_->env->meter().record("sdb", "Query.prefetch", 0, 0);
-  if (q) {
+  const auto children =
+      scatter_prefetch_query("['INPUT' = '" + item + "']", {},
+                             config_.descendant_limit + 4);
+  {
     std::size_t descendants = 0;
-    for (const auto& child : q->items) {
+    for (const auto& child : children) {
       std::string child_object;
       std::uint32_t child_version = 0;
       if (!parse_item_name(child.name, child_object, child_version)) continue;
@@ -127,11 +151,9 @@ std::vector<std::string> ProvenanceCache::hint_candidates(
 
       // Descendant files: chase one hop to the consumer's outputs.
       if (descendants >= config_.descendant_limit) continue;
-      auto grand = services_->sdb.query_with_attributes(
-          kProvenanceDomain, "['INPUT' = '" + child.name + "']", {"x-kind"}, 4);
-      services_->env->meter().record("sdb", "Query.prefetch", 0, 0);
-      if (!grand) continue;
-      for (const auto& g : grand->items) {
+      const auto grandchildren = scatter_prefetch_query(
+          "['INPUT' = '" + child.name + "']", {"x-kind"}, 4);
+      for (const auto& g : grandchildren) {
         std::string g_object;
         std::uint32_t g_version = 0;
         if (!parse_item_name(g.name, g_object, g_version)) continue;

@@ -20,11 +20,13 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cloudprov/backend.hpp"
+#include "cloudprov/domain_topology.hpp"
 
 namespace provcloud::cloudprov {
 
@@ -61,7 +63,14 @@ struct PrefetchStats {
 /// A cloud-side LRU object cache with a provenance prefetcher.
 class ProvenanceCache {
  public:
+  /// Single-domain layout (the paper's): topology defaults to one domain.
   ProvenanceCache(CloudServices& services, PrefetchConfig config);
+  /// Sharded layout: pass the storing backend's topology
+  /// (SdbBackend::topology(), WalBackend::topology()) so hint queries hit
+  /// the object's shard domain directly and sibling/descendant sweeps
+  /// scatter across every shard instead of missing non-shard-0 objects.
+  ProvenanceCache(CloudServices& services, PrefetchConfig config,
+                  std::shared_ptr<const DomainTopology> topology);
 
   /// Client-facing read: returns the object data (null if the object does
   /// not exist). Misses fetch from S3 and, with hints enabled, trigger
@@ -91,8 +100,16 @@ class ProvenanceCache {
   /// The hint engine: provenance-related object names worth warming.
   std::vector<std::string> hint_candidates(const std::string& object);
 
+  /// One prefetch query scattered to every shard domain (a related item can
+  /// live in any shard); pages gathered in shard order, each domain's query
+  /// metered as "Query.prefetch".
+  std::vector<aws::SimpleDbService::ItemWithAttributes> scatter_prefetch_query(
+      const std::string& expression,
+      const std::vector<std::string>& attribute_filter, std::size_t limit);
+
   CloudServices* services_;
   PrefetchConfig config_;
+  std::shared_ptr<const DomainTopology> topology_;
   std::map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // front = most recent
   PrefetchStats stats_;

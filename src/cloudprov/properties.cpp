@@ -6,7 +6,9 @@
 
 #include "cloudprov/consistency_read.hpp"
 #include "cloudprov/query.hpp"
+#include "cloudprov/sdb_backend.hpp"
 #include "cloudprov/serialize.hpp"
+#include "cloudprov/wal_backend.hpp"
 #include "pass/observer.hpp"
 #include "util/md5.hpp"
 #include "util/require.hpp"
@@ -17,17 +19,44 @@ namespace provcloud::cloudprov {
 
 namespace {
 
-/// One disposable world: env + services + backend.
+/// One disposable world: env + services + backend, laid out and
+/// parallelized per the checker options.
 struct Fixture {
   explicit Fixture(Architecture arch, std::uint64_t seed,
-                   aws::ConsistencyConfig consistency)
+                   aws::ConsistencyConfig consistency,
+                   const PropertyCheckOptions& options)
       : env(seed, consistency), services(env) {
-    backend = make_backend(arch, services);
+    switch (arch) {
+      case Architecture::kS3Only:
+        backend = make_backend(arch, services);
+        break;
+      case Architecture::kS3SimpleDb: {
+        auto sdb = std::make_unique<SdbBackend>(
+            services, SdbBackendConfig{.shard_count = options.shard_count,
+                                       .parallelism = options.parallelism});
+        topology = sdb->topology();
+        backend = std::move(sdb);
+        break;
+      }
+      case Architecture::kS3SimpleDbSqs: {
+        WalBackendConfig cfg;
+        cfg.shard_count = options.shard_count;
+        cfg.parallelism = options.parallelism;
+        auto wal = std::make_unique<WalBackend>(services, cfg);
+        topology = wal->topology();
+        backend = std::move(wal);
+        break;
+      }
+    }
+    // Arch 1 has no SimpleDB layout; check_state's S3 branch ignores the
+    // topology, but keep a valid single-domain one for uniformity.
+    if (topology == nullptr) topology = DomainTopology::make();
   }
 
   aws::CloudEnv env;
   CloudServices services;
   std::unique_ptr<ProvenanceBackend> backend;
+  std::shared_ptr<const DomainTopology> topology;
 };
 
 aws::ConsistencyConfig aggressive_staleness() {
@@ -125,8 +154,12 @@ struct StateViolations {
 };
 
 /// Invariant check over the settled cloud state (coordinator views; not
-/// billed).
-StateViolations check_state(Architecture arch, CloudServices& services) {
+/// billed). Sweeps every shard domain of the topology: under sharding an
+/// item lives in its object's hash domain, and peeking only the base
+/// domain would misreport stored provenance as atomicity/orphan
+/// violations.
+StateViolations check_state(Architecture arch, CloudServices& services,
+                            const DomainTopology& topology) {
   StateViolations v;
   std::vector<std::string> data_keys;
   for (const std::string& key : services.s3.peek_keys(kDataBucket)) {
@@ -154,18 +187,24 @@ StateViolations check_state(Architecture arch, CloudServices& services) {
     return v;
   }
 
-  // SimpleDB architectures: version-granular checks.
-  const std::vector<std::string> items =
-      services.sdb.peek_item_names(kProvenanceDomain);
-  const std::set<std::string> item_set(items.begin(), items.end());
+  // SimpleDB architectures: version-granular checks over every shard
+  // domain's coordinator view.
+  std::vector<std::pair<std::string, std::string>> domain_items;
+  std::set<std::string> item_set;
+  for (const std::string& domain : topology.domains()) {
+    for (std::string& item : services.sdb.peek_item_names(domain)) {
+      item_set.insert(item);
+      domain_items.emplace_back(domain, std::move(item));
+    }
+  }
 
   // (a) provenance without data (orphans). Transient pnodes carry no data
   // object by design, so only file items can be orphaned.
-  for (const std::string& item : items) {
+  for (const auto& [domain, item] : domain_items) {
     std::string object;
     std::uint32_t version = 0;
     if (!parse_item_name(item, object, version)) continue;
-    auto attrs = services.sdb.peek_item(kProvenanceDomain, item);
+    auto attrs = services.sdb.peek_item(domain, item);
     PROVCLOUD_REQUIRE(attrs.has_value());
     auto kind_it = attrs->find("x-kind");
     const bool is_file = kind_it == attrs->end() || kind_it->second.empty() ||
@@ -196,7 +235,7 @@ StateViolations check_state(Architecture arch, CloudServices& services) {
     const std::string nonce = nonce_it == obj->metadata.end()
                                   ? nonce_for_version(version)
                                   : nonce_it->second;
-    auto item = services.sdb.peek_item(kProvenanceDomain,
+    auto item = services.sdb.peek_item(topology.domain_for_object(key),
                                        item_name(key, version));
     if (!item) {
       ++v.atomicity;
@@ -212,11 +251,10 @@ StateViolations check_state(Architecture arch, CloudServices& services) {
 
 /// All crash points the architecture's protocol passes through, discovered
 /// from an uninjected run.
-std::vector<std::string> discover_crash_points(Architecture arch,
-                                               std::uint64_t seed,
-                                               std::size_t files) {
-  Fixture fx(arch, seed, aggressive_staleness());
-  drive(fx, mini_trace(seed, files));
+std::vector<std::string> discover_crash_points(
+    Architecture arch, const PropertyCheckOptions& options) {
+  Fixture fx(arch, options.seed, aggressive_staleness(), options);
+  drive(fx, mini_trace(options.seed, options.mini_files));
   settle(fx);
   return fx.env.failures().observed_points();
 }
@@ -229,13 +267,13 @@ PropertyReport check_properties(Architecture arch,
   report.arch = arch;
 
   // ------------------------------------------------------ crash sweep ----
-  const std::vector<std::string> points =
-      discover_crash_points(arch, options.seed, options.mini_files);
+  const std::vector<std::string> points = discover_crash_points(arch, options);
   std::uint64_t atomicity_violations = 0;
   std::uint64_t causal_violations = 0;
   for (const std::string& point : points) {
     for (std::uint64_t occurrence : {std::uint64_t{1}, std::uint64_t{7}}) {
-      Fixture fx(arch, options.seed + occurrence, aggressive_staleness());
+      Fixture fx(arch, options.seed + occurrence, aggressive_staleness(),
+                 options);
       fx.env.failures().arm_crash(point, occurrence);
       const bool completed = drive(fx, mini_trace(options.seed, options.mini_files));
       settle(fx);
@@ -243,7 +281,7 @@ PropertyReport check_properties(Architecture arch,
       // the system and keep running -- settle() pumped them. Remedial
       // recovery (Arch 2's orphan scan) is deliberately NOT run: Table 1
       // scores the protocol, not the cleanup.
-      const StateViolations v = check_state(arch, fx.services);
+      const StateViolations v = check_state(arch, fx.services, *fx.topology);
       atomicity_violations += v.atomicity;
       causal_violations += v.causal;
       ++report.crash_scenarios;
@@ -257,7 +295,7 @@ PropertyReport check_properties(Architecture arch,
 
   // ------------------------------------------------ consistency hammer ----
   {
-    Fixture fx(arch, options.seed ^ 0xc0ffee, aggressive_staleness());
+    Fixture fx(arch, options.seed ^ 0xc0ffee, aggressive_staleness(), options);
     pass::PassObserver observer(
         [&fx](const pass::FlushUnit& unit) { fx.backend->store(unit); });
     const pass::Pid writer = 21;
@@ -292,7 +330,8 @@ PropertyReport check_properties(Architecture arch,
   // ------------------------------------------------ query-cost scaling ----
   {
     const auto measure = [&](double scale) -> std::uint64_t {
-      Fixture fx(arch, options.seed ^ 0xdead, aws::ConsistencyConfig::strong());
+      Fixture fx(arch, options.seed ^ 0xdead, aws::ConsistencyConfig::strong(),
+                 options);
       workloads::WorkloadOptions wo;
       wo.seed = options.seed;
       wo.count_scale = scale;
@@ -302,7 +341,11 @@ PropertyReport check_properties(Architecture arch,
       settle(fx);
       auto engine = arch == Architecture::kS3Only
                         ? make_s3_query_engine(fx.services)
-                        : make_sdb_query_engine(fx.services);
+                        : make_sdb_query_engine(
+                              fx.services,
+                              SdbQueryConfig{
+                                  .shard_count = options.shard_count,
+                                  .parallelism = options.parallelism});
       const sim::MeterSnapshot before = fx.env.meter().snapshot();
       engine->q2_outputs_of("/usr/bin/gcc");
       const sim::MeterSnapshot diff =

@@ -65,6 +65,12 @@ struct PropertyCheckOptions {
   std::size_t mini_files = 12;
   /// Reads issued per stored version in the consistency hammer.
   std::size_t reads_per_version = 4;
+  /// Shard domains the SimpleDB architectures store across (1 = the
+  /// paper's single-domain layout). The state checks sweep every shard
+  /// domain, so the verdicts are layout-independent.
+  std::size_t shard_count = 1;
+  /// Executor parallelism of the backends under test.
+  std::size_t parallelism = 1;
 };
 
 PropertyReport check_properties(Architecture arch,

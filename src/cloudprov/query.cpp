@@ -4,8 +4,8 @@
 #include <map>
 
 #include "cloudprov/consistency_read.hpp"
+#include "cloudprov/domain_topology.hpp"
 #include "cloudprov/serialize.hpp"
-#include "cloudprov/shard_router.hpp"
 #include "util/require.hpp"
 #include "util/string_utils.hpp"
 
@@ -135,34 +135,44 @@ class S3QueryEngine final : public QueryEngine {
 
 class SdbQueryEngine final : public QueryEngine {
  public:
-  SdbQueryEngine(CloudServices& services, SdbQueryConfig config)
-      : services_(&services), config_(config), router_(config.shard_count) {}
+  SdbQueryEngine(CloudServices& services,
+                 std::shared_ptr<const DomainTopology> topology,
+                 SdbQueryConfig config)
+      : services_(&services), config_(config), topology_(std::move(topology)) {}
   std::string name() const override {
-    if (router_.shard_count() == 1) return "SimpleDB";
-    return "SimpleDB[x" + std::to_string(router_.shard_count()) + "]";
+    if (topology_->shard_count() == 1) return "SimpleDB";
+    return "SimpleDB[x" + std::to_string(topology_->shard_count()) + "]";
   }
 
   Q1Result q1_all_provenance() override {
     // "There is no way for SimpleDB to generalize the query and [it] needs
     // to issue one query per item": enumerate items, then GetAttributes
-    // each -- per shard domain; the union covers every item exactly once.
+    // each -- per shard domain; the union covers every item exactly once,
+    // and the per-domain sweeps overlap on the topology's executor.
+    const std::vector<Q1Result> parts = topology_->scatter<Q1Result>(
+        [this](std::size_t, const std::string& domain) {
+          Q1Result part;
+          std::string token;
+          for (;;) {
+            auto page = services_->sdb.query(domain, "",
+                                             aws::kSdbMaxQueryResults, token);
+            if (!page) break;
+            for (const std::string& item : page->item_names) {
+              auto attrs = services_->sdb.get_attributes(domain, item);
+              if (!attrs) continue;
+              ++part.object_versions;
+              for (const auto& [name, values] : *attrs)
+                part.records += values.size();
+            }
+            if (!page->next_token) break;
+            token = *page->next_token;
+          }
+          return part;
+        });
     Q1Result out;
-    for (const std::string& domain : router_.domains()) {
-      std::string token;
-      for (;;) {
-        auto page =
-            services_->sdb.query(domain, "", aws::kSdbMaxQueryResults, token);
-        if (!page) break;
-        for (const std::string& item : page->item_names) {
-          auto attrs = services_->sdb.get_attributes(domain, item);
-          if (!attrs) continue;
-          ++out.object_versions;
-          for (const auto& [name, values] : *attrs)
-            out.records += values.size();
-        }
-        if (!page->next_token) break;
-        token = *page->next_token;
-      }
+    for (const Q1Result& part : parts) {
+      out.object_versions += part.object_versions;
+      out.records += part.records;
     }
     return out;
   }
@@ -213,30 +223,38 @@ class SdbQueryEngine final : public QueryEngine {
   /// Phase 1 of Q2/Q3: item names of process versions whose NAME matches.
   /// Scatter the indexed query to every shard domain, gather the union.
   std::set<std::string> producer_versions(const std::string& program) {
-    std::set<std::string> out;
     const std::string expr = "['NAME' = '" + program + "']";
-    for (const std::string& domain : router_.domains()) {
-      std::string token;
-      for (;;) {
-        auto page = services_->sdb.query_with_attributes(
-            domain, expr, {"x-kind"}, aws::kSdbMaxQueryResults, token);
-        if (!page) break;
-        for (const auto& item : page->items)
-          if (kind_of(item.attributes) == "process") out.insert(item.name);
-        if (!page->next_token) break;
-        token = *page->next_token;
-      }
-    }
+    const std::vector<std::set<std::string>> parts =
+        topology_->scatter<std::set<std::string>>(
+            [this, &expr](std::size_t, const std::string& domain) {
+              std::set<std::string> part;
+              std::string token;
+              for (;;) {
+                auto page = services_->sdb.query_with_attributes(
+                    domain, expr, {"x-kind"}, aws::kSdbMaxQueryResults, token);
+                if (!page) break;
+                for (const auto& item : page->items)
+                  if (kind_of(item.attributes) == "process")
+                    part.insert(item.name);
+                if (!page->next_token) break;
+                token = *page->next_token;
+              }
+              return part;
+            });
+    std::set<std::string> out;
+    for (const std::set<std::string>& part : parts)
+      out.insert(part.begin(), part.end());
     return out;
   }
 
   /// Items whose INPUT attribute points at any member of `ancestors`
   /// (item-name strings "object:version"). Chunked into OR-predicates; a
   /// descendant can live in any shard, so each chunk scatters to every
-  /// domain and the pages are gathered.
+  /// domain concurrently and the pages are gathered in shard order.
   std::vector<std::pair<std::string, aws::SdbItem>> items_with_input_in(
       const std::set<std::string>& ancestors) {
-    std::vector<std::pair<std::string, aws::SdbItem>> out;
+    using ItemPage = std::vector<std::pair<std::string, aws::SdbItem>>;
+    ItemPage out;
     std::vector<std::string> list(ancestors.begin(), ancestors.end());
     for (std::size_t start = 0; start < list.size();
          start += config_.or_terms_per_query) {
@@ -248,25 +266,30 @@ class SdbQueryEngine final : public QueryEngine {
         expr += "'INPUT' = '" + list[i] + "'";
       }
       expr += "]";
-      for (const std::string& domain : router_.domains()) {
-        std::string token;
-        for (;;) {
-          auto page = services_->sdb.query_with_attributes(
-              domain, expr, {"x-kind"}, aws::kSdbMaxQueryResults, token);
-          if (!page) break;
-          for (auto& item : page->items)
-            out.emplace_back(item.name, std::move(item.attributes));
-          if (!page->next_token) break;
-          token = *page->next_token;
-        }
-      }
+      const std::vector<ItemPage> parts = topology_->scatter<ItemPage>(
+          [this, &expr](std::size_t, const std::string& domain) {
+            ItemPage part;
+            std::string token;
+            for (;;) {
+              auto page = services_->sdb.query_with_attributes(
+                  domain, expr, {"x-kind"}, aws::kSdbMaxQueryResults, token);
+              if (!page) break;
+              for (auto& item : page->items)
+                part.emplace_back(item.name, std::move(item.attributes));
+              if (!page->next_token) break;
+              token = *page->next_token;
+            }
+            return part;
+          });
+      for (const ItemPage& part : parts)
+        out.insert(out.end(), part.begin(), part.end());
     }
     return out;
   }
 
   CloudServices* services_;
   SdbQueryConfig config_;
-  ShardRouter router_;
+  std::shared_ptr<const DomainTopology> topology_;
 };
 
 }  // namespace
@@ -276,19 +299,31 @@ std::unique_ptr<QueryEngine> make_s3_query_engine(CloudServices& services) {
 }
 
 std::unique_ptr<QueryEngine> make_sdb_query_engine(CloudServices& services) {
-  return std::make_unique<SdbQueryEngine>(services, SdbQueryConfig{});
+  return make_sdb_query_engine(services, SdbQueryConfig{});
 }
 
 std::unique_ptr<QueryEngine> make_sdb_query_engine(
     CloudServices& services, const SdbQueryConfig& config) {
-  return std::make_unique<SdbQueryEngine>(services, config);
+  auto topology = DomainTopology::make(TopologyConfig{
+      .shard_count = config.shard_count, .parallelism = config.parallelism});
+  return std::make_unique<SdbQueryEngine>(services, std::move(topology),
+                                          config);
 }
 
 std::unique_ptr<QueryEngine> make_sdb_query_engine(CloudServices& services,
                                                    const ShardRouter& router) {
   SdbQueryConfig config;
   config.shard_count = router.shard_count();
-  return std::make_unique<SdbQueryEngine>(services, config);
+  return make_sdb_query_engine(services, config);
+}
+
+std::unique_ptr<QueryEngine> make_sdb_query_engine(
+    CloudServices& services, std::shared_ptr<const DomainTopology> topology) {
+  SdbQueryConfig config;
+  config.shard_count = topology->shard_count();
+  config.parallelism = topology->parallelism();
+  return std::make_unique<SdbQueryEngine>(services, std::move(topology),
+                                          config);
 }
 
 }  // namespace provcloud::cloudprov

@@ -54,15 +54,21 @@ std::unique_ptr<QueryEngine> make_s3_query_engine(CloudServices& services);
 /// same for the last two architectures (as they both query SimpleDB)").
 /// With shard_count > 1 every query scatters across the shard domains and
 /// the per-domain answers are gathered: since items are partitioned by
-/// object hash, the merged result is identical at any shard count.
+/// object hash, the merged result is identical at any shard count. With
+/// parallelism > 1 the per-domain requests overlap on the topology's
+/// executor; the gathered answers (and metered call counts) are identical
+/// at any parallelism.
 struct SdbQueryConfig {
   /// OR-terms per predicate when chunking large ancestor sets into
   /// ['INPUT' = 'a' or 'INPUT' = 'b' ...] expressions.
   std::size_t or_terms_per_query = 20;
   /// Must match the shard_count the storing backend used.
   std::size_t shard_count = 1;
+  /// Concurrent per-domain requests for scatter/gather. 1 is sequential.
+  std::size_t parallelism = 1;
 };
 class ShardRouter;
+class DomainTopology;
 std::unique_ptr<QueryEngine> make_sdb_query_engine(CloudServices& services);
 std::unique_ptr<QueryEngine> make_sdb_query_engine(CloudServices& services,
                                                    const SdbQueryConfig& config);
@@ -70,5 +76,9 @@ std::unique_ptr<QueryEngine> make_sdb_query_engine(CloudServices& services,
 /// WalBackend::router()), so the shard layout cannot drift out of sync.
 std::unique_ptr<QueryEngine> make_sdb_query_engine(CloudServices& services,
                                                    const ShardRouter& router);
+/// Share the storing backend's topology outright (SdbBackend::topology(),
+/// WalBackend::topology()): same layout *and* same executor.
+std::unique_ptr<QueryEngine> make_sdb_query_engine(
+    CloudServices& services, std::shared_ptr<const DomainTopology> topology);
 
 }  // namespace provcloud::cloudprov

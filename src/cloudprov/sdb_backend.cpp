@@ -22,11 +22,11 @@ std::string nonce_for_version(std::uint32_t version) {
 }
 
 BackendResult<std::vector<pass::ProvenanceRecord>> fetch_sdb_provenance(
-    CloudServices& services, const ShardRouter& router,
+    CloudServices& services, const DomainTopology& topology,
     const std::string& object, std::uint32_t version,
     std::uint32_t max_retries) {
   const std::string item = item_name(object, version);
-  const std::string& domain = router.domain_for_object(object);
+  const std::string& domain = topology.domain_for_object(object);
   aws::SdbItem attrs;
   for (std::uint32_t attempt = 0;; ++attempt) {
     auto got = services.sdb.get_attributes(domain, item);
@@ -67,10 +67,9 @@ BackendResult<std::vector<pass::ProvenanceRecord>> fetch_sdb_provenance(
   return records;
 }
 
-BackendResult<ReadResult> consistency_checked_read(CloudServices& services,
-                                                   const ShardRouter& router,
-                                                   const std::string& object,
-                                                   std::uint32_t max_retries) {
+BackendResult<ReadResult> consistency_checked_read(
+    CloudServices& services, const DomainTopology& topology,
+    const std::string& object, std::uint32_t max_retries) {
   ReadResult best;
   bool have_any = false;
   for (std::uint32_t attempt = 0; attempt <= max_retries; ++attempt) {
@@ -90,7 +89,7 @@ BackendResult<ReadResult> consistency_checked_read(CloudServices& services,
     // Round part 2: the provenance item named by the nonce.
     const std::string item = item_name(object, version);
     auto attrs =
-        services.sdb.get_attributes(router.domain_for_object(object), item);
+        services.sdb.get_attributes(topology.domain_for_object(object), item);
     if (!attrs || attrs->empty()) continue;
 
     // Round part 3: the MD5(data || nonce) comparison.
@@ -107,8 +106,8 @@ BackendResult<ReadResult> consistency_checked_read(CloudServices& services,
     if (actual == expected) {
       best.verified = true;
       // Spill pointers resolve through the slower path.
-      auto resolved =
-          fetch_sdb_provenance(services, router, object, version, max_retries);
+      auto resolved = fetch_sdb_provenance(services, topology, object, version,
+                                           max_retries);
       if (resolved) best.records = std::move(*resolved);
       return best;
     }
@@ -119,6 +118,29 @@ BackendResult<ReadResult> consistency_checked_read(CloudServices& services,
   return best;
 }
 
+std::vector<BackendResult<ReadResult>> consistency_checked_read_many(
+    CloudServices& services, const DomainTopology& topology,
+    const std::vector<std::string>& objects, std::uint32_t max_retries) {
+  std::vector<BackendResult<ReadResult>> out(
+      objects.size(), backend_error("read_many: not attempted"));
+  if (topology.parallelism() <= 1 || objects.size() <= 1) {
+    for (std::size_t i = 0; i < objects.size(); ++i)
+      out[i] =
+          consistency_checked_read(services, topology, objects[i], max_retries);
+    return out;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(objects.size());
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    tasks.push_back([&services, &topology, &objects, &out, i, max_retries] {
+      out[i] = consistency_checked_read(services, topology, objects[i],
+                                        max_retries);
+    });
+  }
+  topology.executor().run_all(std::move(tasks));
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // SdbBackend
 // ---------------------------------------------------------------------------
@@ -126,11 +148,10 @@ BackendResult<ReadResult> consistency_checked_read(CloudServices& services,
 SdbBackend::SdbBackend(CloudServices& services, SdbBackendConfig config)
     : services_(&services),
       config_(config),
-      router_(config.shard_count) {
-  for (const std::string& domain : router_.domains()) {
-    auto created = services_->sdb.create_domain(domain);
-    PROVCLOUD_REQUIRE(created.has_value());
-  }
+      topology_(DomainTopology::make(
+          TopologyConfig{.shard_count = config.shard_count,
+                         .parallelism = config.parallelism})) {
+  topology_->ensure_domains(services_->sdb);
 }
 
 void SdbBackend::store(const pass::FlushUnit& unit) {
@@ -157,7 +178,7 @@ void SdbBackend::store(const pass::FlushUnit& unit) {
   // admit the full 256-pair item limit); legacy path (batch_size == 1):
   // PutAttributes chunked at the 100-attribute call limit.
   const std::string item = item_name(unit.object, unit.version);
-  const std::string& domain = router_.domain_for_object(unit.object);
+  const std::string& domain = topology_->domain_for_object(unit.object);
   if (config_.batch_size <= 1) {
     for (std::size_t start = 0; start < enc.attributes.size();
          start += aws::kSdbMaxAttrsPerCall) {
@@ -202,12 +223,18 @@ void SdbBackend::store(const pass::FlushUnit& unit) {
 
 BackendResult<ReadResult> SdbBackend::read(const std::string& object,
                                            std::uint32_t max_retries) {
-  return consistency_checked_read(*services_, router_, object, max_retries);
+  return consistency_checked_read(*services_, *topology_, object, max_retries);
+}
+
+std::vector<BackendResult<ReadResult>> SdbBackend::read_many(
+    const std::vector<std::string>& objects, std::uint32_t max_retries) {
+  return consistency_checked_read_many(*services_, *topology_, objects,
+                                       max_retries);
 }
 
 BackendResult<std::vector<pass::ProvenanceRecord>> SdbBackend::get_provenance(
     const std::string& object, std::uint32_t version) {
-  return fetch_sdb_provenance(*services_, router_, object, version, 64);
+  return fetch_sdb_provenance(*services_, *topology_, object, version, 64);
 }
 
 void SdbBackend::recover() {
@@ -216,7 +243,7 @@ void SdbBackend::recover() {
   // this is an inelegant solution as it involves a scan of the entire
   // SimpleDB domain" -- which is exactly what this is.
   last_orphans_ = 0;
-  for (const std::string& domain : router_.domains()) {
+  for (const std::string& domain : topology_->domains()) {
     std::string token;
     for (;;) {
       auto page =

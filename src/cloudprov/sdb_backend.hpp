@@ -18,7 +18,7 @@
 #pragma once
 
 #include "cloudprov/backend.hpp"
-#include "cloudprov/shard_router.hpp"
+#include "cloudprov/domain_topology.hpp"
 
 namespace provcloud::cloudprov {
 
@@ -32,6 +32,9 @@ struct SdbBackendConfig {
   /// Items per BatchPutAttributes write call; 1 selects the legacy
   /// one-PutAttributes-per-100-attribute-chunk path.
   std::size_t batch_size = aws::kSdbMaxItemsPerBatch;
+  /// Concurrent shard requests (read_many fan-out). 1 keeps every path
+  /// sequential and deterministic.
+  std::size_t parallelism = 1;
 };
 
 class SdbBackend final : public ProvenanceBackend {
@@ -46,6 +49,10 @@ class SdbBackend final : public ProvenanceBackend {
   void store(const pass::FlushUnit& unit) override;
   BackendResult<ReadResult> read(const std::string& object,
                                  std::uint32_t max_retries = 64) override;
+  /// Overlaps the per-object consistency rounds on the topology's executor.
+  std::vector<BackendResult<ReadResult>> read_many(
+      const std::vector<std::string>& objects,
+      std::uint32_t max_retries = 64) override;
   BackendResult<std::vector<pass::ProvenanceRecord>> get_provenance(
       const std::string& object, std::uint32_t version) override;
 
@@ -63,12 +70,15 @@ class SdbBackend final : public ProvenanceBackend {
   std::uint64_t last_recovery_orphans() const { return last_orphans_; }
 
   const SdbBackendConfig& config() const { return config_; }
-  const ShardRouter& router() const { return router_; }
+  const std::shared_ptr<const DomainTopology>& topology() const {
+    return topology_;
+  }
+  const ShardRouter& router() const { return topology_->router(); }
 
  private:
   CloudServices* services_;
   SdbBackendConfig config_;
-  ShardRouter router_;
+  std::shared_ptr<const DomainTopology> topology_;
   std::uint64_t last_orphans_ = 0;
 };
 

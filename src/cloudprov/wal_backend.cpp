@@ -19,11 +19,10 @@ constexpr const char* kTempCreatedMetaKey = "x-temp-created";
 WalBackend::WalBackend(CloudServices& services, WalBackendConfig config)
     : services_(&services),
       config_(std::move(config)),
-      router_(config_.shard_count) {
-  for (const std::string& domain : router_.domains()) {
-    auto created = services_->sdb.create_domain(domain);
-    PROVCLOUD_REQUIRE(created.has_value());
-  }
+      topology_(DomainTopology::make(
+          TopologyConfig{.shard_count = config_.shard_count,
+                         .parallelism = config_.parallelism})) {
+  topology_->ensure_domains(services_->sdb);
   auto queue =
       services_->sqs.create_queue(config_.queue_name, config_.visibility_timeout);
   PROVCLOUD_REQUIRE(queue.has_value());
@@ -40,9 +39,14 @@ void WalBackend::store(const pass::FlushUnit& unit) {
   const std::string md5 = util::md5_with_nonce(*data, nonce);
   // Transient pnodes carry no data: no temp object, and the commit daemon
   // skips the COPY (their provenance lives only in SimpleDB).
+  // The temp name is namespaced by the client's queue: txids count per
+  // client, so two clients closing concurrently would otherwise write the
+  // same ".tmp/tx-n" object and one commit daemon would promote the other
+  // client's data.
   const bool has_data = unit.kind == pass::PnodeKind::kFile;
   const std::string temp_key =
-      has_data ? std::string(kTempPrefix) + txid : std::string();
+      has_data ? std::string(kTempPrefix) + config_.queue_name + "/" + txid
+               : std::string();
 
   const std::vector<WalRecord> records =
       build_transaction(txid, unit, temp_key, nonce, md5);
@@ -260,7 +264,7 @@ std::optional<WalBackend::StagedTxn> WalBackend::prepare_transaction(
   StagedTxn out;
   out.txn = &txn;
   out.has_data = has_data;
-  out.domain = router_.domain_for_object(unit.object);
+  out.domain = topology_->domain_for_object(unit.object);
   out.item = item_name(unit.object, unit.version);
   out.attributes = std::move(enc.attributes);
   return out;
@@ -287,43 +291,59 @@ void WalBackend::flush_staged(std::vector<StagedTxn>& staged) {
   }
 
   // Batched path: group the staged items per shard domain and write them
-  // batch_size (<= 25) at a time. A replayed transaction can stage the same
-  // item twice; duplicates split into the next call because a single
+  // batch_size (<= 25) at a time, the domains flushed concurrently through
+  // the topology (SimpleDB throttles per domain, so independent domains'
+  // round trips overlap; parallelism == 1 walks the groups in domain order
+  // exactly as before). A replayed transaction can stage the same item
+  // twice; duplicates split into the next call because a single
   // BatchPutAttributes rejects repeated item names.
-  const std::size_t batch_limit =
-      std::min(config_.batch_size, aws::kSdbMaxItemsPerBatch);
   std::map<std::string, std::vector<StagedTxn*>> by_domain;
   for (StagedTxn& s : staged) by_domain[s.domain].push_back(&s);
+  if (topology_->parallelism() <= 1 || by_domain.size() <= 1) {
+    for (auto& [domain, group] : by_domain) flush_domain_batches(domain, group);
+    return;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(by_domain.size());
   for (auto& [domain, group] : by_domain) {
-    std::vector<StagedTxn*> pending(group.begin(), group.end());
-    while (!pending.empty()) {
-      std::vector<StagedTxn*> call;
-      std::vector<StagedTxn*> rest;
-      std::set<std::string> names;
-      for (StagedTxn* s : pending) {
-        if (call.size() < batch_limit && names.insert(s->item).second)
-          call.push_back(s);
-        else
-          rest.push_back(s);
-      }
-      std::vector<aws::SdbBatchEntry> entries;
-      entries.reserve(call.size());
-      for (StagedTxn* s : call)
-        // Moving is safe: a deferred transaction is re-prepared from its WAL
-        // records on the next pump, never re-flushed from this staging.
-        entries.push_back(aws::SdbBatchEntry{s->item, std::move(s->attributes)});
-      auto put = services_->sdb.batch_put_attributes(domain, entries);
-      PROVCLOUD_REQUIRE_MSG(put.has_value(), "BatchPutAttributes failed: " +
-                                                 put.error().message);
-      // Per-item rejections are deterministic validation failures (size and
-      // pair limits): retrying cannot succeed, so fail as loudly as the
-      // legacy PutAttributes path instead of deferring forever.
-      PROVCLOUD_REQUIRE_MSG(put->ok(),
-                            "BatchPutAttributes rejected item: " +
-                                put->failed.front().error.message);
-      for (StagedTxn* s : call) s->flushed = true;
-      pending = std::move(rest);
+    const std::string* d = &domain;
+    std::vector<StagedTxn*>* g = &group;
+    tasks.push_back([this, d, g] { flush_domain_batches(*d, *g); });
+  }
+  topology_->executor().run_all(std::move(tasks));
+}
+
+void WalBackend::flush_domain_batches(const std::string& domain,
+                                      std::vector<StagedTxn*>& group) {
+  const std::size_t batch_limit =
+      std::min(config_.batch_size, aws::kSdbMaxItemsPerBatch);
+  std::vector<StagedTxn*> pending(group.begin(), group.end());
+  while (!pending.empty()) {
+    std::vector<StagedTxn*> call;
+    std::vector<StagedTxn*> rest;
+    std::set<std::string> names;
+    for (StagedTxn* s : pending) {
+      if (call.size() < batch_limit && names.insert(s->item).second)
+        call.push_back(s);
+      else
+        rest.push_back(s);
     }
+    std::vector<aws::SdbBatchEntry> entries;
+    entries.reserve(call.size());
+    for (StagedTxn* s : call)
+      // Moving is safe: a deferred transaction is re-prepared from its WAL
+      // records on the next pump, never re-flushed from this staging.
+      entries.push_back(aws::SdbBatchEntry{s->item, std::move(s->attributes)});
+    auto put = services_->sdb.batch_put_attributes(domain, entries);
+    PROVCLOUD_REQUIRE_MSG(put.has_value(), "BatchPutAttributes failed: " +
+                                               put.error().message);
+    // Per-item rejections are deterministic validation failures (size and
+    // pair limits): retrying cannot succeed, so fail as loudly as the
+    // legacy PutAttributes path instead of deferring forever.
+    PROVCLOUD_REQUIRE_MSG(put->ok(), "BatchPutAttributes rejected item: " +
+                                         put->failed.front().error.message);
+    for (StagedTxn* s : call) s->flushed = true;
+    pending = std::move(rest);
   }
 }
 
@@ -394,12 +414,18 @@ void WalBackend::clean_temp_objects() {
 
 BackendResult<ReadResult> WalBackend::read(const std::string& object,
                                            std::uint32_t max_retries) {
-  return consistency_checked_read(*services_, router_, object, max_retries);
+  return consistency_checked_read(*services_, *topology_, object, max_retries);
+}
+
+std::vector<BackendResult<ReadResult>> WalBackend::read_many(
+    const std::vector<std::string>& objects, std::uint32_t max_retries) {
+  return consistency_checked_read_many(*services_, *topology_, objects,
+                                       max_retries);
 }
 
 BackendResult<std::vector<pass::ProvenanceRecord>> WalBackend::get_provenance(
     const std::string& object, std::uint32_t version) {
-  return fetch_sdb_provenance(*services_, router_, object, version, 64);
+  return fetch_sdb_provenance(*services_, *topology_, object, version, 64);
 }
 
 std::unique_ptr<ProvenanceBackend> make_wal_backend(CloudServices& services) {

@@ -26,7 +26,7 @@
 #include <vector>
 
 #include "cloudprov/backend.hpp"
-#include "cloudprov/shard_router.hpp"
+#include "cloudprov/domain_topology.hpp"
 #include "cloudprov/txn.hpp"
 
 namespace provcloud::cloudprov {
@@ -51,6 +51,10 @@ struct WalBackendConfig {
   /// Items per BatchPutAttributes when the commit daemon flushes a batch of
   /// transactions; 1 selects the legacy one-PutAttributes-per-chunk path.
   std::size_t batch_size = aws::kSdbMaxItemsPerBatch;
+  /// Concurrent shard requests: the commit daemon flushes per-domain
+  /// batches in parallel and read_many overlaps consistency rounds. 1 keeps
+  /// every path sequential and deterministic.
+  std::size_t parallelism = 1;
 };
 
 class WalBackend final : public ProvenanceBackend {
@@ -65,6 +69,10 @@ class WalBackend final : public ProvenanceBackend {
   void store(const pass::FlushUnit& unit) override;
   BackendResult<ReadResult> read(const std::string& object,
                                  std::uint32_t max_retries = 64) override;
+  /// Overlaps the per-object consistency rounds on the topology's executor.
+  std::vector<BackendResult<ReadResult>> read_many(
+      const std::vector<std::string>& objects,
+      std::uint32_t max_retries = 64) override;
   BackendResult<std::vector<pass::ProvenanceRecord>> get_provenance(
       const std::string& object, std::uint32_t version) override;
 
@@ -91,7 +99,10 @@ class WalBackend final : public ProvenanceBackend {
   }
 
   const WalBackendConfig& config() const { return config_; }
-  const ShardRouter& router() const { return router_; }
+  const std::shared_ptr<const DomainTopology>& topology() const {
+    return topology_;
+  }
+  const ShardRouter& router() const { return topology_->router(); }
   /// Transactions the commit daemon has fully processed (diagnostics).
   std::uint64_t committed_count() const { return committed_count_; }
 
@@ -112,16 +123,21 @@ class WalBackend final : public ProvenanceBackend {
   /// the attribute encoding. nullopt defers the transaction to a later pump.
   std::optional<StagedTxn> prepare_transaction(const WalTransaction& txn);
   /// Write every staged transaction's attributes: BatchPutAttributes in
-  /// batch_size groups per shard domain (batch_size == 1: the legacy
-  /// PutAttributes chunk loop). Marks `flushed` per transaction.
+  /// batch_size groups per shard domain, the domains flushed concurrently
+  /// on the topology's executor (batch_size == 1: the legacy PutAttributes
+  /// chunk loop). Marks `flushed` per transaction.
   void flush_staged(std::vector<StagedTxn>& staged);
+  /// One domain's share of flush_staged: batch_size-sized BatchPutAttributes
+  /// calls over this domain's staged transactions.
+  void flush_domain_batches(const std::string& domain,
+                            std::vector<StagedTxn*>& group);
   /// Per-transaction back half after a successful flush: delete the WAL
   /// messages, then the temp object.
   void finish_transaction(const StagedTxn& staged);
 
   CloudServices* services_;
   WalBackendConfig config_;
-  ShardRouter router_;
+  std::shared_ptr<const DomainTopology> topology_;
   std::string queue_url_;
   std::uint64_t next_txid_ = 1;
   std::uint64_t committed_count_ = 0;

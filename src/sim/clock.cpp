@@ -6,30 +6,45 @@ namespace provcloud::sim {
 
 void SimClock::schedule_at(SimTime when, std::function<void()> fn) {
   PROVCLOUD_REQUIRE(fn != nullptr);
-  if (when < now_) when = now_;
+  const SimTime now = now_.load(std::memory_order_relaxed);
+  if (when < now) when = now;
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push(Event{when, next_seq_++, std::move(fn)});
 }
 
 void SimClock::schedule_after(SimTime delay, std::function<void()> fn) {
-  schedule_at(now_ + delay, std::move(fn));
+  schedule_at(now() + delay, std::move(fn));
 }
 
 void SimClock::advance_to(SimTime when) {
-  PROVCLOUD_REQUIRE_MSG(when >= now_, "SimClock cannot move backwards");
-  while (!events_.empty() && events_.top().when <= when) {
-    Event ev = events_.top();
-    events_.pop();
-    now_ = ev.when;
+  PROVCLOUD_REQUIRE_MSG(when >= now(), "SimClock cannot move backwards");
+  // Pop one event at a time and fire it *outside* the queue lock: callbacks
+  // lock service state and may schedule further events, so holding mu_
+  // across them would invert lock order against parallel schedulers.
+  for (;;) {
+    Event ev;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (events_.empty() || events_.top().when > when) break;
+      ev = events_.top();
+      events_.pop();
+    }
+    now_.store(ev.when, std::memory_order_relaxed);
     ev.fn();
   }
-  now_ = when;
+  now_.store(when, std::memory_order_relaxed);
 }
 
 void SimClock::drain() {
-  while (!events_.empty()) {
-    Event ev = events_.top();
-    events_.pop();
-    if (ev.when > now_) now_ = ev.when;
+  for (;;) {
+    Event ev;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (events_.empty()) break;
+      ev = events_.top();
+      events_.pop();
+    }
+    if (ev.when > now()) now_.store(ev.when, std::memory_order_relaxed);
     ev.fn();
   }
 }

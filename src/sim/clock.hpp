@@ -8,8 +8,10 @@
 // and observe convergence.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <queue>
 #include <vector>
 
@@ -25,13 +27,19 @@ inline constexpr SimTime kMinute = 60 * kSecond;
 inline constexpr SimTime kHour = 60 * kMinute;
 inline constexpr SimTime kDay = 24 * kHour;
 
+/// Thread-safety contract: schedule_at/schedule_after/now/pending_events
+/// may be called from shard-parallel worker threads (replicated writes
+/// schedule their propagation here). Advancing time (advance_to/advance_by/
+/// drain) is a driver-thread operation and must not overlap a parallel
+/// fan-out: event callbacks mutate service replicas, so firing them
+/// mid-scatter would race the very state the scatter is reading.
 class SimClock {
  public:
   SimClock() = default;
   SimClock(const SimClock&) = delete;
   SimClock& operator=(const SimClock&) = delete;
 
-  SimTime now() const { return now_; }
+  SimTime now() const { return now_.load(std::memory_order_relaxed); }
 
   /// Schedule fn to run at absolute time `when` (clamped to now). Events at
   /// the same instant run in scheduling order.
@@ -53,7 +61,10 @@ class SimClock {
   /// consistency in tests and recovery procedures).
   void drain();
 
-  std::size_t pending_events() const { return events_.size(); }
+  std::size_t pending_events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
 
  private:
   struct Event {
@@ -68,7 +79,8 @@ class SimClock {
     }
   };
 
-  SimTime now_ = 0;
+  std::atomic<SimTime> now_{0};
+  mutable std::mutex mu_;  // guards next_seq_ and events_
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> events_;
 };

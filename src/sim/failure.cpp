@@ -3,32 +3,41 @@
 namespace provcloud::sim {
 
 void FailureInjector::arm_crash(const std::string& point, std::uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& st = points_[point];
   st.crash_at = st.hits + nth;
 }
 
 void FailureInjector::disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = points_.find(point);
   if (it != points_.end()) it->second.crash_at = 0;
 }
 
 void FailureInjector::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   points_.clear();
   observed_order_.clear();
 }
 
 void FailureInjector::crash_point(const std::string& point) {
-  auto [it, inserted] = points_.try_emplace(point);
-  if (inserted) observed_order_.push_back(point);
-  auto& st = it->second;
-  ++st.hits;
-  if (st.crash_at != 0 && st.hits == st.crash_at) {
-    st.crash_at = 0;  // one-shot
-    throw CrashError(point);
+  bool crash = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = points_.try_emplace(point);
+    if (inserted) observed_order_.push_back(point);
+    auto& st = it->second;
+    ++st.hits;
+    if (st.crash_at != 0 && st.hits == st.crash_at) {
+      st.crash_at = 0;  // one-shot
+      crash = true;
+    }
   }
+  if (crash) throw CrashError(point);
 }
 
 std::uint64_t FailureInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.hits;
 }

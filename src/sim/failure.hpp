@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -50,7 +51,8 @@ class FailureInjector {
 
   /// Every distinct crash point reached so far, in first-hit order. Used by
   /// the property checker to enumerate the protocol's crash surface and then
-  /// sweep a crash through every step.
+  /// sweep a crash through every step. Driver-thread view: do not call while
+  /// a parallel fan-out may still hit new points.
   const std::vector<std::string>& observed_points() const {
     return observed_order_;
   }
@@ -60,6 +62,9 @@ class FailureInjector {
     std::uint64_t hits = 0;
     std::uint64_t crash_at = 0;  // 0 = disarmed
   };
+  // Protocol code calls crash_point from shard-parallel workers (multiple
+  // clients storing concurrently), so the hit counters are guarded.
+  mutable std::mutex mu_;
   std::map<std::string, PointState> points_;
   std::vector<std::string> observed_order_;
 };

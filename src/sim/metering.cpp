@@ -1,5 +1,8 @@
 #include "sim/metering.hpp"
 
+#include <functional>
+#include <thread>
+
 namespace provcloud::sim {
 
 std::uint64_t MeterSnapshot::calls(const std::string& service,
@@ -64,20 +67,72 @@ std::vector<MeterSnapshot::Key> MeterSnapshot::keys() const {
   return out;
 }
 
+Meter::Stripe& Meter::stripe_for_this_thread() {
+  // One stripe per recording thread (hashed): a thread's bumps never share
+  // cache lines with another's, and a single-threaded run uses one stripe.
+  const std::size_t index =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kStripes;
+  return stripes_[index];
+}
+
 void Meter::record(const std::string& service, const std::string& op,
                    std::uint64_t bytes_in, std::uint64_t bytes_out) {
-  auto& c = state_.counters[{service, op}];
-  ++c.calls;
-  c.bytes_in += bytes_in;
-  c.bytes_out += bytes_out;
+  Stripe& stripe = stripe_for_this_thread();
+  const std::pair<std::string_view, std::string_view> probe{service, op};
+  {
+    std::shared_lock<std::shared_mutex> lock(stripe.mu);
+    auto it = stripe.counters.find(probe);
+    if (it != stripe.counters.end()) {
+      it->second.calls.fetch_add(1, std::memory_order_relaxed);
+      it->second.bytes_in.fetch_add(bytes_in, std::memory_order_relaxed);
+      it->second.bytes_out.fetch_add(bytes_out, std::memory_order_relaxed);
+      return;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(stripe.mu);
+  auto& c = stripe.counters[MeterSnapshot::Key{service, op}];
+  c.calls.fetch_add(1, std::memory_order_relaxed);
+  c.bytes_in.fetch_add(bytes_in, std::memory_order_relaxed);
+  c.bytes_out.fetch_add(bytes_out, std::memory_order_relaxed);
 }
 
 void Meter::set_storage(const std::string& service, std::uint64_t bytes) {
-  state_.storage[service] = bytes;
+  {
+    std::shared_lock<std::shared_mutex> lock(storage_mu_);
+    auto it = storage_.find(service);
+    if (it != storage_.end()) {
+      it->second.store(bytes, std::memory_order_relaxed);
+      return;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(storage_mu_);
+  storage_[service].store(bytes, std::memory_order_relaxed);
 }
 
-MeterSnapshot Meter::snapshot() const { return state_; }
+MeterSnapshot Meter::snapshot() const {
+  MeterSnapshot out;
+  for (const Stripe& stripe : stripes_) {
+    std::shared_lock<std::shared_mutex> lock(stripe.mu);
+    for (const auto& [key, c] : stripe.counters) {
+      OpCounter& plain = out.counters[key];
+      plain.calls += c.calls.load(std::memory_order_relaxed);
+      plain.bytes_in += c.bytes_in.load(std::memory_order_relaxed);
+      plain.bytes_out += c.bytes_out.load(std::memory_order_relaxed);
+    }
+  }
+  std::shared_lock<std::shared_mutex> lock(storage_mu_);
+  for (const auto& [service, bytes] : storage_)
+    out.storage.emplace(service, bytes.load(std::memory_order_relaxed));
+  return out;
+}
 
-void Meter::reset() { state_ = MeterSnapshot{}; }
+void Meter::reset() {
+  for (Stripe& stripe : stripes_) {
+    std::unique_lock<std::shared_mutex> lock(stripe.mu);
+    stripe.counters.clear();
+  }
+  std::unique_lock<std::shared_mutex> lock(storage_mu_);
+  storage_.clear();
+}
 
 }  // namespace provcloud::sim

@@ -6,9 +6,14 @@
 // around a workload or a query, and src/cost turns snapshots into USD.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace provcloud::sim {
@@ -44,6 +49,16 @@ class MeterSnapshot {
   std::map<std::string, std::uint64_t> storage;  // service -> bytes stored
 };
 
+/// Thread-safe: shard-parallel scatter/gather issues service calls (and
+/// therefore records) concurrently, all landing in this one bill. Counter
+/// totals are order-independent, so parallel runs meter identically to
+/// sequential ones.
+///
+/// record() sits on every simulated request, so the counters are striped
+/// by recording thread: each thread bumps its own stripe's cells (no
+/// shared cache lines on the hot path) and snapshot() sums the stripes.
+/// One thread always lands in one stripe, so the single-threaded bill is
+/// the plain sequential count it always was.
 class Meter {
  public:
   void record(const std::string& service, const std::string& op,
@@ -53,11 +68,39 @@ class Meter {
   /// whenever its footprint changes).
   void set_storage(const std::string& service, std::uint64_t bytes);
 
+  /// Coherent only when no recorder is mid-flight (drivers snapshot between
+  /// parallel sections, never inside one).
   MeterSnapshot snapshot() const;
   void reset();
 
  private:
-  MeterSnapshot state_;
+  struct AtomicCounter {
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+  };
+  /// Heterogeneous compare so record() can probe with string_views and only
+  /// materialize key strings on first-ever insertion.
+  struct KeyLess {
+    using is_transparent = void;
+    template <typename A, typename B, typename C, typename D>
+    bool operator()(const std::pair<A, B>& a, const std::pair<C, D>& b) const {
+      const int first = std::string_view(a.first).compare(b.first);
+      if (first != 0) return first < 0;
+      return std::string_view(a.second) < std::string_view(b.second);
+    }
+  };
+  struct alignas(64) Stripe {  // cache-line aligned: stripes never false-share
+    mutable std::shared_mutex mu;  // guards map *structure*; cells are atomic
+    std::map<MeterSnapshot::Key, AtomicCounter, KeyLess> counters;
+  };
+  static constexpr std::size_t kStripes = 16;
+
+  Stripe& stripe_for_this_thread();
+
+  Stripe stripes_[kStripes];
+  mutable std::shared_mutex storage_mu_;
+  std::map<std::string, std::atomic<std::uint64_t>, std::less<>> storage_;
 };
 
 }  // namespace provcloud::sim

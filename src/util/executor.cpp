@@ -1,0 +1,77 @@
+#include "util/executor.hpp"
+
+namespace provcloud::util {
+
+Executor::Executor(std::size_t parallelism)
+    : parallelism_(parallelism == 0 ? 1 : parallelism) {
+  if (parallelism_ <= 1) return;
+  workers_.reserve(parallelism_);
+  for (std::size_t i = 0; i < parallelism_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+Executor::~Executor() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void Executor::run_inline(std::vector<std::function<void()>>& tasks) {
+  for (std::function<void()>& task : tasks) task();
+}
+
+void Executor::run_all(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty() || tasks.size() == 1) {
+    run_inline(tasks);
+    return;
+  }
+  std::lock_guard<std::mutex> batch(batch_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_ = &tasks;
+    next_ = 0;
+    remaining_ = tasks.size();
+    first_error_ = nullptr;
+  }
+  work_cv_.notify_all();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    tasks_ = nullptr;
+    error = first_error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void Executor::worker_loop() {
+  for (;;) {
+    std::function<void()>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return stop_ || (tasks_ != nullptr && next_ < tasks_->size());
+      });
+      if (stop_) return;
+      task = &(*tasks_)[next_++];
+    }
+    std::exception_ptr error;
+    try {
+      (*task)();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error && !first_error_) first_error_ = error;
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace provcloud::util

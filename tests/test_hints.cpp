@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "cloudprov/hints.hpp"
+#include "cloudprov/sdb_backend.hpp"
 #include "pass/observer.hpp"
 
 namespace {
@@ -30,8 +31,13 @@ SyscallTrace family_trace() {
 }
 
 struct World {
-  World() : env(71, aws::ConsistencyConfig::strong()), services(env) {
-    backend = make_backend(Architecture::kS3SimpleDb, services);
+  explicit World(std::size_t shard_count = 1, std::size_t parallelism = 1)
+      : env(71, aws::ConsistencyConfig::strong()), services(env) {
+    auto sdb = std::make_unique<SdbBackend>(
+        services, SdbBackendConfig{.shard_count = shard_count,
+                                   .parallelism = parallelism});
+    topology = sdb->topology();
+    backend = std::move(sdb);
     PassObserver obs([this](const FlushUnit& u) { backend->store(u); });
     obs.apply_trace(family_trace());
     obs.finish();
@@ -40,6 +46,7 @@ struct World {
   aws::CloudEnv env;
   CloudServices services;
   std::unique_ptr<ProvenanceBackend> backend;
+  std::shared_ptr<const DomainTopology> topology;
 };
 
 TEST(HintsTest, MissFetchesFromS3) {
@@ -150,6 +157,57 @@ TEST(HintsTest, PrefetchAccuracyAccounting) {
   const PrefetchStats& s = cache.stats();
   EXPECT_GT(s.prefetch_accuracy(), 0.3);
   EXPECT_GT(s.hit_rate(), 0.3);
+}
+
+// --- sharded layouts: hints must follow the topology, not assume the ---
+// --- single "provenance" domain                                      ---
+
+TEST(ShardedHintsTest, SiblingsPrefetchedAcrossShardDomains) {
+  // PR 1 regression: with shard_count > 1 the old cache queried only
+  // kProvenanceDomain and silently missed every non-shard-0 object.
+  World w(/*shard_count=*/4);
+  ProvenanceCache cache(w.services, PrefetchConfig{}, w.topology);
+  cache.read("out0");
+  EXPECT_GT(cache.stats().prefetches, 0u);
+  const std::uint64_t misses_before = cache.stats().misses;
+  cache.read("out1");
+  EXPECT_EQ(cache.stats().misses, misses_before);
+  EXPECT_GT(cache.stats().prefetch_hits, 0u);
+}
+
+TEST(ShardedHintsTest, DescendantsPrefetchedAcrossShardDomains) {
+  World w(/*shard_count=*/4);
+  ProvenanceCache cache(w.services, PrefetchConfig{}, w.topology);
+  cache.read("out0");
+  EXPECT_TRUE(cache.is_cached("report.pdf"));
+}
+
+TEST(ShardedHintsTest, HitRateMatchesSingleDomainLayout) {
+  // The same access pattern must warm the same objects at any shard count.
+  const auto stats_for = [](std::size_t shards, std::size_t parallelism) {
+    World w(shards, parallelism);
+    ProvenanceCache cache(w.services, PrefetchConfig{}, w.topology);
+    cache.read("out0");
+    for (int i = 1; i < 6; ++i) cache.read("out" + std::to_string(i));
+    cache.read("report.pdf");
+    return std::make_tuple(cache.stats().hits, cache.stats().misses,
+                           cache.stats().prefetch_hits);
+  };
+  const auto base = stats_for(1, 1);
+  EXPECT_EQ(stats_for(4, 1), base);
+  EXPECT_EQ(stats_for(4, 4), base);  // parallel prefetch: same outcome
+}
+
+TEST(ShardedHintsTest, PrefetchQueriesScatterToEveryShard) {
+  World w(/*shard_count=*/4);
+  ProvenanceCache cache(w.services, PrefetchConfig{}, w.topology);
+  const auto before = w.env.meter().snapshot();
+  cache.read("out0");
+  const auto diff = w.env.meter().snapshot().diff(before);
+  // Each hint round scatters to all 4 domains, so prefetch queries come in
+  // multiples of the shard count.
+  EXPECT_GT(diff.calls("sdb", "Query.prefetch"), 0u);
+  EXPECT_EQ(diff.calls("sdb", "Query.prefetch") % 4, 0u);
 }
 
 }  // namespace

@@ -101,6 +101,35 @@ TEST(MultiClientTest, OneClientsCrashDoesNotAffectTheOther) {
   ASSERT_TRUE(bob.read("bob/fine").has_value());
 }
 
+TEST(MultiClientTest, OverlappingTransactionsUseDistinctTempObjects) {
+  // Txids count per client, so two clients with in-flight (uncommitted)
+  // transactions both hold a "tx-1". Their temp S3 objects must not
+  // collide, or one commit daemon promotes the other client's data.
+  aws::CloudEnv env(87, aws::ConsistencyConfig::strong());
+  CloudServices services(env);
+  WalBackendConfig a = client_config(1);
+  WalBackendConfig b = client_config(2);
+  // High threshold: stores only log; both clients' temps coexist until the
+  // forced recover() below.
+  a.commit_threshold = 100;
+  b.commit_threshold = 100;
+  WalBackend alice(services, a);
+  WalBackend bob(services, b);
+
+  alice.store(file_unit("alice/data", 1, "from alice"));
+  bob.store(file_unit("bob/data", 1, "from bob"));
+  alice.quiesce();
+  bob.quiesce();
+  env.clock().drain();
+
+  auto got_a = alice.read("alice/data");
+  auto got_b = bob.read("bob/data");
+  ASSERT_TRUE(got_a.has_value());
+  ASSERT_TRUE(got_b.has_value());
+  EXPECT_EQ(*got_a->data, "from alice");
+  EXPECT_EQ(*got_b->data, "from bob");
+}
+
 TEST(MultiClientTest, LastWriterWinsOnSharedObject) {
   // The paper's usage model "precludes concurrent access to the same
   // object"; when it happens anyway, S3's documented semantics apply: "the

@@ -84,6 +84,48 @@ TEST(TableOneTest, QueryGrowthEvidence) {
   EXPECT_GT(s3.query_ops_small, sdb.query_ops_small);
 }
 
+TEST(TableOneTest, VerdictsAreLayoutIndependentUnderSharding) {
+  // PR 1 regression: check_state peeked only kProvenanceDomain, so any
+  // sharded layout misreported stored provenance as atomicity violations
+  // (data without provenance) while real orphans in shards went unseen.
+  PropertyCheckOptions o = fast_options();
+  o.shard_count = 4;
+  for (const Architecture arch :
+       {Architecture::kS3SimpleDb, Architecture::kS3SimpleDbSqs}) {
+    const PropertyReport base = check_properties(arch, fast_options());
+    const PropertyReport sharded = check_properties(arch, o);
+    EXPECT_EQ(sharded.atomicity, base.atomicity) << to_string(arch);
+    EXPECT_EQ(sharded.consistency, base.consistency) << to_string(arch);
+    EXPECT_EQ(sharded.causal_ordering, base.causal_ordering)
+        << to_string(arch);
+    EXPECT_EQ(sharded.efficient_query, base.efficient_query)
+        << to_string(arch);
+  }
+}
+
+TEST(TableOneTest, ShardedArchTwoStillFindsTheAtomicityHole) {
+  // Sharding must not *hide* the real violations either: Arch 2's crash
+  // between provenance and data store remains an atomicity failure.
+  PropertyCheckOptions o = fast_options();
+  o.shard_count = 4;
+  const PropertyReport report =
+      check_properties(Architecture::kS3SimpleDb, o);
+  EXPECT_FALSE(report.atomicity);
+  EXPECT_GT(report.atomicity_violations, 0u);
+}
+
+TEST(TableOneTest, ParallelBackendsReportTheSameProperties) {
+  PropertyCheckOptions o = fast_options();
+  o.shard_count = 4;
+  o.parallelism = 4;
+  const PropertyReport parallel =
+      check_properties(Architecture::kS3SimpleDbSqs, o);
+  EXPECT_TRUE(parallel.atomicity);
+  EXPECT_TRUE(parallel.consistency);
+  EXPECT_TRUE(parallel.causal_ordering);
+  EXPECT_TRUE(parallel.efficient_query);
+}
+
 TEST(TableOneTest, CheckAllReturnsThreeRows) {
   const auto rows = check_all_architectures(fast_options());
   ASSERT_EQ(rows.size(), 3u);

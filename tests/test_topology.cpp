@@ -1,0 +1,74 @@
+// DomainTopology: the single source of truth for shard layout + fan-out.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "aws/simpledb/simpledb.hpp"
+#include "cloudprov/domain_topology.hpp"
+#include "cloudprov/serialize.hpp"
+
+namespace {
+
+using namespace provcloud::cloudprov;
+namespace aws = provcloud::aws;
+
+TEST(DomainTopologyTest, DefaultIsTheSingleProvenanceDomain) {
+  DomainTopology t;
+  EXPECT_EQ(t.shard_count(), 1u);
+  EXPECT_EQ(t.parallelism(), 1u);
+  ASSERT_EQ(t.domains().size(), 1u);
+  EXPECT_EQ(t.domains()[0], kProvenanceDomain);
+  EXPECT_EQ(t.domain_for_object("any/object"), kProvenanceDomain);
+}
+
+TEST(DomainTopologyTest, AgreesWithItsRouterAtEveryShardCount) {
+  for (const std::size_t shards :
+       {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    DomainTopology t(TopologyConfig{.shard_count = shards});
+    const ShardRouter reference(shards);
+    ASSERT_EQ(t.domains(), reference.domains());
+    for (const std::string object : {"a", "data/f1", "proc/9/2", "out/hits0"}) {
+      EXPECT_EQ(t.shard_of(object), reference.shard_of(object));
+      EXPECT_EQ(t.domain_for_object(object),
+                reference.domain_for_object(object));
+      EXPECT_EQ(t.domain_for_item(object + ":3"),
+                reference.domain_for_item(object + ":3"));
+    }
+  }
+}
+
+TEST(DomainTopologyTest, EnsureDomainsCreatesEveryShardDomain) {
+  aws::CloudEnv env(11, aws::ConsistencyConfig::strong());
+  aws::SimpleDbService sdb(env);
+  DomainTopology t(TopologyConfig{.shard_count = 4});
+  t.ensure_domains(sdb);
+  std::set<std::string> listed;
+  for (std::string& d : sdb.list_domains()) listed.insert(std::move(d));
+  for (const std::string& d : t.domains()) EXPECT_TRUE(listed.count(d)) << d;
+}
+
+TEST(DomainTopologyTest, ScatterGathersInShardOrderAtAnyParallelism) {
+  for (const std::size_t parallelism : {std::size_t{1}, std::size_t{4}}) {
+    DomainTopology t(
+        TopologyConfig{.shard_count = 8, .parallelism = parallelism});
+    const std::vector<std::string> gathered = t.scatter<std::string>(
+        [](std::size_t i, const std::string& domain) {
+          return std::to_string(i) + "=" + domain;
+        });
+    ASSERT_EQ(gathered.size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i)
+      EXPECT_EQ(gathered[i], std::to_string(i) + "=" + t.domains()[i]);
+  }
+}
+
+TEST(DomainTopologyTest, CustomBaseDomainNamesShards) {
+  DomainTopology t(
+      TopologyConfig{.shard_count = 2, .base_domain = "lineage"});
+  ASSERT_EQ(t.domains().size(), 2u);
+  EXPECT_EQ(t.domains()[0], "lineage-0");
+  EXPECT_EQ(t.domains()[1], "lineage-1");
+}
+
+}  // namespace
