@@ -14,10 +14,11 @@
 //
 // Reported per point: SimpleDB write round trips, total service calls, the
 // per-shard peak item count (the contention proxy: SimpleDB throttles per
-// domain, so a lower peak means more client headroom), and wall-clock for
-// the workload + queries. Query answers are cross-checked against the
-// unsharded layout at every point: sharding and parallelism must never
-// change an answer.
+// domain, so a lower peak means more client headroom), per-shard request
+// hotness from the meter's per-domain view (peak/mean; 1.0 = even load),
+// wall-clock and ledger elapsed time for the workload + queries. Query
+// answers are cross-checked against the unsharded layout at every point:
+// sharding and parallelism must never change an answer.
 #include <cstdio>
 
 #include <set>
@@ -40,8 +41,14 @@ struct Point {
   std::uint64_t write_rts = 0;
   std::uint64_t total_calls = 0;
   std::uint64_t peak_domain_items = 0;
+  /// Per-shard hotness from the meter's per-domain view: the busiest
+  /// domain's request count, and peak/mean (1.0 = perfectly even load).
+  std::uint64_t peak_domain_calls = 0;
+  double domain_hotness = 0;
   double store_ms = 0;  // wall-clock: workload through PASS + WAL drain
   double query_ms = 0;  // wall-clock: Q.2 + Q.3 scatter/gather
+  sim::SimTime store_elapsed = 0;  // ledger: client timeline, store phase
+  sim::SimTime query_elapsed = 0;  // ledger: client timeline, query phase
   std::set<std::string> q2;
   std::set<std::string> q3;
 };
@@ -61,14 +68,24 @@ Point run_point(const pass::SyscallTrace& trace, const std::string& program,
   p.shards = shards;
   p.parallelism = parallelism;
   p.store_ms = bench::wall_clock_ms([&] { run.run(trace); });
+  p.store_elapsed = run.env.elapsed_time();
   const auto snap = run.env.meter().snapshot();
   p.write_rts = snap.calls("sdb", "PutAttributes") +
                 snap.calls("sdb", "BatchPutAttributes");
   p.total_calls = snap.total_calls();
   ShardRouter router(shards);
-  for (const std::string& domain : router.domains())
+  std::uint64_t domain_calls_total = 0;
+  for (const std::string& domain : router.domains()) {
     p.peak_domain_items =
         std::max(p.peak_domain_items, run.services.sdb.item_count(domain));
+    const std::uint64_t calls = snap.detail_calls("sdb", domain);
+    p.peak_domain_calls = std::max(p.peak_domain_calls, calls);
+    domain_calls_total += calls;
+  }
+  if (domain_calls_total > 0)
+    p.domain_hotness = static_cast<double>(p.peak_domain_calls) *
+                       static_cast<double>(shards) /
+                       static_cast<double>(domain_calls_total);
   auto engine = make_sdb_query_engine(
       run.services,
       SdbQueryConfig{.shard_count = shards, .parallelism = parallelism});
@@ -76,6 +93,7 @@ Point run_point(const pass::SyscallTrace& trace, const std::string& program,
     p.q2 = engine->q2_outputs_of(program);
     p.q3 = engine->q3_descendants_of(program);
   });
+  p.query_elapsed = run.env.elapsed_time() - p.store_elapsed;
   return p;
 }
 
@@ -103,17 +121,19 @@ int main() {
     for (const std::size_t shards : {std::size_t{4}, std::size_t{8}})
       points.push_back(run_point(trace, program, 25, shards, parallelism));
 
-  std::printf("\n%6s %7s %4s %15s %12s %18s %9s %9s\n", "batch", "shards",
-              "par", "sdb write RTs", "total calls", "peak domain items",
-              "store ms", "query ms");
+  std::printf("\n%6s %7s %4s %13s %11s %11s %7s %8s %8s %11s\n", "batch",
+              "shards", "par", "sdb write RTs", "total calls", "peak items",
+              "hotness", "store ms", "query ms", "elapsed min");
   bench::print_rule();
   for (const Point& p : points)
-    std::printf("%6zu %7zu %4zu %15s %12s %18s %9.1f %9.1f\n", p.batch,
-                p.shards, p.parallelism,
+    std::printf("%6zu %7zu %4zu %13s %11s %11s %7.2f %8.1f %8.1f %11.1f\n",
+                p.batch, p.shards, p.parallelism,
                 bench::fmt_count(p.write_rts).c_str(),
                 bench::fmt_count(p.total_calls).c_str(),
-                bench::fmt_count(p.peak_domain_items).c_str(), p.store_ms,
-                p.query_ms);
+                bench::fmt_count(p.peak_domain_items).c_str(),
+                p.domain_hotness, p.store_ms, p.query_ms,
+                static_cast<double>(p.store_elapsed + p.query_elapsed) /
+                    sim::kMinute);
 
   const auto find_point = [&](std::size_t batch, std::size_t shards,
                               std::size_t par = 1) -> const Point& {
@@ -152,13 +172,17 @@ int main() {
   ok = ok && speedup >= 5.0;
   // More shards -> lower per-domain peak (contention headroom).
   ok = ok && find_point(25, 8).peak_domain_items < base.peak_domain_items;
-  // Parallelism changes wall-clock only: identical billing and layout.
+  // Parallelism changes wall-clock and ledger elapsed time only: identical
+  // billing and layout, and the overlapped (critical-path) elapsed time
+  // never exceeds the sequential sum.
   if (parallelism > 1) {
     const Point& par8 = find_point(25, 8, parallelism);
     const Point& seq8 = find_point(25, 8);
     ok = ok && par8.write_rts == seq8.write_rts;
     ok = ok && par8.total_calls == seq8.total_calls;
     ok = ok && par8.peak_domain_items == seq8.peak_domain_items;
+    ok = ok && par8.store_elapsed + par8.query_elapsed <=
+                   seq8.store_elapsed + seq8.query_elapsed;
   }
   std::printf("\nshape check (identical answers at every point; batch >= 5x; "
               "sharding lowers per-domain peak; parallelism billing-"
@@ -177,8 +201,14 @@ int main() {
                               std::to_string(p.parallelism);
       j.add(key + "_write_rts", p.write_rts);
       j.add(key + "_peak_domain_items", p.peak_domain_items);
+      j.add(key + "_peak_domain_calls", p.peak_domain_calls);
+      j.add(key + "_domain_hotness", p.domain_hotness);
       j.add(key + "_store_ms", p.store_ms);
       j.add(key + "_query_ms", p.query_ms);
+      j.add(key + "_store_elapsed_us",
+            static_cast<std::uint64_t>(p.store_elapsed));
+      j.add(key + "_query_elapsed_us",
+            static_cast<std::uint64_t>(p.query_elapsed));
     }
     j.add("batch_speedup", speedup);
     j.add("query_wall_speedup", query_wall_speedup);

@@ -3,15 +3,16 @@
 namespace provcloud::aws {
 
 sim::SimTime CloudEnv::charge(const std::string& service, const std::string& op,
-                              std::uint64_t bytes_in, std::uint64_t bytes_out) {
-  meter_.record(service, op, bytes_in, bytes_out);
+                              std::uint64_t bytes_in, std::uint64_t bytes_out,
+                              const std::string& detail) {
+  meter_.record(service, op, bytes_in, bytes_out, detail);
   sim::SimTime latency = 0;
   {
     std::lock_guard<util::Spinlock> lock(fabric_mu_);
     latency = latency_model_.sample(rng_, bytes_in, bytes_out);
   }
   busy_time_.fetch_add(latency, std::memory_order_relaxed);
-  if (charge_latency_) clock_.advance_by(latency);
+  ledger_.charge(latency);
   return latency;
 }
 

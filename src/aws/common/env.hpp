@@ -15,7 +15,9 @@
 #include "sim/clock.hpp"
 #include "sim/failure.hpp"
 #include "sim/latency.hpp"
+#include "sim/latency_ledger.hpp"
 #include "sim/metering.hpp"
+#include "util/require.hpp"
 #include "util/rng.hpp"
 #include "util/spinlock.hpp"
 
@@ -51,7 +53,16 @@ class CloudEnv {
  public:
   explicit CloudEnv(std::uint64_t seed = 42,
                     ConsistencyConfig consistency = ConsistencyConfig{})
-      : rng_(seed), consistency_(consistency) {}
+      : rng_(seed), consistency_(consistency) {
+    // Advancing the clock fires replica-propagation events; reject it while
+    // any scatter/gather branch is open (see SimClock's contract).
+    clock_.set_advance_guard([this] {
+      PROVCLOUD_REQUIRE_MSG(
+          ledger_.open_branches() == 0,
+          "SimClock advanced during a parallel fan-out: propagation events "
+          "may only fire at driver-thread synchronization points");
+    });
+  }
 
   CloudEnv(const CloudEnv&) = delete;
   CloudEnv& operator=(const CloudEnv&) = delete;
@@ -68,22 +79,27 @@ class CloudEnv {
   sim::LatencyModel& latency_model() { return latency_model_; }
   void set_latency_model(sim::LatencyModel m) { latency_model_ = m; }
 
-  /// Charge one service request: meter it and, when latency charging is on,
-  /// advance the simulated clock by a sampled request latency (which lets
-  /// replica propagation proceed underneath long transfers, exactly as in
-  /// the real system). Returns the charged latency. Thread-safe, except
-  /// that latency charging (which advances the clock and thereby fires
-  /// replica-propagation events) must not be combined with shard-parallel
-  /// fan-out -- see SimClock's contract.
+  /// Charge one service request: meter it and record a sampled request
+  /// latency on the calling thread's virtual timeline (the ledger). The
+  /// simulated clock never moves here -- elapsed time and event scheduling
+  /// are decoupled, so charging is safe from shard-parallel fan-out.
+  /// Returns the charged latency. `detail` optionally names the service
+  /// partition hit (SimpleDB domain, SQS queue) for per-shard metering.
   sim::SimTime charge(const std::string& service, const std::string& op,
-                      std::uint64_t bytes_in, std::uint64_t bytes_out);
+                      std::uint64_t bytes_in, std::uint64_t bytes_out,
+                      const std::string& detail = "");
 
-  void set_charge_latency(bool on) { charge_latency_ = on; }
-  bool charge_latency() const { return charge_latency_; }
+  /// Per-client elapsed-time accounting: sequential requests sum on the
+  /// caller's timeline; parallel scatter/gather merges by critical path.
+  sim::LatencyLedger& latency_ledger() { return ledger_; }
 
-  /// Total request latency charged so far (the "elapsed time" of the client,
-  /// excluding idle waiting). Accumulates even when latency charging does
-  /// not advance the clock.
+  /// Elapsed virtual time of the calling client (thread): the ledger view
+  /// of "the impact of the extra operations on elapsed time". For a
+  /// sequential (parallelism == 1) run this equals busy_time() exactly.
+  sim::SimTime elapsed_time() const { return ledger_.elapsed(); }
+
+  /// Total request latency charged so far across *all* clients -- the
+  /// billing-style sum, order-independent under parallel fan-out.
   sim::SimTime busy_time() const {
     return busy_time_.load(std::memory_order_relaxed);
   }
@@ -103,7 +119,7 @@ class CloudEnv {
   sim::FailureInjector failures_;
   ConsistencyConfig consistency_;
   sim::LatencyModel latency_model_;
-  bool charge_latency_ = false;
+  sim::LatencyLedger ledger_;
   std::atomic<sim::SimTime> busy_time_{0};
   /// Guards rng_ only -- held for one draw at a time, since every metered
   /// request samples a latency (the meter and clock carry their own locks).

@@ -172,7 +172,7 @@ void SimpleDbService::recompute_storage_gauge() {
 }
 
 AwsResult<void> SimpleDbService::create_domain(const std::string& domain) {
-  env_->charge(kService, "CreateDomain", domain.size(), 0);
+  env_->charge(kService, "CreateDomain", domain.size(), 0, domain);
   std::unique_lock<std::shared_mutex> lock(domains_mu_);
   if (domains_.find(domain) == domains_.end()) {
     Domain d;
@@ -184,7 +184,7 @@ AwsResult<void> SimpleDbService::create_domain(const std::string& domain) {
 }
 
 AwsResult<void> SimpleDbService::delete_domain(const std::string& domain) {
-  env_->charge(kService, "DeleteDomain", domain.size(), 0);
+  env_->charge(kService, "DeleteDomain", domain.size(), 0, domain);
   {
     std::unique_lock<std::shared_mutex> lock(domains_mu_);
     domains_.erase(domain);
@@ -234,7 +234,7 @@ AwsResult<void> SimpleDbService::validate_put(
 AwsResult<void> SimpleDbService::put_attributes(
     const std::string& domain, const std::string& item,
     const std::vector<SdbReplaceableAttribute>& attrs) {
-  env_->charge(kService, "PutAttributes", attrs_bytes(attrs), 0);
+  env_->charge(kService, "PutAttributes", attrs_bytes(attrs), 0, domain);
   Domain* d = find_domain(domain);
   if (d == nullptr) return aws_error(AwsErrorCode::kNoSuchDomain, domain);
   std::lock_guard<std::mutex> lock(*d->mu);
@@ -252,7 +252,7 @@ SimpleDbService::batch_put_attributes(const std::string& domain,
   // legacy writes of the same record meter identical bytes.
   std::uint64_t bytes = 0;
   for (const auto& e : entries) bytes += attrs_bytes(e.attrs);
-  env_->charge(kService, "BatchPutAttributes", bytes, 0);
+  env_->charge(kService, "BatchPutAttributes", bytes, 0, domain);
   Domain* d = find_domain(domain);
   if (d == nullptr) return aws_error(AwsErrorCode::kNoSuchDomain, domain);
   if (entries.empty())
@@ -287,7 +287,7 @@ AwsResult<void> SimpleDbService::delete_attributes(
     const std::vector<SdbAttribute>& attrs) {
   std::uint64_t bytes = 0;
   for (const auto& a : attrs) bytes += a.name.size() + a.value.size();
-  env_->charge(kService, "DeleteAttributes", bytes, 0);
+  env_->charge(kService, "DeleteAttributes", bytes, 0, domain);
   Domain* d = find_domain(domain);
   if (d == nullptr) return aws_error(AwsErrorCode::kNoSuchDomain, domain);
   std::lock_guard<std::mutex> lock(*d->mu);
@@ -301,7 +301,7 @@ AwsResult<SdbItem> SimpleDbService::get_attributes(
     const std::vector<std::string>& names) {
   Domain* d = find_domain(domain);
   if (d == nullptr) {
-    env_->charge(kService, "GetAttributes", 0, 0);
+    env_->charge(kService, "GetAttributes", 0, 0, domain);
     return aws_error(AwsErrorCode::kNoSuchDomain, domain);
   }
   SdbItem out;
@@ -320,7 +320,7 @@ AwsResult<SdbItem> SimpleDbService::get_attributes(
       }
     }
   }
-  env_->charge(kService, "GetAttributes", 0, item_subset_bytes(out));
+  env_->charge(kService, "GetAttributes", 0, item_subset_bytes(out), domain);
   return out;
 }
 
@@ -338,7 +338,7 @@ AwsResult<SimpleDbService::QueryResult> SimpleDbService::query(
     std::size_t max_results, const std::string& next_token) {
   Domain* d = find_domain(domain);
   if (d == nullptr) {
-    env_->charge(kService, "Query", expression.size(), 0);
+    env_->charge(kService, "Query", expression.size(), 0, domain);
     return aws_error(AwsErrorCode::kNoSuchDomain, domain);
   }
   max_results = std::min(std::max<std::size_t>(1, max_results),
@@ -353,7 +353,7 @@ AwsResult<SimpleDbService::QueryResult> SimpleDbService::query(
     auto parsed = sdbql::parse_query(expression);
     if (!parsed) {
       lock.unlock();
-      env_->charge(kService, "Query", expression.size(), 0);
+      env_->charge(kService, "Query", expression.size(), 0, domain);
       return aws_error(AwsErrorCode::kInvalidQueryExpression, parsed.error());
     }
     matches = sdbql::evaluate(*parsed, replica);
@@ -373,7 +373,7 @@ AwsResult<SimpleDbService::QueryResult> SimpleDbService::query(
     out.item_names.push_back(name);
   }
   lock.unlock();
-  env_->charge(kService, "Query", expression.size(), bytes_out);
+  env_->charge(kService, "Query", expression.size(), bytes_out, domain);
   return out;
 }
 
@@ -384,7 +384,7 @@ SimpleDbService::query_with_attributes(
     const std::string& next_token) {
   Domain* d = find_domain(domain);
   if (d == nullptr) {
-    env_->charge(kService, "QueryWithAttributes", expression.size(), 0);
+    env_->charge(kService, "QueryWithAttributes", expression.size(), 0, domain);
     return aws_error(AwsErrorCode::kNoSuchDomain, domain);
   }
   max_results = std::min(std::max<std::size_t>(1, max_results),
@@ -399,7 +399,8 @@ SimpleDbService::query_with_attributes(
     auto parsed = sdbql::parse_query(expression);
     if (!parsed) {
       lock.unlock();
-      env_->charge(kService, "QueryWithAttributes", expression.size(), 0);
+      env_->charge(kService, "QueryWithAttributes", expression.size(), 0,
+                   domain);
       return aws_error(AwsErrorCode::kInvalidQueryExpression, parsed.error());
     }
     matches = sdbql::evaluate(*parsed, replica);
@@ -429,7 +430,8 @@ SimpleDbService::query_with_attributes(
     out.items.push_back(ItemWithAttributes{name, std::move(picked)});
   }
   lock.unlock();
-  env_->charge(kService, "QueryWithAttributes", expression.size(), bytes_out);
+  env_->charge(kService, "QueryWithAttributes", expression.size(), bytes_out,
+               domain);
   return out;
 }
 
@@ -437,13 +439,13 @@ AwsResult<SimpleDbService::SelectResult> SimpleDbService::select(
     const std::string& expression, const std::string& next_token) {
   auto parsed = sdbql::parse_select(expression);
   if (!parsed) {
-    env_->charge(kService, "Select", expression.size(), 0);
+    env_->charge(kService, "Select", expression.size(), 0);  // domain unknown
     return aws_error(AwsErrorCode::kInvalidQueryExpression, parsed.error());
   }
   const sdbql::SelectStatement& stmt = *parsed;
   Domain* d = find_domain(stmt.domain);
   if (d == nullptr) {
-    env_->charge(kService, "Select", expression.size(), 0);
+    env_->charge(kService, "Select", expression.size(), 0, stmt.domain);
     return aws_error(AwsErrorCode::kNoSuchDomain, stmt.domain);
   }
   std::unique_lock<std::mutex> lock(*d->mu);
@@ -457,7 +459,7 @@ AwsResult<SimpleDbService::SelectResult> SimpleDbService::select(
     out.count = matches.size();
     bytes_out = sizeof(std::uint64_t);
     lock.unlock();
-    env_->charge(kService, "Select", expression.size(), bytes_out);
+    env_->charge(kService, "Select", expression.size(), bytes_out, stmt.domain);
     return out;
   }
   const std::size_t offset = token_offset(next_token);
@@ -490,7 +492,7 @@ AwsResult<SimpleDbService::SelectResult> SimpleDbService::select(
     out.items.push_back(std::move(row));
   }
   lock.unlock();
-  env_->charge(kService, "Select", expression.size(), bytes_out);
+  env_->charge(kService, "Select", expression.size(), bytes_out, stmt.domain);
   return out;
 }
 

@@ -12,14 +12,11 @@ namespace {
 constexpr const char* kService = "sqs";
 }
 
-SqsService::Queue* SqsService::find_queue(const std::string& url) {
+std::shared_ptr<SqsService::Queue> SqsService::find_queue(
+    const std::string& url) const {
+  std::shared_lock<std::shared_mutex> lock(queues_mu_);
   auto it = queues_.find(url);
-  return it == queues_.end() ? nullptr : &it->second;
-}
-
-const SqsService::Queue* SqsService::find_queue(const std::string& url) const {
-  auto it = queues_.find(url);
-  return it == queues_.end() ? nullptr : &it->second;
+  return it == queues_.end() ? nullptr : it->second;
 }
 
 std::string SqsService::make_receipt(std::size_t shard, const std::string& id,
@@ -27,82 +24,106 @@ std::string SqsService::make_receipt(std::size_t shard, const std::string& id,
   return std::to_string(shard) + ":" + id + ":" + std::to_string(seq);
 }
 
+void SqsService::publish_gauge_delta(std::int64_t delta) {
+  // Cross-queue writers share the gauge: fold the delta in and publish
+  // under one lock so a slower thread cannot overwrite a newer total with
+  // a stale one (the per-queue mutex orders writes within a queue only).
+  std::lock_guard<util::Spinlock> gauge_lock(storage_gauge_mu_);
+  stored_bytes_ += static_cast<std::uint64_t>(delta);
+  env_->meter().set_storage(kService, stored_bytes_.load());
+}
+
 void SqsService::expire_old(Queue& q) {
   const sim::SimTime now = env_->clock().now();
   if (now < kSqsRetention) return;
   const sim::SimTime cutoff = now - kSqsRetention;
+  std::uint64_t reaped = 0;
   for (Shard& shard : q.shards) {
     for (StoredMessage& m : shard.messages)
-      if (!m.deleted && m.sent_at < cutoff) m.deleted = true;
+      if (!m.deleted && m.sent_at < cutoff) {
+        m.deleted = true;
+        reaped += m.body.size();
+      }
     while (!shard.messages.empty() && shard.messages.front().deleted)
       shard.messages.pop_front();
   }
-}
-
-void SqsService::refresh_storage_gauge() {
-  std::uint64_t total = 0;
-  for (const auto& [url, q] : queues_)
-    for (const Shard& shard : q.shards)
-      for (const StoredMessage& m : shard.messages)
-        if (!m.deleted) total += m.body.size();
-  stored_bytes_ = total;
-  env_->meter().set_storage(kService, total);
+  if (reaped > 0) {
+    q.queue_bytes -= reaped;
+    publish_gauge_delta(-static_cast<std::int64_t>(reaped));
+  }
 }
 
 AwsResult<std::string> SqsService::create_queue(
     const std::string& name, sim::SimTime visibility_timeout) {
-  env_->charge(kService, "CreateQueue", name.size(), 0);
   const std::string url = "sqs://queue/" + name;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = queues_.find(url);
-  if (it == queues_.end()) {
-    Queue q;
-    q.name = name;
-    q.visibility_timeout = visibility_timeout;
-    q.shards.resize(kSqsShardsPerQueue);
+  env_->charge(kService, "CreateQueue", name.size(), 0, url);
+  std::unique_lock<std::shared_mutex> lock(queues_mu_);
+  if (queues_.find(url) == queues_.end()) {
+    auto q = std::make_shared<Queue>();
+    q->name = name;
+    q->visibility_timeout = visibility_timeout;
+    q->shards.resize(kSqsShardsPerQueue);
     queues_.emplace(url, std::move(q));
   }
   return url;
 }
 
 AwsResult<void> SqsService::delete_queue(const std::string& url) {
-  env_->charge(kService, "DeleteQueue", 0, 0);
-  std::lock_guard<std::mutex> lock(mu_);
-  queues_.erase(url);
-  refresh_storage_gauge();
+  env_->charge(kService, "DeleteQueue", 0, 0, url);
+  std::shared_ptr<Queue> q;
+  {
+    std::unique_lock<std::shared_mutex> lock(queues_mu_);
+    auto it = queues_.find(url);
+    if (it == queues_.end()) return {};
+    q = std::move(it->second);
+    queues_.erase(it);
+  }
+  std::lock_guard<std::mutex> lock(q->mu);
+  q->erased = true;  // racing holders of the old reference see NoSuchQueue
+  if (q->queue_bytes > 0) {
+    publish_gauge_delta(-static_cast<std::int64_t>(q->queue_bytes));
+    q->queue_bytes = 0;
+  }
   return {};
 }
 
 AwsResult<std::string> SqsService::send_message(const std::string& url,
                                                 util::BytesView body) {
-  env_->charge(kService, "SendMessage", body.size(), 0);
-  std::lock_guard<std::mutex> lock(mu_);
-  Queue* q = find_queue(url);
+  env_->charge(kService, "SendMessage", body.size(), 0, url);
+  std::shared_ptr<Queue> q = find_queue(url);
   if (q == nullptr) return aws_error(AwsErrorCode::kNoSuchQueue, url);
+  std::lock_guard<std::mutex> lock(q->mu);
+  if (q->erased) return aws_error(AwsErrorCode::kNoSuchQueue, url);
   if (body.size() > kSqsMaxMessageBytes)
     return aws_error(AwsErrorCode::kEntityTooLarge,
                      "message exceeds 8KB limit");
   expire_old(*q);
 
   StoredMessage m;
-  m.message_id = "msg-" + util::hex_u64(next_message_id_++);
+  m.message_id = "msg-" + util::hex_u64(next_message_id_.fetch_add(
+                              1, std::memory_order_relaxed));
   m.body = util::Bytes(body);
   m.sent_at = env_->clock().now();
   m.visible_at = m.sent_at;
   const std::size_t shard = env_->rng_below(q->shards.size());
+  q->queue_bytes += m.body.size();
+  publish_gauge_delta(static_cast<std::int64_t>(m.body.size()));
   q->shards[shard].messages.push_back(std::move(m));
-  refresh_storage_gauge();
   return q->shards[shard].messages.back().message_id;
 }
 
 AwsResult<std::vector<SqsMessage>> SqsService::receive_message(
     const std::string& url, std::size_t max_messages,
     std::optional<sim::SimTime> visibility_timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
-  Queue* q = find_queue(url);
+  std::shared_ptr<Queue> q = find_queue(url);
   if (q == nullptr) {
+    env_->charge(kService, "ReceiveMessage", 0, 0, url);
+    return aws_error(AwsErrorCode::kNoSuchQueue, url);
+  }
+  std::unique_lock<std::mutex> lock(q->mu);
+  if (q->erased) {
     lock.unlock();
-    env_->charge(kService, "ReceiveMessage", 0, 0);
+    env_->charge(kService, "ReceiveMessage", 0, 0, url);
     return aws_error(AwsErrorCode::kNoSuchQueue, url);
   }
   expire_old(*q);
@@ -146,16 +167,17 @@ AwsResult<std::vector<SqsMessage>> SqsService::receive_message(
     }
   }
   lock.unlock();
-  env_->charge(kService, "ReceiveMessage", 0, bytes_out);
+  env_->charge(kService, "ReceiveMessage", 0, bytes_out, url);
   return out;
 }
 
 AwsResult<void> SqsService::delete_message(const std::string& url,
                                            const std::string& receipt_handle) {
-  env_->charge(kService, "DeleteMessage", receipt_handle.size(), 0);
-  std::lock_guard<std::mutex> lock(mu_);
-  Queue* q = find_queue(url);
+  env_->charge(kService, "DeleteMessage", receipt_handle.size(), 0, url);
+  std::shared_ptr<Queue> q = find_queue(url);
   if (q == nullptr) return aws_error(AwsErrorCode::kNoSuchQueue, url);
+  std::lock_guard<std::mutex> lock(q->mu);
+  if (q->erased) return aws_error(AwsErrorCode::kNoSuchQueue, url);
   const std::vector<std::string> parts = util::split(receipt_handle, ':');
   if (parts.size() != 3)
     return aws_error(AwsErrorCode::kInvalidReceiptHandle, receipt_handle);
@@ -170,8 +192,11 @@ AwsResult<void> SqsService::delete_message(const std::string& url,
   Shard& shard = q->shards[shard_idx];
   for (StoredMessage& m : shard.messages) {
     if (m.message_id == parts[1]) {
-      m.deleted = true;
-      refresh_storage_gauge();
+      if (!m.deleted) {
+        m.deleted = true;
+        q->queue_bytes -= m.body.size();
+        publish_gauge_delta(-static_cast<std::int64_t>(m.body.size()));
+      }
       return {};
     }
   }
@@ -180,10 +205,11 @@ AwsResult<void> SqsService::delete_message(const std::string& url,
 
 AwsResult<std::uint64_t> SqsService::approximate_number_of_messages(
     const std::string& url) {
-  env_->charge(kService, "GetQueueAttributes", 0, sizeof(std::uint64_t));
-  std::lock_guard<std::mutex> lock(mu_);
-  Queue* q = find_queue(url);
+  env_->charge(kService, "GetQueueAttributes", 0, sizeof(std::uint64_t), url);
+  std::shared_ptr<Queue> q = find_queue(url);
   if (q == nullptr) return aws_error(AwsErrorCode::kNoSuchQueue, url);
+  std::lock_guard<std::mutex> lock(q->mu);
+  if (q->erased) return aws_error(AwsErrorCode::kNoSuchQueue, url);
   expire_old(*q);
 
   // Sample a subset of shards and scale up -- an *approximation*, exactly
@@ -208,9 +234,9 @@ AwsResult<std::uint64_t> SqsService::approximate_number_of_messages(
 }
 
 std::uint64_t SqsService::exact_message_count(const std::string& url) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const Queue* q = find_queue(url);
+  const std::shared_ptr<Queue> q = find_queue(url);
   if (q == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(q->mu);
   std::uint64_t n = 0;
   for (const Shard& shard : q->shards)
     for (const StoredMessage& m : shard.messages)

@@ -16,17 +16,21 @@
 //   * best-effort ordering only.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "aws/common/env.hpp"
 #include "aws/common/errors.hpp"
 #include "util/bytes.hpp"
+#include "util/spinlock.hpp"
 
 namespace provcloud::aws {
 
@@ -80,7 +84,9 @@ class SqsService {
   /// --- test/verification access (not billed) ---
   /// Exact number of live (visible or in-flight) messages.
   std::uint64_t exact_message_count(const std::string& url) const;
-  std::uint64_t stored_bytes() const { return stored_bytes_; }
+  std::uint64_t stored_bytes() const {
+    return stored_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct StoredMessage {
@@ -98,26 +104,42 @@ class SqsService {
     std::string name;
     sim::SimTime visibility_timeout = kSqsDefaultVisibilityTimeout;
     std::vector<Shard> shards;
+    /// Live bytes on this queue, maintained incrementally under `mu`.
+    std::uint64_t queue_bytes = 0;
+    /// Set by delete_queue (under `mu`) after the map entry is gone; a
+    /// racing caller that already resolved the queue sees NoSuchQueue.
+    bool erased = false;
+    /// Per-queue lock: concurrent WAL clients each own a queue, so their
+    /// send/receive/delete traffic runs truly in parallel while ops on one
+    /// queue stay linearized -- the same granularity as SimpleDB's
+    /// per-domain and S3's per-bucket locks.
+    mutable std::mutex mu;
   };
 
-  Queue* find_queue(const std::string& url);
-  const Queue* find_queue(const std::string& url) const;
+  /// Queues live behind shared_ptr so a lookup stays valid across the
+  /// unlocked window between resolving the queue and locking it: a
+  /// concurrent delete_queue only drops the map reference, never the Queue
+  /// a peer is about to lock.
+  std::shared_ptr<Queue> find_queue(const std::string& url) const;
+  /// Caller holds q.mu. Reaps retention-expired messages and publishes the
+  /// reaped bytes.
   void expire_old(Queue& q);
-  void refresh_storage_gauge();
+  /// Fold a live-bytes change into the service-wide gauge + meter.
+  void publish_gauge_delta(std::int64_t delta);
 
   /// receipt handle encoding: "<shard>:<message_id>:<receipt_seq>".
   static std::string make_receipt(std::size_t shard, const std::string& id,
                                   std::uint64_t seq);
 
   CloudEnv* env_;
-  // Coarse service lock: each WAL client owns its queue, but the queue map,
-  // message-id counter and storage gauge are shared, and concurrent clients
-  // send/receive in parallel. SQS is not a scatter/gather fan-out target,
-  // so per-queue granularity is not worth the complexity (yet).
-  mutable std::mutex mu_;
-  std::map<std::string, Queue> queues_;  // by URL
-  std::uint64_t next_message_id_ = 1;
-  std::uint64_t stored_bytes_ = 0;
+  // Guards the queue map structure only (shared for the per-call lookup on
+  // every request; exclusive for create/delete).
+  mutable std::shared_mutex queues_mu_;
+  std::map<std::string, std::shared_ptr<Queue>> queues_;  // by URL
+  std::atomic<std::uint64_t> next_message_id_{1};
+  /// Orders concurrent cross-queue gauge updates and their meter publish.
+  util::Spinlock storage_gauge_mu_;
+  std::atomic<std::uint64_t> stored_bytes_{0};
 };
 
 }  // namespace provcloud::aws

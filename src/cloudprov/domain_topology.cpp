@@ -1,6 +1,7 @@
 #include "cloudprov/domain_topology.hpp"
 
 #include "aws/simpledb/simpledb.hpp"
+#include "sim/latency_ledger.hpp"
 #include "util/require.hpp"
 
 namespace provcloud::cloudprov {
@@ -8,7 +9,42 @@ namespace provcloud::cloudprov {
 DomainTopology::DomainTopology(TopologyConfig config)
     : router_(config.shard_count, std::move(config.base_domain)),
       executor_(std::make_unique<util::Executor>(
-          config.parallelism == 0 ? 1 : config.parallelism)) {}
+          config.parallelism == 0 ? 1 : config.parallelism)),
+      ledger_(config.ledger) {}
+
+void DomainTopology::run_tasks(std::vector<std::function<void()>> tasks) const {
+  if (tasks.empty()) return;
+  if (parallelism() <= 1 || tasks.size() <= 1) {
+    for (std::function<void()>& task : tasks) task();
+    return;
+  }
+  if (ledger_ == nullptr) {
+    executor_->run_all(std::move(tasks));
+    return;
+  }
+  // Each task runs on its own branch timeline; the caller's timeline then
+  // advances by the longest branch (the critical path of the fan-out).
+  std::vector<sim::SimTime> branch_elapsed(tasks.size(), 0);
+  std::vector<std::function<void()>> wrapped;
+  wrapped.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    wrapped.push_back([this, &tasks, &branch_elapsed, i] {
+      sim::LatencyLedger::Branch branch(*ledger_);
+      tasks[i]();
+      branch_elapsed[i] = branch.elapsed();
+    });
+  }
+  // run_all rethrows a task's exception only after the whole batch finished,
+  // so every branch is closed; merge what was gathered before propagating
+  // (crash injection surfaces as an exception through here).
+  try {
+    executor_->run_all(std::move(wrapped));
+  } catch (...) {
+    ledger_->merge_critical_path(branch_elapsed);
+    throw;
+  }
+  ledger_->merge_critical_path(branch_elapsed);
+}
 
 std::shared_ptr<const DomainTopology> DomainTopology::make(
     TopologyConfig config) {

@@ -29,6 +29,9 @@
 namespace provcloud::aws {
 class SimpleDbService;
 }
+namespace provcloud::sim {
+class LatencyLedger;
+}
 
 namespace provcloud::cloudprov {
 
@@ -41,6 +44,11 @@ struct TopologyConfig {
   /// Concurrent shard requests the topology's executor allows. 1 runs every
   /// fan-out inline and in order (the deterministic test/reference mode).
   std::size_t parallelism = 1;
+  /// Elapsed-time ledger of the environment the topology fans out against
+  /// (CloudEnv::latency_ledger()). When set, parallel fan-outs open one
+  /// ledger branch per task and merge the branch timelines by critical path
+  /// at the gather barrier; null skips elapsed-time bookkeeping.
+  sim::LatencyLedger* ledger = nullptr;
 };
 
 class DomainTopology {
@@ -78,10 +86,17 @@ class DomainTopology {
   /// does not change the layout.
   util::Executor& executor() const { return *executor_; }
 
-  /// Run fn(shard_index, domain) once per shard domain. parallelism == 1
-  /// (or a single domain) executes inline in shard order -- exactly the
-  /// sequential loops this replaced; otherwise the calls overlap on the
-  /// executor. fn must not touch shared state without its own locking.
+  /// Run a batch of independent tasks. parallelism == 1 (or a single task)
+  /// executes inline, in order, on the caller's thread: charges land on the
+  /// caller's timeline sequentially (sum merge) -- exactly the loops this
+  /// replaced, bit-for-bit. Otherwise the tasks overlap on the executor,
+  /// each on its own ledger branch, and the caller's timeline advances by
+  /// the longest branch (critical-path merge). Tasks must not touch shared
+  /// state without their own locking.
+  void run_tasks(std::vector<std::function<void()>> tasks) const;
+
+  /// Run fn(shard_index, domain) once per shard domain (see run_tasks for
+  /// the execution and elapsed-time contract).
   template <typename Fn>
   void for_each_domain(Fn&& fn) const {
     const std::vector<std::string>& ds = domains();
@@ -93,7 +108,7 @@ class DomainTopology {
     tasks.reserve(ds.size());
     for (std::size_t i = 0; i < ds.size(); ++i)
       tasks.push_back([&fn, &ds, i] { fn(i, ds[i]); });
-    executor_->run_all(std::move(tasks));
+    run_tasks(std::move(tasks));
   }
 
   /// Scatter fn over the shard domains and gather the per-domain results in
@@ -110,6 +125,7 @@ class DomainTopology {
  private:
   ShardRouter router_;
   std::unique_ptr<util::Executor> executor_;
+  sim::LatencyLedger* ledger_;
 };
 
 }  // namespace provcloud::cloudprov

@@ -10,7 +10,9 @@
 namespace provcloud::cloudprov {
 
 ProvenanceCache::ProvenanceCache(CloudServices& services, PrefetchConfig config)
-    : ProvenanceCache(services, config, DomainTopology::make()) {}
+    : ProvenanceCache(services, config,
+                      DomainTopology::make(TopologyConfig{
+                          .ledger = &services.env->latency_ledger()})) {}
 
 ProvenanceCache::ProvenanceCache(CloudServices& services, PrefetchConfig config,
                                  std::shared_ptr<const DomainTopology> topology)

@@ -50,7 +50,9 @@ struct Fixture {
     }
     // Arch 1 has no SimpleDB layout; check_state's S3 branch ignores the
     // topology, but keep a valid single-domain one for uniformity.
-    if (topology == nullptr) topology = DomainTopology::make();
+    if (topology == nullptr)
+      topology = DomainTopology::make(
+          TopologyConfig{.ledger = &env.latency_ledger()});
   }
 
   aws::CloudEnv env;

@@ -304,8 +304,10 @@ std::unique_ptr<QueryEngine> make_sdb_query_engine(CloudServices& services) {
 
 std::unique_ptr<QueryEngine> make_sdb_query_engine(
     CloudServices& services, const SdbQueryConfig& config) {
-  auto topology = DomainTopology::make(TopologyConfig{
-      .shard_count = config.shard_count, .parallelism = config.parallelism});
+  auto topology = DomainTopology::make(
+      TopologyConfig{.shard_count = config.shard_count,
+                     .parallelism = config.parallelism,
+                     .ledger = &services.env->latency_ledger()});
   return std::make_unique<SdbQueryEngine>(services, std::move(topology),
                                           config);
 }

@@ -123,12 +123,6 @@ std::vector<BackendResult<ReadResult>> consistency_checked_read_many(
     const std::vector<std::string>& objects, std::uint32_t max_retries) {
   std::vector<BackendResult<ReadResult>> out(
       objects.size(), backend_error("read_many: not attempted"));
-  if (topology.parallelism() <= 1 || objects.size() <= 1) {
-    for (std::size_t i = 0; i < objects.size(); ++i)
-      out[i] =
-          consistency_checked_read(services, topology, objects[i], max_retries);
-    return out;
-  }
   std::vector<std::function<void()>> tasks;
   tasks.reserve(objects.size());
   for (std::size_t i = 0; i < objects.size(); ++i) {
@@ -137,7 +131,7 @@ std::vector<BackendResult<ReadResult>> consistency_checked_read_many(
                                         max_retries);
     });
   }
-  topology.executor().run_all(std::move(tasks));
+  topology.run_tasks(std::move(tasks));
   return out;
 }
 
@@ -150,7 +144,8 @@ SdbBackend::SdbBackend(CloudServices& services, SdbBackendConfig config)
       config_(config),
       topology_(DomainTopology::make(
           TopologyConfig{.shard_count = config.shard_count,
-                         .parallelism = config.parallelism})) {
+                         .parallelism = config.parallelism,
+                         .ledger = &services.env->latency_ledger()})) {
   topology_->ensure_domains(services_->sdb);
 }
 

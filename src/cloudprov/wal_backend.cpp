@@ -21,7 +21,8 @@ WalBackend::WalBackend(CloudServices& services, WalBackendConfig config)
       config_(std::move(config)),
       topology_(DomainTopology::make(
           TopologyConfig{.shard_count = config_.shard_count,
-                         .parallelism = config_.parallelism})) {
+                         .parallelism = config_.parallelism,
+                         .ledger = &services.env->latency_ledger()})) {
   topology_->ensure_domains(services_->sdb);
   auto queue =
       services_->sqs.create_queue(config_.queue_name, config_.visibility_timeout);
@@ -299,10 +300,6 @@ void WalBackend::flush_staged(std::vector<StagedTxn>& staged) {
   // BatchPutAttributes rejects repeated item names.
   std::map<std::string, std::vector<StagedTxn*>> by_domain;
   for (StagedTxn& s : staged) by_domain[s.domain].push_back(&s);
-  if (topology_->parallelism() <= 1 || by_domain.size() <= 1) {
-    for (auto& [domain, group] : by_domain) flush_domain_batches(domain, group);
-    return;
-  }
   std::vector<std::function<void()>> tasks;
   tasks.reserve(by_domain.size());
   for (auto& [domain, group] : by_domain) {
@@ -310,7 +307,7 @@ void WalBackend::flush_staged(std::vector<StagedTxn>& staged) {
     std::vector<StagedTxn*>* g = &group;
     tasks.push_back([this, d, g] { flush_domain_batches(*d, *g); });
   }
-  topology_->executor().run_all(std::move(tasks));
+  topology_->run_tasks(std::move(tasks));
 }
 
 void WalBackend::flush_domain_batches(const std::string& domain,

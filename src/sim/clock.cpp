@@ -17,6 +17,7 @@ void SimClock::schedule_after(SimTime delay, std::function<void()> fn) {
 }
 
 void SimClock::advance_to(SimTime when) {
+  if (advance_guard_) advance_guard_();
   PROVCLOUD_REQUIRE_MSG(when >= now(), "SimClock cannot move backwards");
   // Pop one event at a time and fire it *outside* the queue lock: callbacks
   // lock service state and may schedule further events, so holding mu_
@@ -36,6 +37,7 @@ void SimClock::advance_to(SimTime when) {
 }
 
 void SimClock::drain() {
+  if (advance_guard_) advance_guard_();
   for (;;) {
     Event ev;
     {

@@ -30,9 +30,12 @@ inline constexpr SimTime kDay = 24 * kHour;
 /// Thread-safety contract: schedule_at/schedule_after/now/pending_events
 /// may be called from shard-parallel worker threads (replicated writes
 /// schedule their propagation here). Advancing time (advance_to/advance_by/
-/// drain) is a driver-thread operation and must not overlap a parallel
-/// fan-out: event callbacks mutate service replicas, so firing them
-/// mid-scatter would race the very state the scatter is reading.
+/// drain) is a driver-thread *synchronization point* and must not overlap a
+/// parallel fan-out: event callbacks mutate service replicas, so firing them
+/// mid-scatter would race the very state the scatter is reading. Nothing on
+/// the request path advances the clock anymore -- latency is recorded on
+/// per-client timelines (sim::LatencyLedger) -- and the environment installs
+/// an advance guard that rejects an advance while any ledger branch is open.
 class SimClock {
  public:
   SimClock() = default;
@@ -66,6 +69,14 @@ class SimClock {
     return events_.size();
   }
 
+  /// Install a check that runs at the top of every advance_to/drain. The
+  /// owning environment uses it to assert that no parallel fan-out is in
+  /// flight (see the thread-safety contract above); the guard throws to
+  /// reject the advance.
+  void set_advance_guard(std::function<void()> guard) {
+    advance_guard_ = std::move(guard);
+  }
+
  private:
   struct Event {
     SimTime when;
@@ -80,6 +91,7 @@ class SimClock {
   };
 
   std::atomic<SimTime> now_{0};
+  std::function<void()> advance_guard_;  // set once at env construction
   mutable std::mutex mu_;  // guards next_seq_ and events_
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> events_;

@@ -1,0 +1,74 @@
+#include "sim/latency_ledger.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace provcloud::sim {
+
+namespace {
+
+/// The per-thread stack of open branches, tagged by ledger so tests that
+/// drive several CloudEnvs from one thread cannot cross their timelines.
+struct BranchFrame {
+  const LatencyLedger* ledger;
+  LatencyLedger::Timeline* timeline;
+};
+thread_local std::vector<BranchFrame> tls_branches;
+
+}  // namespace
+
+LatencyLedger::~LatencyLedger() {
+  // A Branch must not outlive its ledger; CloudEnv owns the ledger and every
+  // fan-out gathers (joining its branches) before control returns.
+  PROVCLOUD_REQUIRE(open_branches_.load() == 0);
+}
+
+LatencyLedger::Timeline& LatencyLedger::root_for_this_thread() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return roots_[std::this_thread::get_id()];
+}
+
+LatencyLedger::Timeline* LatencyLedger::active_timeline() {
+  for (auto it = tls_branches.rbegin(); it != tls_branches.rend(); ++it)
+    if (it->ledger == this) return it->timeline;
+  return &root_for_this_thread();
+}
+
+const LatencyLedger::Timeline* LatencyLedger::active_timeline_or_null() const {
+  for (auto it = tls_branches.rbegin(); it != tls_branches.rend(); ++it)
+    if (it->ledger == this) return it->timeline;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = roots_.find(std::this_thread::get_id());
+  return it == roots_.end() ? nullptr : &it->second;
+}
+
+void LatencyLedger::charge(SimTime latency) {
+  active_timeline()->elapsed += latency;
+}
+
+SimTime LatencyLedger::elapsed() const {
+  const Timeline* t = active_timeline_or_null();
+  return t == nullptr ? 0 : t->elapsed;
+}
+
+void LatencyLedger::merge_critical_path(
+    const std::vector<SimTime>& branch_elapsed) {
+  SimTime critical = 0;
+  for (const SimTime e : branch_elapsed) critical = std::max(critical, e);
+  charge(critical);
+}
+
+LatencyLedger::Branch::Branch(LatencyLedger& ledger) : ledger_(&ledger) {
+  tls_branches.push_back(BranchFrame{ledger_, &timeline_});
+  ledger_->open_branches_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+LatencyLedger::Branch::~Branch() {
+  ledger_->open_branches_.fetch_sub(1, std::memory_order_acq_rel);
+  PROVCLOUD_REQUIRE(!tls_branches.empty() &&
+                    tls_branches.back().timeline == &timeline_);
+  tls_branches.pop_back();
+}
+
+}  // namespace provcloud::sim

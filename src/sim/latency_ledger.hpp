@@ -1,0 +1,102 @@
+// Per-client virtual timelines for elapsed-time accounting.
+//
+// The old model charged request latency by advancing the shared SimClock
+// inline, which is unsafe under shard-parallel scatter/gather: a clock
+// advance fires replica-propagation events mid-scatter, mutating the very
+// replicas the scatter is reading. The ledger decouples the two concerns:
+//
+//   * Every simulated AWS call records its sampled latency against the
+//     *timeline* of the thread that issued it. Each client (thread) owns a
+//     root timeline, so sequential composition merges by **sum** -- exactly
+//     the charged-latency numbers the global-clock mode produced.
+//   * A parallel scatter/gather opens one Branch per task. Charges inside a
+//     branch land on that branch's timeline; at the gather barrier the
+//     caller merges the branch totals by **max** (the critical path), so a
+//     parallel run reports the *overlapped* elapsed time.
+//   * The simulated clock never moves on a charge. Replica propagation is
+//     scheduled at logical commit time and fires only at explicit driver-
+//     thread synchronization points (SimClock::advance_to/drain), which a
+//     guard asserts never overlap an open branch.
+//
+// With parallelism == 1 no branches open and every charge lands on the
+// caller's root timeline in issue order: the reported elapsed time is
+// bit-identical to the retired charge_latency accounting.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace provcloud::sim {
+
+class LatencyLedger {
+ public:
+  /// One branch of virtual time. Only the thread running the branch (or
+  /// owning the root) ever touches it.
+  struct Timeline {
+    SimTime elapsed = 0;
+  };
+
+  LatencyLedger() = default;
+  LatencyLedger(const LatencyLedger&) = delete;
+  LatencyLedger& operator=(const LatencyLedger&) = delete;
+  ~LatencyLedger();
+
+  /// Add `latency` to the calling thread's active timeline: the innermost
+  /// open Branch on this thread, or the thread's root timeline.
+  void charge(SimTime latency);
+
+  /// Elapsed virtual time on the calling thread's active timeline. For a
+  /// client driver thread this is "the elapsed time of the client,
+  /// excluding idle waiting" -- the quantity the paper's conclusion asks
+  /// to measure.
+  SimTime elapsed() const;
+
+  /// Critical-path merge: the gather side of a parallel scatter. Advances
+  /// the caller's timeline by the *longest* branch -- overlapped work costs
+  /// its slowest leg, not the sum of all legs.
+  void merge_critical_path(const std::vector<SimTime>& branch_elapsed);
+
+  /// Open branches across all threads. Non-zero means a scatter/gather is
+  /// in flight; SimClock's advance guard uses this to reject event firing
+  /// mid-scatter.
+  int open_branches() const {
+    return open_branches_.load(std::memory_order_acquire);
+  }
+
+  /// RAII scope a fan-out task opens on its worker thread: installs a fresh
+  /// branch timeline as the thread's active timeline for this ledger and
+  /// restores the previous one on destruction. The gather side reads
+  /// elapsed() and feeds merge_critical_path.
+  class Branch {
+   public:
+    explicit Branch(LatencyLedger& ledger);
+    ~Branch();
+    Branch(const Branch&) = delete;
+    Branch& operator=(const Branch&) = delete;
+
+    SimTime elapsed() const { return timeline_.elapsed; }
+
+   private:
+    LatencyLedger* ledger_;
+    Timeline timeline_;
+  };
+
+ private:
+  Timeline* active_timeline();
+  const Timeline* active_timeline_or_null() const;
+  Timeline& root_for_this_thread();
+
+  /// Guards the root-timeline map structure; each Timeline is still
+  /// single-writer (its own thread).
+  mutable std::mutex mu_;
+  std::map<std::thread::id, Timeline> roots_;
+  std::atomic<int> open_branches_{0};
+};
+
+}  // namespace provcloud::sim

@@ -43,19 +43,46 @@ std::uint64_t MeterSnapshot::total_calls() const {
   return total;
 }
 
-MeterSnapshot MeterSnapshot::diff(const MeterSnapshot& earlier) const {
-  MeterSnapshot out;
-  for (const auto& [key, c] : counters) {
+std::uint64_t MeterSnapshot::detail_calls(const std::string& service,
+                                          const std::string& detail) const {
+  auto it = detail_counters.find(Key{service, detail});
+  return it == detail_counters.end() ? 0 : it->second.calls;
+}
+
+std::vector<std::string> MeterSnapshot::details(
+    const std::string& service) const {
+  std::vector<std::string> out;
+  for (auto it = detail_counters.lower_bound(Key{service, ""});
+       it != detail_counters.end() && it->first.first == service; ++it)
+    out.push_back(it->first.second);
+  return out;
+}
+
+namespace {
+std::map<MeterSnapshot::Key, OpCounter> diff_counter_map(
+    const std::map<MeterSnapshot::Key, OpCounter>& later,
+    const std::map<MeterSnapshot::Key, OpCounter>& earlier) {
+  std::map<MeterSnapshot::Key, OpCounter> out;
+  for (const auto& [key, c] : later) {
     OpCounter d = c;
-    auto it = earlier.counters.find(key);
-    if (it != earlier.counters.end()) {
+    auto it = earlier.find(key);
+    if (it != earlier.end()) {
       d.calls -= it->second.calls;
       d.bytes_in -= it->second.bytes_in;
       d.bytes_out -= it->second.bytes_out;
     }
     if (d.calls != 0 || d.bytes_in != 0 || d.bytes_out != 0)
-      out.counters.emplace(key, d);
+      out.emplace(key, d);
   }
+  return out;
+}
+}  // namespace
+
+MeterSnapshot MeterSnapshot::diff(const MeterSnapshot& earlier) const {
+  MeterSnapshot out;
+  out.counters = diff_counter_map(counters, earlier.counters);
+  out.detail_counters =
+      diff_counter_map(detail_counters, earlier.detail_counters);
   out.storage = storage;
   return out;
 }
@@ -75,25 +102,37 @@ Meter::Stripe& Meter::stripe_for_this_thread() {
   return stripes_[index];
 }
 
-void Meter::record(const std::string& service, const std::string& op,
-                   std::uint64_t bytes_in, std::uint64_t bytes_out) {
-  Stripe& stripe = stripe_for_this_thread();
-  const std::pair<std::string_view, std::string_view> probe{service, op};
+namespace {
+template <typename Map>
+void bump(std::shared_mutex& mu, Map& map, const std::string& first,
+          const std::string& second, std::uint64_t bytes_in,
+          std::uint64_t bytes_out) {
+  const std::pair<std::string_view, std::string_view> probe{first, second};
   {
-    std::shared_lock<std::shared_mutex> lock(stripe.mu);
-    auto it = stripe.counters.find(probe);
-    if (it != stripe.counters.end()) {
+    std::shared_lock<std::shared_mutex> lock(mu);
+    auto it = map.find(probe);
+    if (it != map.end()) {
       it->second.calls.fetch_add(1, std::memory_order_relaxed);
       it->second.bytes_in.fetch_add(bytes_in, std::memory_order_relaxed);
       it->second.bytes_out.fetch_add(bytes_out, std::memory_order_relaxed);
       return;
     }
   }
-  std::unique_lock<std::shared_mutex> lock(stripe.mu);
-  auto& c = stripe.counters[MeterSnapshot::Key{service, op}];
+  std::unique_lock<std::shared_mutex> lock(mu);
+  auto& c = map[MeterSnapshot::Key{first, second}];
   c.calls.fetch_add(1, std::memory_order_relaxed);
   c.bytes_in.fetch_add(bytes_in, std::memory_order_relaxed);
   c.bytes_out.fetch_add(bytes_out, std::memory_order_relaxed);
+}
+}  // namespace
+
+void Meter::record(const std::string& service, const std::string& op,
+                   std::uint64_t bytes_in, std::uint64_t bytes_out,
+                   const std::string& detail) {
+  Stripe& stripe = stripe_for_this_thread();
+  bump(stripe.mu, stripe.counters, service, op, bytes_in, bytes_out);
+  if (!detail.empty())
+    bump(stripe.mu, stripe.details, service, detail, bytes_in, bytes_out);
 }
 
 void Meter::set_storage(const std::string& service, std::uint64_t bytes) {
@@ -119,6 +158,12 @@ MeterSnapshot Meter::snapshot() const {
       plain.bytes_in += c.bytes_in.load(std::memory_order_relaxed);
       plain.bytes_out += c.bytes_out.load(std::memory_order_relaxed);
     }
+    for (const auto& [key, c] : stripe.details) {
+      OpCounter& plain = out.detail_counters[key];
+      plain.calls += c.calls.load(std::memory_order_relaxed);
+      plain.bytes_in += c.bytes_in.load(std::memory_order_relaxed);
+      plain.bytes_out += c.bytes_out.load(std::memory_order_relaxed);
+    }
   }
   std::shared_lock<std::shared_mutex> lock(storage_mu_);
   for (const auto& [service, bytes] : storage_)
@@ -130,6 +175,7 @@ void Meter::reset() {
   for (Stripe& stripe : stripes_) {
     std::unique_lock<std::shared_mutex> lock(stripe.mu);
     stripe.counters.clear();
+    stripe.details.clear();
   }
   std::unique_lock<std::shared_mutex> lock(storage_mu_);
   storage_.clear();

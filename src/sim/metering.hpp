@@ -38,6 +38,14 @@ class MeterSnapshot {
   /// Total calls across all services/ops.
   std::uint64_t total_calls() const;
 
+  /// Calls recorded against one detail (partition) of a service -- e.g. the
+  /// SimpleDB shard domain or the SQS queue the request hit. Per-shard
+  /// hotness is detail_calls(service, domain) across domains().
+  std::uint64_t detail_calls(const std::string& service,
+                             const std::string& detail) const;
+  /// Every detail recorded for a service, in lexicographic order.
+  std::vector<std::string> details(const std::string& service) const;
+
   /// this - earlier, counter-wise (storage gauges are copied from `this`,
   /// since storage is a level, not a flow).
   MeterSnapshot diff(const MeterSnapshot& earlier) const;
@@ -46,6 +54,11 @@ class MeterSnapshot {
   std::vector<Key> keys() const;
 
   std::map<Key, OpCounter> counters;
+  /// Per-partition view, keyed (service, detail): the same requests as
+  /// `counters`, re-bucketed by the service partition they hit (SimpleDB
+  /// domain, SQS queue). Requests recorded without a detail appear only in
+  /// `counters`.
+  std::map<Key, OpCounter> detail_counters;
   std::map<std::string, std::uint64_t> storage;  // service -> bytes stored
 };
 
@@ -61,8 +74,12 @@ class MeterSnapshot {
 /// the plain sequential count it always was.
 class Meter {
  public:
+  /// `detail` optionally names the service partition the request hit (the
+  /// SimpleDB shard domain, the SQS queue): billing counters are unchanged,
+  /// but the snapshot gains a per-detail breakdown for hotness analysis.
   void record(const std::string& service, const std::string& op,
-              std::uint64_t bytes_in, std::uint64_t bytes_out);
+              std::uint64_t bytes_in, std::uint64_t bytes_out,
+              const std::string& detail = "");
 
   /// Set the current stored-byte gauge for a service (called by the service
   /// whenever its footprint changes).
@@ -93,6 +110,7 @@ class Meter {
   struct alignas(64) Stripe {  // cache-line aligned: stripes never false-share
     mutable std::shared_mutex mu;  // guards map *structure*; cells are atomic
     std::map<MeterSnapshot::Key, AtomicCounter, KeyLess> counters;
+    std::map<MeterSnapshot::Key, AtomicCounter, KeyLess> details;
   };
   static constexpr std::size_t kStripes = 16;
 

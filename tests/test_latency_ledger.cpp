@@ -1,0 +1,227 @@
+// The per-client virtual-timeline elapsed-time model: sequential charges
+// merge by sum, parallel scatter/gather merges by critical-path max, billing
+// is unchanged, and replica propagation never fires mid-scatter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "aws/common/env.hpp"
+#include "aws/s3/s3.hpp"
+#include "cloudprov/domain_topology.hpp"
+#include "sim/latency_ledger.hpp"
+#include "util/require.hpp"
+
+namespace {
+
+using namespace provcloud;
+using namespace provcloud::aws;
+using namespace provcloud::cloudprov;
+namespace sim = provcloud::sim;
+
+/// Degenerate latency model: every request costs exactly 10 ms regardless
+/// of RNG draw order, so elapsed-time assertions are exact under any
+/// thread interleaving.
+constexpr sim::SimTime kFixedLatency = 10 * sim::kMillisecond;
+
+void use_fixed_latency(CloudEnv& env) {
+  sim::LatencyConfig config;
+  config.request_overhead_min = kFixedLatency;
+  config.request_overhead_max = kFixedLatency;
+  config.upload_bytes_per_sec = ~0ull;
+  config.download_bytes_per_sec = ~0ull;
+  env.set_latency_model(sim::LatencyModel(config));
+}
+
+// --- the ledger by itself ---
+
+TEST(LatencyLedgerTest, SequentialChargesSum) {
+  sim::LatencyLedger ledger;
+  EXPECT_EQ(ledger.elapsed(), 0u);
+  ledger.charge(5);
+  ledger.charge(7);
+  EXPECT_EQ(ledger.elapsed(), 12u);
+}
+
+TEST(LatencyLedgerTest, BranchIsolatesChargesFromTheRoot) {
+  sim::LatencyLedger ledger;
+  ledger.charge(5);
+  {
+    sim::LatencyLedger::Branch branch(ledger);
+    EXPECT_EQ(ledger.open_branches(), 1);
+    ledger.charge(7);            // lands on the branch...
+    EXPECT_EQ(branch.elapsed(), 7u);
+    EXPECT_EQ(ledger.elapsed(), 7u);  // ...which is now the active timeline
+  }
+  EXPECT_EQ(ledger.open_branches(), 0);
+  EXPECT_EQ(ledger.elapsed(), 5u);  // root untouched by the branch
+}
+
+TEST(LatencyLedgerTest, CriticalPathMergeTakesTheMax) {
+  sim::LatencyLedger ledger;
+  ledger.charge(5);
+  ledger.merge_critical_path({7, 3, 6});
+  EXPECT_EQ(ledger.elapsed(), 12u);  // 5 + max(7,3,6)
+}
+
+TEST(LatencyLedgerTest, NestedBranchesStack) {
+  sim::LatencyLedger ledger;
+  sim::LatencyLedger::Branch outer(ledger);
+  ledger.charge(2);
+  sim::SimTime inner_elapsed = 0;
+  {
+    sim::LatencyLedger::Branch inner(ledger);
+    ledger.charge(9);
+    inner_elapsed = inner.elapsed();
+  }
+  // The gather happens after the branch closes: the critical path lands on
+  // the enclosing (outer) timeline.
+  ledger.merge_critical_path({inner_elapsed});
+  EXPECT_EQ(outer.elapsed(), 11u);
+}
+
+TEST(LatencyLedgerTest, EachClientThreadOwnsItsTimeline) {
+  sim::LatencyLedger ledger;
+  sim::SimTime a = 0, b = 0;
+  std::thread ta([&] {
+    ledger.charge(100);
+    a = ledger.elapsed();
+  });
+  std::thread tb([&] {
+    ledger.charge(40);
+    ledger.charge(2);
+    b = ledger.elapsed();
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a, 100u);
+  EXPECT_EQ(b, 42u);
+  EXPECT_EQ(ledger.elapsed(), 0u);  // the driver thread charged nothing
+}
+
+// --- the ledger through CloudEnv and DomainTopology ---
+
+/// Charge `calls` fixed-latency requests per task through `topology` and
+/// return the elapsed-time delta the fan-out added to the caller's timeline.
+sim::SimTime fan_out_elapsed(CloudEnv& env, const DomainTopology& topology,
+                             const std::vector<int>& calls_per_task) {
+  const sim::SimTime before = env.elapsed_time();
+  std::vector<std::function<void()>> tasks;
+  for (const int calls : calls_per_task)
+    tasks.push_back([&env, calls] {
+      for (int i = 0; i < calls; ++i) env.charge("s3", "GET", 0, 0);
+    });
+  topology.run_tasks(std::move(tasks));
+  return env.elapsed_time() - before;
+}
+
+TEST(LatencyLedgerTopologyTest, SequentialFanOutSumsAndParallelTakesMax) {
+  const std::vector<int> calls{3, 1, 4, 2};
+  CloudEnv seq_env(9);
+  use_fixed_latency(seq_env);
+  DomainTopology seq(TopologyConfig{.shard_count = 4,
+                                    .parallelism = 1,
+                                    .ledger = &seq_env.latency_ledger()});
+  EXPECT_EQ(fan_out_elapsed(seq_env, seq, calls),
+            (3 + 1 + 4 + 2) * kFixedLatency);
+
+  CloudEnv par_env(9);
+  use_fixed_latency(par_env);
+  DomainTopology par(TopologyConfig{.shard_count = 4,
+                                    .parallelism = 4,
+                                    .ledger = &par_env.latency_ledger()});
+  EXPECT_EQ(fan_out_elapsed(par_env, par, calls), 4 * kFixedLatency);
+}
+
+TEST(LatencyLedgerTopologyTest, CriticalPathNeverExceedsSequential) {
+  for (const std::size_t parallelism : {std::size_t{2}, std::size_t{8}}) {
+    const std::vector<int> calls{5, 5, 1, 7, 2, 2, 9, 1};
+    CloudEnv seq_env(10);
+    use_fixed_latency(seq_env);
+    DomainTopology seq(TopologyConfig{.shard_count = 8,
+                                      .parallelism = 1,
+                                      .ledger = &seq_env.latency_ledger()});
+    CloudEnv par_env(10);
+    use_fixed_latency(par_env);
+    DomainTopology par(TopologyConfig{.shard_count = 8,
+                                      .parallelism = parallelism,
+                                      .ledger = &par_env.latency_ledger()});
+    const sim::SimTime sequential = fan_out_elapsed(seq_env, seq, calls);
+    const sim::SimTime critical = fan_out_elapsed(par_env, par, calls);
+    EXPECT_LE(critical, sequential);
+    EXPECT_EQ(critical, 9 * kFixedLatency);  // the slowest branch
+  }
+}
+
+TEST(LatencyLedgerTopologyTest, BillingIdenticalAtAnyParallelism) {
+  const std::vector<int> calls{3, 1, 4, 2};
+  const auto run = [&](std::size_t parallelism) {
+    CloudEnv env(11);
+    use_fixed_latency(env);
+    DomainTopology topology(TopologyConfig{
+        .shard_count = 4, .parallelism = parallelism,
+        .ledger = &env.latency_ledger()});
+    fan_out_elapsed(env, topology, calls);
+    return env.meter().snapshot();
+  };
+  const sim::MeterSnapshot seq = run(1);
+  const sim::MeterSnapshot par = run(4);
+  EXPECT_EQ(seq.calls("s3", "GET"), par.calls("s3", "GET"));
+  EXPECT_EQ(seq.total_calls(), par.total_calls());
+}
+
+// --- scatter safety: the mid-scatter propagation hazard is closed ---
+
+TEST(ScatterSafetyTest, PropagationNeverFiresMidScatter) {
+  ConsistencyConfig c;
+  c.replicas = 3;
+  c.propagation_min = 50 * sim::kMillisecond;
+  c.propagation_max = 500 * sim::kMillisecond;
+  CloudEnv env(12, c);
+  use_fixed_latency(env);
+  S3Service s3(env);
+  ASSERT_TRUE(s3.put("bucket", "key", "value").has_value());
+  const std::size_t pending = env.clock().pending_events();
+  ASSERT_GT(pending, 0u);
+  const sim::SimTime now_before = env.clock().now();
+
+  DomainTopology topology(TopologyConfig{
+      .shard_count = 4, .parallelism = 4, .ledger = &env.latency_ledger()});
+  std::atomic<bool> clock_moved_mid_scatter{false};
+  std::vector<std::function<void()>> tasks;
+  for (int t = 0; t < 4; ++t)
+    tasks.push_back([&env, &s3, &clock_moved_mid_scatter] {
+      for (int i = 0; i < 16; ++i) {
+        s3.get("bucket", "key");  // reads the replicas the events mutate
+        // The scheduled propagation must still be pending: no charge or
+        // read may fire it from inside the scatter.
+        if (env.clock().now() != 0) clock_moved_mid_scatter = true;
+      }
+    });
+  topology.run_tasks(std::move(tasks));
+  EXPECT_FALSE(clock_moved_mid_scatter);
+
+  EXPECT_EQ(env.clock().pending_events(), pending);
+  EXPECT_EQ(env.clock().now(), now_before);
+  env.clock().drain();  // the driver's sync point fires them all
+  EXPECT_EQ(env.clock().pending_events(), 0u);
+}
+
+TEST(ScatterSafetyTest, ClockAdvanceInsideScatterIsRejected) {
+  CloudEnv env(13);
+  DomainTopology topology(TopologyConfig{
+      .shard_count = 2, .parallelism = 2, .ledger = &env.latency_ledger()});
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&env] { env.clock().advance_by(sim::kSecond); });
+  tasks.push_back([] {});
+  EXPECT_THROW(topology.run_tasks(std::move(tasks)), util::LogicError);
+  // The guard rejected the advance before firing anything.
+  EXPECT_EQ(env.clock().now(), 0u);
+  // Outside the scatter the driver advances freely.
+  env.clock().advance_by(sim::kSecond);
+  EXPECT_EQ(env.clock().now(), sim::kSecond);
+}
+
+}  // namespace

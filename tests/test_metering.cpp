@@ -79,4 +79,33 @@ TEST(MeterTest, ResetClears) {
   EXPECT_EQ(m.snapshot().storage_bytes("s3"), 0u);
 }
 
+TEST(MeterTest, DetailBucketsPerPartition) {
+  Meter m;
+  m.record("sdb", "PutAttributes", 10, 0, "provenance-0");
+  m.record("sdb", "PutAttributes", 10, 0, "provenance-0");
+  m.record("sdb", "GetAttributes", 0, 5, "provenance-1");
+  m.record("sdb", "ListDomains", 0, 0);  // no partition: counters only
+  const MeterSnapshot snap = m.snapshot();
+  EXPECT_EQ(snap.calls("sdb"), 4u);  // billing view unchanged
+  EXPECT_EQ(snap.detail_calls("sdb", "provenance-0"), 2u);
+  EXPECT_EQ(snap.detail_calls("sdb", "provenance-1"), 1u);
+  EXPECT_EQ(snap.detail_calls("sdb", "provenance-9"), 0u);
+  const std::vector<std::string> details = snap.details("sdb");
+  ASSERT_EQ(details.size(), 2u);
+  EXPECT_EQ(details[0], "provenance-0");
+  EXPECT_EQ(details[1], "provenance-1");
+}
+
+TEST(MeterTest, DetailDiffAndReset) {
+  Meter m;
+  m.record("sdb", "PutAttributes", 1, 0, "d0");
+  const MeterSnapshot before = m.snapshot();
+  m.record("sdb", "PutAttributes", 1, 0, "d1");
+  const MeterSnapshot diff = m.snapshot().diff(before);
+  EXPECT_EQ(diff.detail_calls("sdb", "d0"), 0u);
+  EXPECT_EQ(diff.detail_calls("sdb", "d1"), 1u);
+  m.reset();
+  EXPECT_TRUE(m.snapshot().details("sdb").empty());
+}
+
 }  // namespace

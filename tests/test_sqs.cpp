@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "aws/common/env.hpp"
 #include "aws/sqs/sqs.hpp"
@@ -155,6 +158,61 @@ TEST_F(SqsTest, BillingCountsOps) {
   EXPECT_EQ(diff.bytes_in("sqs", "SendMessage"), 5u);
   EXPECT_EQ(diff.calls("sqs", "ReceiveMessage"), 1u);
   EXPECT_EQ(diff.bytes_out("sqs", "ReceiveMessage"), 5u);
+}
+
+TEST_F(SqsTest, PerQueueDetailMetering) {
+  const std::string other = *sqs_.create_queue("wal-other");
+  ASSERT_TRUE(sqs_.send_message(url_, "aa").has_value());
+  ASSERT_TRUE(sqs_.send_message(url_, "bb").has_value());
+  ASSERT_TRUE(sqs_.send_message(other, "cc").has_value());
+  const auto snap = env_.meter().snapshot();
+  EXPECT_EQ(snap.detail_calls("sqs", url_) +
+                snap.detail_calls("sqs", other),
+            snap.calls("sqs"));
+  EXPECT_GE(snap.detail_calls("sqs", url_), 2u);
+  EXPECT_GE(snap.detail_calls("sqs", other), 1u);
+}
+
+TEST_F(SqsTest, ConcurrentClientsOnDistinctQueues) {
+  // Per-queue locks: one WAL client per queue, all sending/receiving/
+  // deleting concurrently. Totals must come out exact (TSan covers the
+  // synchronization; this covers the arithmetic).
+  constexpr int kClients = 4;
+  constexpr int kMessages = 32;
+  std::vector<std::string> urls;
+  for (int c = 0; c < kClients; ++c)
+    urls.push_back(*sqs_.create_queue("wal-client-" + std::to_string(c)));
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([this, &urls, c] {
+      for (int i = 0; i < kMessages; ++i)
+        ASSERT_TRUE(sqs_.send_message(urls[c], "payload").has_value());
+      // Drain half of what this client can see.
+      for (int i = 0; i < kMessages / 2; ++i) {
+        auto got = sqs_.receive_message(urls[c], 1);
+        ASSERT_TRUE(got.has_value());
+        for (const auto& m : *got)
+          ASSERT_TRUE(sqs_.delete_message(urls[c], m.receipt_handle)
+                          .has_value());
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  std::uint64_t live = 0;
+  for (const std::string& url : urls) live += sqs_.exact_message_count(url);
+  EXPECT_EQ(live, static_cast<std::uint64_t>(kClients * kMessages / 2));
+  EXPECT_EQ(sqs_.stored_bytes(), live * std::string("payload").size());
+}
+
+TEST_F(SqsTest, DeleteQueueReleasesStorageAndInvalidatesQueue) {
+  ASSERT_TRUE(sqs_.send_message(url_, std::string(64, 'x')).has_value());
+  EXPECT_EQ(sqs_.stored_bytes(), 64u);
+  ASSERT_TRUE(sqs_.delete_queue(url_).has_value());
+  EXPECT_EQ(sqs_.stored_bytes(), 0u);
+  auto sent = sqs_.send_message(url_, "late");
+  ASSERT_FALSE(sent.has_value());
+  EXPECT_EQ(sent.error().code, AwsErrorCode::kNoSuchQueue);
+  EXPECT_EQ(sqs_.stored_bytes(), 0u);  // a late send cannot leak the gauge
 }
 
 TEST_F(SqsTest, StorageGaugeTracksBodies) {
