@@ -34,8 +34,11 @@ SweepResult sweep(sim::SimTime window, std::uint64_t seed) {
   c.propagation_max = window;
   bench::WorkloadRun run(Architecture::kS3SimpleDb, c, seed);
 
+  // Per-close session barrier: each close is durable before the reads
+  // below start racing its propagation.
+  auto session = run.backend->open_session();
   pass::PassObserver observer(
-      [&run](const pass::FlushUnit& u) { run.backend->store(u); });
+      [&session](const pass::FlushUnit& u) { session->submit(u); });
   util::Rng rng(seed);
   observer.apply(pass::ev_exec(1, "/bin/writer", {"writer"},
                                workloads::synth_environment(rng, 900)));

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cloudprov/backend.hpp"
+#include "cloudprov/session.hpp"
 #include "cloudprov/wal_backend.hpp"
 #include "pass/observer.hpp"
 #include "util/string_utils.hpp"
@@ -91,12 +92,20 @@ struct WorkloadRun {
     backend = factory(services);
   }
 
-  /// Feed a trace through PASS into the backend and settle.
+  /// Feed a trace through PASS into the backend via a client session and
+  /// settle. group_size 1 (the default) is the paper's per-close protocol
+  /// bit-for-bit; larger groups let Arch 2/3 coalesce closes between
+  /// durability barriers (cross-close group commit).
   void run(const pass::SyscallTrace& trace) {
+    auto session = backend->open_session(cloudprov::SessionConfig{
+        .client_id = "client-0", .group_size = group_size});
     pass::PassObserver observer(
-        [this](const pass::FlushUnit& u) { backend->store(u); });
+        [&session](const pass::FlushUnit& u) { session->submit(u); });
     observer.apply_trace(trace);
     observer.finish();
+    const auto synced = session->sync();
+    PROVCLOUD_REQUIRE_MSG(synced.has_value(),
+                          "session sync failed: " + synced.error().message);
     env.clock().drain();
     backend->quiesce();
     env.clock().drain();
@@ -107,6 +116,8 @@ struct WorkloadRun {
   cloudprov::CloudServices services;
   std::unique_ptr<cloudprov::ProvenanceBackend> backend;
   pass::ObserverStats stats;
+  /// Closes coalesced per session group commit (see SessionConfig).
+  std::size_t group_size = 1;
 };
 
 // --- table printing ---

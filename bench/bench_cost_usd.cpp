@@ -12,6 +12,8 @@
 // charged its critical path instead of the sum of its legs.
 #include <cstdio>
 
+#include <map>
+
 #include "bench_common.hpp"
 #include "cloudprov/query.hpp"
 #include "cloudprov/sdb_backend.hpp"
@@ -67,6 +69,37 @@ double as_min(sim::SimTime t) {
   return static_cast<double>(t) / sim::kMinute;
 }
 
+/// One session-group-commit run: the workload driven through a Session
+/// with `group` closes coalesced per durability barrier.
+struct GroupPoint {
+  std::size_t group = 1;
+  double usd = 0;                   // full-run cost (incl. transfer+storage)
+  std::uint64_t closes = 0;            // flush units stored
+  std::uint64_t sdb_write_rts = 0;     // PutAttributes + BatchPutAttributes
+  std::uint64_t sqs_send_rts = 0;      // SendMessage + SendMessageBatch
+  std::uint64_t total_calls = 0;
+  sim::SimTime elapsed = 0;
+};
+
+GroupPoint run_group_point(Architecture arch, const pass::SyscallTrace& trace,
+                           std::size_t group) {
+  bench::WorkloadRun run(arch);
+  run.group_size = group;
+  run.run(trace);
+  GroupPoint p;
+  p.group = group;
+  const auto snap = run.env.meter().snapshot();
+  p.usd = estimate_cost(snap).total();
+  p.closes = run.stats.flush_units;
+  p.sdb_write_rts = snap.calls("sdb", "PutAttributes") +
+                    snap.calls("sdb", "BatchPutAttributes");
+  p.sqs_send_rts = snap.calls("sqs", "SendMessage") +
+                   snap.calls("sqs", "SendMessageBatch");
+  p.total_calls = snap.total_calls();
+  p.elapsed = run.env.elapsed_time();
+  return p;
+}
+
 }  // namespace
 
 int main() {
@@ -86,9 +119,13 @@ int main() {
   bench::print_rule();
 
   bool ledger_matches_legacy = true;
+  bool service_split_sums = true;
   double arch1_total = 0, arch3_total = 0;
   sim::SimTime arch1_elapsed = 0, arch3_elapsed = 0;
   sim::SimTime arch2_seq_elapsed = 0, arch3_seq_elapsed = 0;
+  std::uint64_t arch2_seq_calls = 0, arch3_seq_calls = 0;
+  std::map<std::string, sim::SimTime, std::less<>> arch_by_service[3];
+  std::size_t arch_index = 0;
   for (const Architecture arch :
        {Architecture::kS3Only, Architecture::kS3SimpleDb,
         Architecture::kS3SimpleDbSqs}) {
@@ -102,9 +139,18 @@ int main() {
     const sim::SimTime elapsed = run.env.elapsed_time();
     // The acceptance bar for the ledger refactor: a sequential
     // (parallelism = 1) run's timeline is the exact sum the retired
-    // charge_latency mode produced.
+    // charge_latency mode produced. The session refactor inherits the same
+    // bar: these runs go through a group-size-1 Session.
     ledger_matches_legacy =
         ledger_matches_legacy && elapsed == run.env.busy_time();
+    // Per-service breakdown: which service the client actually waited on;
+    // the split must account for the whole timeline.
+    arch_by_service[arch_index] = run.env.elapsed_by_service();
+    sim::SimTime split_sum = 0;
+    for (const auto& [service, t] : arch_by_service[arch_index])
+      split_sum += t;
+    service_split_sums = service_split_sums && split_sum == elapsed;
+    ++arch_index;
     std::printf("%-17s %10s %10s %10s %10s %10s | %10s %9.1f min\n",
                 to_string(arch), format_usd(requests).c_str(),
                 format_usd(transfer).c_str(), format_usd(storage).c_str(),
@@ -116,12 +162,28 @@ int main() {
       arch1_total = c.total();
       arch1_elapsed = elapsed;
     }
-    if (arch == Architecture::kS3SimpleDb) arch2_seq_elapsed = elapsed;
+    if (arch == Architecture::kS3SimpleDb) {
+      arch2_seq_elapsed = elapsed;
+      arch2_seq_calls = snap.total_calls();
+    }
     if (arch == Architecture::kS3SimpleDbSqs) {
       arch3_total = c.total();
       arch3_elapsed = elapsed;
       arch3_seq_elapsed = elapsed;
+      arch3_seq_calls = snap.total_calls();
     }
+  }
+
+  std::printf("\nelapsed time by service waited on (critical path split):\n");
+  arch_index = 0;
+  for (const Architecture arch :
+       {Architecture::kS3Only, Architecture::kS3SimpleDb,
+        Architecture::kS3SimpleDbSqs}) {
+    std::printf("%-17s", to_string(arch));
+    for (const auto& [service, t] : arch_by_service[arch_index])
+      std::printf("  %s %.1f min", service.c_str(), as_min(t));
+    std::printf("\n");
+    ++arch_index;
   }
 
   std::printf("\nfull-properties premium (arch3 vs arch1): %.2fx USD, %.2fx "
@@ -184,11 +246,62 @@ int main() {
     }
   }
 
+  // --- cross-close group commit: the session group-size sweep ---
+  //
+  // Same workload, same layout, submitted through a Session that coalesces
+  // `group` closes per durability barrier. Arch 2 turns a group into one
+  // BatchPutAttributes chain (instead of one per close); Arch 3 turns a
+  // group's WAL records into batched SQS sends. group 1 must reproduce the
+  // per-close runs above exactly.
+  const std::vector<std::size_t> group_sizes{1, 8, 25};
+  std::printf("\nsession group commit ($ and elapsed vs. group size):\n");
+  std::printf("%-17s %5s %10s %12s %11s %11s %12s\n", "", "group",
+              "$/close", "sdb write RT", "sqs sends", "elapsed min",
+              "total calls");
+  bench::print_rule();
+  std::vector<std::pair<Architecture, std::vector<GroupPoint>>> group_sweeps;
+  for (const Architecture arch :
+       {Architecture::kS3SimpleDb, Architecture::kS3SimpleDbSqs}) {
+    std::vector<GroupPoint> points;
+    for (const std::size_t group : group_sizes)
+      points.push_back(run_group_point(arch, trace, group));
+    for (const GroupPoint& p : points)
+      std::printf("%-17s %5zu %10.6f %12s %11s %11.1f %12s\n", to_string(arch),
+                  p.group,
+                  p.closes > 0 ? p.usd / static_cast<double>(p.closes) : 0.0,
+                  bench::fmt_count(p.sdb_write_rts).c_str(),
+                  bench::fmt_count(p.sqs_send_rts).c_str(), as_min(p.elapsed),
+                  bench::fmt_count(p.total_calls).c_str());
+    group_sweeps.emplace_back(arch, std::move(points));
+  }
+  // Group 1 == the per-close protocol (same run as the table above);
+  // group 25 must actually shed round trips where the architecture
+  // batches: SimpleDB writes for Arch 2, SQS sends for Arch 3.
+  bool group_ok = true;
+  for (const auto& [arch, points] : group_sweeps) {
+    const GroupPoint& g1 = points.front();
+    const GroupPoint& g25 = points.back();
+    if (arch == Architecture::kS3SimpleDb) {
+      group_ok = group_ok && g1.elapsed == arch2_seq_elapsed &&
+                 g1.total_calls == arch2_seq_calls;
+      group_ok = group_ok && g25.sdb_write_rts * 2 <= g1.sdb_write_rts;
+    } else {
+      group_ok = group_ok && g1.elapsed == arch3_seq_elapsed &&
+                 g1.total_calls == arch3_seq_calls;
+      group_ok = group_ok && g25.sqs_send_rts * 2 <= g1.sqs_send_rts;
+    }
+    // Batching never makes the client's timeline longer.
+    group_ok = group_ok && g25.elapsed <= g1.elapsed;
+  }
+
   const bool premium_ok = arch3_total < 4.0 * arch1_total;
-  const bool ok = premium_ok && ledger_matches_legacy && parallel_ok;
+  const bool ok = premium_ok && ledger_matches_legacy && parallel_ok &&
+                  group_ok && service_split_sums;
   std::printf("\nshape check (premium < 4x in USD; sequential ledger == "
               "legacy busy time; parallel critical path <= sequential sum "
-              "at equal billing): %s\n",
+              "at equal billing; group 1 == per-close protocol and group 25 "
+              "sheds >= 2x write RTs; per-service split sums to elapsed): "
+              "%s\n",
               ok ? "PASS" : "FAIL");
 
   if (const char* path = bench::json_output_path()) {
@@ -210,6 +323,27 @@ int main() {
       if (parallelism > 1)
         j.add(key + "_s4_p" + std::to_string(parallelism) + "_elapsed_us",
               static_cast<std::uint64_t>(sweep.par.total()));
+    }
+    // Per-service elapsed breakdown of the per-close (group 1) runs.
+    arch_index = 0;
+    for (const char* arch_key : {"arch1", "arch2", "arch3"}) {
+      for (const auto& [service, t] : arch_by_service[arch_index])
+        j.add(std::string(arch_key) + "_elapsed_" + service + "_us",
+              static_cast<std::uint64_t>(t));
+      ++arch_index;
+    }
+    // The session group-commit sweep: $/close and elapsed vs. group size.
+    for (const auto& [arch, points] : group_sweeps) {
+      const std::string key =
+          arch == Architecture::kS3SimpleDb ? "arch2" : "arch3";
+      for (const GroupPoint& p : points) {
+        const std::string g = key + "_g" + std::to_string(p.group);
+        j.add(g + "_elapsed_us", static_cast<std::uint64_t>(p.elapsed));
+        j.add(g + "_usd_per_close",
+              p.closes > 0 ? p.usd / static_cast<double>(p.closes) : 0.0);
+        j.add(g + "_sdb_write_rts", p.sdb_write_rts);
+        j.add(g + "_sqs_send_rts", p.sqs_send_rts);
+      }
     }
     j.add("shape_check", std::string(ok ? "PASS" : "FAIL"));
     if (j.write(path)) std::printf("json written: %s\n", path);

@@ -23,8 +23,10 @@ void walk(Architecture arch, const char* figure, const char* caption) {
 
   bench::WorkloadRun run(arch);
   util::Rng rng(7);
+  // A group-size-1 session is the per-close protocol, message for message.
+  auto session = run.backend->open_session();
   pass::PassObserver observer(
-      [&run](const pass::FlushUnit& u) { run.backend->store(u); });
+      [&session](const pass::FlushUnit& u) { session->submit(u); });
 
   // The protocol narration comes from diffing the meter around each store.
   observer.apply(pass::ev_exec(1, "/usr/bin/analyze", {"analyze", "census.dat"},

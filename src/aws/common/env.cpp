@@ -12,7 +12,7 @@ sim::SimTime CloudEnv::charge(const std::string& service, const std::string& op,
     latency = latency_model_.sample(rng_, bytes_in, bytes_out);
   }
   busy_time_.fetch_add(latency, std::memory_order_relaxed);
-  ledger_.charge(latency);
+  ledger_.charge(latency, service);
   return latency;
 }
 

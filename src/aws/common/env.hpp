@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 
@@ -97,6 +98,12 @@ class CloudEnv {
   /// of "the impact of the extra operations on elapsed time". For a
   /// sequential (parallelism == 1) run this equals busy_time() exactly.
   sim::SimTime elapsed_time() const { return ledger_.elapsed(); }
+
+  /// elapsed_time() broken down by the service waited on (S3 / SimpleDB /
+  /// SQS / EBS): which service dominates the client's critical path.
+  std::map<std::string, sim::SimTime, std::less<>> elapsed_by_service() const {
+    return ledger_.elapsed_by_service();
+  }
 
   /// Total request latency charged so far across *all* clients -- the
   /// billing-style sum, order-independent under parallel fan-out.

@@ -112,6 +112,51 @@ AwsResult<std::string> SqsService::send_message(const std::string& url,
   return q->shards[shard].messages.back().message_id;
 }
 
+AwsResult<SqsSendBatchResult> SqsService::send_message_batch(
+    const std::string& url, const std::vector<util::Bytes>& bodies) {
+  std::uint64_t bytes_in = 0;
+  for (const util::Bytes& body : bodies) bytes_in += body.size();
+  env_->charge(kService, "SendMessageBatch", bytes_in, 0, url);
+  if (bodies.empty() || bodies.size() > kSqsMaxSendBatch)
+    return aws_error(AwsErrorCode::kInvalidArgument,
+                     "SendMessageBatch takes 1..10 entries, got " +
+                         std::to_string(bodies.size()));
+  std::shared_ptr<Queue> q = find_queue(url);
+  if (q == nullptr) return aws_error(AwsErrorCode::kNoSuchQueue, url);
+  std::lock_guard<std::mutex> lock(q->mu);
+  if (q->erased) return aws_error(AwsErrorCode::kNoSuchQueue, url);
+  expire_old(*q);
+
+  SqsSendBatchResult result;
+  result.message_ids.reserve(bodies.size());
+  std::uint64_t added_bytes = 0;
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    const util::Bytes& body = bodies[i];
+    if (body.size() > kSqsMaxMessageBytes) {
+      result.message_ids.emplace_back();
+      result.failed.push_back(SqsBatchFailure{
+          i, AwsError{AwsErrorCode::kEntityTooLarge,
+                      "batch entry exceeds 8KB limit"}});
+      continue;
+    }
+    StoredMessage m;
+    m.message_id = "msg-" + util::hex_u64(next_message_id_.fetch_add(
+                                1, std::memory_order_relaxed));
+    m.body = body;
+    m.sent_at = env_->clock().now();
+    m.visible_at = m.sent_at;
+    const std::size_t shard = env_->rng_below(q->shards.size());
+    added_bytes += m.body.size();
+    q->queue_bytes += m.body.size();
+    q->shards[shard].messages.push_back(std::move(m));
+    result.message_ids.push_back(
+        q->shards[shard].messages.back().message_id);
+  }
+  if (added_bytes > 0)
+    publish_gauge_delta(static_cast<std::int64_t>(added_bytes));
+  return result;
+}
+
 AwsResult<std::vector<SqsMessage>> SqsService::receive_message(
     const std::string& url, std::size_t max_messages,
     std::optional<sim::SimTime> visibility_timeout) {

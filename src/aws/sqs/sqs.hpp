@@ -36,6 +36,7 @@ namespace provcloud::aws {
 
 inline constexpr std::size_t kSqsMaxMessageBytes = 8 * util::kKiB;
 inline constexpr std::size_t kSqsMaxReceiveBatch = 10;
+inline constexpr std::size_t kSqsMaxSendBatch = 10;
 inline constexpr sim::SimTime kSqsRetention = 4 * sim::kDay;
 inline constexpr sim::SimTime kSqsDefaultVisibilityTimeout =
     30 * sim::kSecond;
@@ -46,6 +47,20 @@ struct SqsMessage {
   std::string message_id;
   std::string receipt_handle;  // set on receive; changes per receive
   util::Bytes body;
+};
+
+/// One entry's failure inside a SendMessageBatch call.
+struct SqsBatchFailure {
+  std::size_t index = 0;  // position in the submitted bodies
+  AwsError error;
+};
+
+/// Outcome of SendMessageBatch: per-entry message ids (empty string for a
+/// failed entry) plus the failures, mirroring SimpleDB's BatchPutResult.
+struct SqsSendBatchResult {
+  std::vector<std::string> message_ids;
+  std::vector<SqsBatchFailure> failed;
+  bool ok() const { return failed.empty(); }
 };
 
 class SqsService {
@@ -64,6 +79,14 @@ class SqsService {
   /// Enqueue one message (Unicode text, at most 8 KB). Returns message id.
   AwsResult<std::string> send_message(const std::string& url,
                                       util::BytesView body);
+
+  /// Enqueue up to 10 messages in one request. Entries are applied in
+  /// order; an oversized entry fails individually (per-entry error) while
+  /// the rest of the batch lands -- the same partial-failure contract as
+  /// SimpleDB's BatchPutAttributes. More than 10 entries (or none) fails
+  /// the whole call.
+  AwsResult<SqsSendBatchResult> send_message_batch(
+      const std::string& url, const std::vector<util::Bytes>& bodies);
 
   /// Receive up to max_messages (capped at 10) from a *sample* of shards.
   /// Returned messages become invisible until the visibility timeout

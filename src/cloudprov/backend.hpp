@@ -44,15 +44,39 @@ struct ReadResult {
   bool verified = true;
 };
 
+/// Why a backend operation failed. Tests and callers branch on the code;
+/// the message is for humans only.
+enum class BackendErrorCode {
+  kUnknown = 0,
+  /// The object (or requested version) does not exist in the store.
+  kNotFound,
+  /// The consistency retry budget ran out before a verifiable view
+  /// appeared (propagation race outlasted max_retries).
+  kConsistencyExhausted,
+  /// An underlying AWS service call failed in a way the protocol cannot
+  /// absorb.
+  kServiceError,
+  /// The client crashed (injected CrashError) before this close became
+  /// durable; the ticket's unit was never persisted.
+  kCrashed,
+  /// The architecture cannot serve this request (e.g. Arch 1 retains only
+  /// the latest version's provenance).
+  kUnsupported,
+};
+
+const char* to_string(BackendErrorCode code);
+
 struct BackendError {
+  BackendErrorCode code = BackendErrorCode::kUnknown;
   std::string message;
 };
 
 template <typename T>
 using BackendResult = util::Expected<T, BackendError>;
 
-inline util::Unexpected<BackendError> backend_error(std::string message) {
-  return util::Unexpected(BackendError{std::move(message)});
+inline util::Unexpected<BackendError> backend_error(BackendErrorCode code,
+                                                    std::string message) {
+  return util::Unexpected(BackendError{code, std::move(message)});
 }
 
 /// The services a backend runs against. One bundle per experiment; shared
@@ -67,6 +91,23 @@ struct CloudServices {
   aws::SqsService sqs;
 };
 
+class Session;
+struct TicketState;
+
+/// Per-client session knobs (see ProvenanceBackend::open_session).
+struct SessionConfig {
+  /// Names the client the session belongs to (diagnostics; sessions are
+  /// single-threaded like the close path they replace).
+  std::string client_id = "client-0";
+  /// Closes coalesced between durability barriers. 1 reproduces the
+  /// paper's per-close protocol bit-for-bit (same requests, same billing,
+  /// same elapsed time); larger groups let the backend commit submitted
+  /// closes together (Arch 2: cross-close BatchPutAttributes chains; Arch
+  /// 3: batched WAL sends). Backends without group commit (Arch 1) treat
+  /// every submit as an immediate store regardless of this value.
+  std::size_t group_size = 1;
+};
+
 class ProvenanceBackend {
  public:
   virtual ~ProvenanceBackend() = default;
@@ -76,7 +117,35 @@ class ProvenanceBackend {
 
   /// The close-time protocol: persist one object version and its
   /// provenance. May throw sim::CrashError at an armed crash point.
+  /// Equivalent to a group-size-1 session's submit + sync; kept as the
+  /// single-close shorthand (and for the migration path from the pre-
+  /// session API).
   virtual void store(const pass::FlushUnit& unit) = 0;
+
+  /// The session-oriented close path: submits enqueue closes without
+  /// blocking on the cloud round-trip chain, sync() is the durability
+  /// barrier, and between barriers the backend may coalesce submitted
+  /// closes into one group commit. One session per client; sessions are
+  /// driven from one thread, like the store() path they replace.
+  /// (Non-virtual so the default argument exists exactly once; backends
+  /// override do_open_session. Defined in session.cpp, where Session is
+  /// complete.)
+  std::unique_ptr<Session> open_session(
+      SessionConfig config = SessionConfig{});
+
+  /// Whether submits may legally wait for a group (Arch 2/3). When false
+  /// (Arch 1's single-PUT protocol, whose Table-1 properties depend on
+  /// submit == store), sessions flush every submit immediately.
+  virtual bool supports_group_commit() const { return false; }
+
+  /// The group-commit engine behind Session: persist every unit of `group`
+  /// (in submit order where ordering matters), marking each ticket done as
+  /// its close becomes durable. `ledger` (may be null) receives each
+  /// ticket's exclusive service time on the ticket's own timeline so the
+  /// session can merge in-flight tickets by critical path. The default is
+  /// the degenerate group: one store() per unit.
+  virtual void commit_group(const std::vector<TicketState*>& group,
+                            sim::LatencyLedger* ledger);
 
   /// The read path a scientist uses: fetch the latest data of `object`
   /// together with its provenance, enforcing whatever consistency the
@@ -122,6 +191,10 @@ class ProvenanceBackend {
     bool efficient_query = false;
   };
   virtual PropertyClaims claims() const = 0;
+
+ protected:
+  /// open_session's virtual hook.
+  virtual std::unique_ptr<Session> do_open_session(SessionConfig config) = 0;
 };
 
 inline const char* to_string(Architecture arch) {
@@ -129,6 +202,19 @@ inline const char* to_string(Architecture arch) {
     case Architecture::kS3Only: return "S3";
     case Architecture::kS3SimpleDb: return "S3+SimpleDB";
     case Architecture::kS3SimpleDbSqs: return "S3+SimpleDB+SQS";
+  }
+  return "?";
+}
+
+inline const char* to_string(BackendErrorCode code) {
+  switch (code) {
+    case BackendErrorCode::kUnknown: return "unknown";
+    case BackendErrorCode::kNotFound: return "not-found";
+    case BackendErrorCode::kConsistencyExhausted:
+      return "consistency-exhausted";
+    case BackendErrorCode::kServiceError: return "service-error";
+    case BackendErrorCode::kCrashed: return "crashed";
+    case BackendErrorCode::kUnsupported: return "unsupported";
   }
   return "?";
 }

@@ -23,27 +23,32 @@ void DomainTopology::run_tasks(std::vector<std::function<void()>> tasks) const {
     return;
   }
   // Each task runs on its own branch timeline; the caller's timeline then
-  // advances by the longest branch (the critical path of the fan-out).
-  std::vector<sim::SimTime> branch_elapsed(tasks.size(), 0);
+  // advances by the longest branch (the critical path of the fan-out) and
+  // absorbs that branch's per-service breakdown.
+  std::vector<sim::LatencyLedger::Timeline> branch_timelines(tasks.size());
   std::vector<std::function<void()>> wrapped;
   wrapped.reserve(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i) {
-    wrapped.push_back([this, &tasks, &branch_elapsed, i] {
+    wrapped.push_back([this, &tasks, &branch_timelines, i] {
       sim::LatencyLedger::Branch branch(*ledger_);
       tasks[i]();
-      branch_elapsed[i] = branch.elapsed();
+      branch_timelines[i] = branch.timeline();
     });
   }
+  std::vector<const sim::LatencyLedger::Timeline*> branches;
+  branches.reserve(branch_timelines.size());
+  for (const sim::LatencyLedger::Timeline& t : branch_timelines)
+    branches.push_back(&t);
   // run_all rethrows a task's exception only after the whole batch finished,
   // so every branch is closed; merge what was gathered before propagating
   // (crash injection surfaces as an exception through here).
   try {
     executor_->run_all(std::move(wrapped));
   } catch (...) {
-    ledger_->merge_critical_path(branch_elapsed);
+    ledger_->merge_critical_path(branches);
     throw;
   }
-  ledger_->merge_critical_path(branch_elapsed);
+  ledger_->merge_critical_path(branches);
 }
 
 std::shared_ptr<const DomainTopology> DomainTopology::make(

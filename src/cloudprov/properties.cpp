@@ -8,6 +8,7 @@
 #include "cloudprov/query.hpp"
 #include "cloudprov/sdb_backend.hpp"
 #include "cloudprov/serialize.hpp"
+#include "cloudprov/session.hpp"
 #include "cloudprov/wal_backend.hpp"
 #include "pass/observer.hpp"
 #include "util/md5.hpp"
@@ -53,12 +54,14 @@ struct Fixture {
     if (topology == nullptr)
       topology = DomainTopology::make(
           TopologyConfig{.ledger = &env.latency_ledger()});
+    group_size = options.group_size;
   }
 
   aws::CloudEnv env;
   CloudServices services;
   std::unique_ptr<ProvenanceBackend> backend;
   std::shared_ptr<const DomainTopology> topology;
+  std::size_t group_size = 1;
 };
 
 aws::ConsistencyConfig aggressive_staleness() {
@@ -116,15 +119,22 @@ pass::SyscallTrace mini_trace(std::uint64_t seed, std::size_t files) {
   return t;
 }
 
-/// Run a trace through PASS into the backend. Returns false if an injected
-/// crash killed the client partway.
+/// Run a trace through PASS into the backend via a client session at the
+/// checker's group size. Returns false if an injected crash killed the
+/// client partway -- with group_size > 1 that crash lands mid-group-commit,
+/// which is exactly the scenario the batched-submit sweep must score.
 bool drive(Fixture& fx, const pass::SyscallTrace& trace,
            pass::PassObserver* observer_out = nullptr) {
+  auto session = fx.backend->open_session(
+      SessionConfig{.client_id = "client-0", .group_size = fx.group_size});
   pass::PassObserver observer(
-      [&fx](const pass::FlushUnit& unit) { fx.backend->store(unit); });
+      [&session](const pass::FlushUnit& unit) { session->submit(unit); });
   try {
     observer.apply_trace(trace);
     observer.finish();
+    const auto synced = session->sync();
+    PROVCLOUD_REQUIRE_MSG(synced.has_value(),
+                          "session sync failed: " + synced.error().message);
   } catch (const sim::CrashError&) {
     if (observer_out != nullptr) *observer_out = std::move(observer);
     return false;
@@ -298,8 +308,17 @@ PropertyReport check_properties(Architecture arch,
   // ------------------------------------------------ consistency hammer ----
   {
     Fixture fx(arch, options.seed ^ 0xc0ffee, aggressive_staleness(), options);
-    pass::PassObserver observer(
-        [&fx](const pass::FlushUnit& unit) { fx.backend->store(unit); });
+    // The hammer reads right after each close: sync() per close is the
+    // durability barrier a reader-visible close implies, so the property
+    // stays read-after-durable at every group size.
+    auto session = fx.backend->open_session(SessionConfig{
+        .client_id = "client-0", .group_size = options.group_size});
+    pass::PassObserver observer([&session](const pass::FlushUnit& unit) {
+      session->submit(unit);
+      const auto synced = session->sync();
+      PROVCLOUD_REQUIRE_MSG(synced.has_value(),
+                            "hammer sync failed: " + synced.error().message);
+    });
     const pass::Pid writer = 21;
     util::Rng rng(options.seed);
     observer.apply(pass::ev_exec(writer, "/bin/writer", {"writer"},

@@ -71,6 +71,12 @@ struct PropertyCheckOptions {
   std::size_t shard_count = 1;
   /// Executor parallelism of the backends under test.
   std::size_t parallelism = 1;
+  /// Closes coalesced per session group commit. 1 is the paper's per-close
+  /// protocol; larger groups verify the Table-1 claims still hold when the
+  /// backend batches submits between durability barriers (the crash sweep
+  /// then crashes *mid-group*). The consistency hammer always syncs per
+  /// close -- its property is read-after-durable, independent of grouping.
+  std::size_t group_size = 1;
 };
 
 PropertyReport check_properties(Architecture arch,

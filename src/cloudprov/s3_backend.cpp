@@ -1,6 +1,7 @@
 #include "cloudprov/s3_backend.hpp"
 
 #include "cloudprov/serialize.hpp"
+#include "cloudprov/session.hpp"
 #include "util/require.hpp"
 
 namespace provcloud::cloudprov {
@@ -61,7 +62,8 @@ BackendResult<std::vector<pass::ProvenanceRecord>> S3Backend::resolve_spills(
       }
     }
     if (!resolved)
-      return backend_error("unresolvable provenance overflow object: " + key);
+      return backend_error(BackendErrorCode::kConsistencyExhausted,
+                           "unresolvable provenance overflow object: " + key);
   }
   return records;
 }
@@ -78,8 +80,9 @@ BackendResult<ReadResult> S3Backend::read(const std::string& object,
     got = services_->s3.get(kDataBucket, object);
   }
   if (!got)
-    return backend_error("object not found: " + object + " (" +
-                         got.error().message + ")");
+    return backend_error(BackendErrorCode::kNotFound,
+                         "object not found: " + object + " (" +
+                             got.error().message + ")");
 
   DecodedMetadata decoded = decode_metadata(got->metadata);
   auto records = resolve_spills(std::move(decoded.records), max_retries);
@@ -102,14 +105,22 @@ BackendResult<std::vector<pass::ProvenanceRecord>> S3Backend::get_provenance(
     ++attempts;
     head = services_->s3.head(kDataBucket, object);
   }
-  if (!head) return backend_error("object not found: " + object);
+  if (!head)
+    return backend_error(BackendErrorCode::kNotFound,
+                         "object not found: " + object);
   DecodedMetadata decoded = decode_metadata(head->metadata);
   if (decoded.version != version)
     return backend_error(
+        BackendErrorCode::kUnsupported,
         "architecture 1 keeps only the provenance of the last stored "
         "version; requested " + std::to_string(version) + " but stored is " +
         std::to_string(decoded.version));
   return resolve_spills(std::move(decoded.records), 64);
+}
+
+std::unique_ptr<Session> S3Backend::do_open_session(SessionConfig config) {
+  return std::make_unique<Session>(*this, std::move(config),
+                                   &services_->env->latency_ledger());
 }
 
 std::unique_ptr<ProvenanceBackend> make_s3_backend(CloudServices& services) {

@@ -30,6 +30,11 @@ class S3Backend final : public ProvenanceBackend {
   std::string name() const override { return "S3"; }
 
   void store(const pass::FlushUnit& unit) override;
+  /// Sessions on Arch 1 flush every submit immediately (the base
+  /// commit_group): the single-PUT close is what the atomicity and
+  /// consistency rows of Table 1 rest on, so submits never wait for a
+  /// group no matter the configured group_size.
+  std::unique_ptr<Session> do_open_session(SessionConfig config) override;
   BackendResult<ReadResult> read(const std::string& object,
                                  std::uint32_t max_retries = 64) override;
   BackendResult<std::vector<pass::ProvenanceRecord>> get_provenance(

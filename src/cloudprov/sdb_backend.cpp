@@ -1,9 +1,12 @@
 #include "cloudprov/sdb_backend.hpp"
 
 #include <cstring>
+#include <map>
+#include <optional>
 
 #include "cloudprov/consistency_read.hpp"
 #include "cloudprov/serialize.hpp"
+#include "cloudprov/session.hpp"
 #include "util/md5.hpp"
 #include "util/require.hpp"
 
@@ -35,7 +38,8 @@ BackendResult<std::vector<pass::ProvenanceRecord>> fetch_sdb_provenance(
       break;
     }
     if (attempt >= max_retries)
-      return backend_error("provenance item never became visible: " + item);
+      return backend_error(BackendErrorCode::kConsistencyExhausted,
+                           "provenance item never became visible: " + item);
   }
   std::vector<pass::ProvenanceRecord> records = decode_attributes(attrs);
   // Resolve spill pointers ("@s3:<key>").
@@ -62,7 +66,8 @@ BackendResult<std::vector<pass::ProvenanceRecord>> fetch_sdb_provenance(
       break;
     }
     if (!resolved)
-      return backend_error("unresolvable provenance overflow object: " + key);
+      return backend_error(BackendErrorCode::kConsistencyExhausted,
+                           "unresolvable provenance overflow object: " + key);
   }
   return records;
 }
@@ -113,7 +118,8 @@ BackendResult<ReadResult> consistency_checked_read(
     }
   }
   if (!have_any)
-    return backend_error("object never became readable: " + object);
+    return backend_error(BackendErrorCode::kNotFound,
+                         "object never became readable: " + object);
   best.verified = false;  // retries exhausted: the pair may be mismatched
   return best;
 }
@@ -122,7 +128,8 @@ std::vector<BackendResult<ReadResult>> consistency_checked_read_many(
     CloudServices& services, const DomainTopology& topology,
     const std::vector<std::string>& objects, std::uint32_t max_retries) {
   std::vector<BackendResult<ReadResult>> out(
-      objects.size(), backend_error("read_many: not attempted"));
+      objects.size(),
+      backend_error(BackendErrorCode::kUnknown, "read_many: not attempted"));
   std::vector<std::function<void()>> tasks;
   tasks.reserve(objects.size());
   for (std::size_t i = 0; i < objects.size(); ++i) {
@@ -150,70 +157,163 @@ SdbBackend::SdbBackend(CloudServices& services, SdbBackendConfig config)
 }
 
 void SdbBackend::store(const pass::FlushUnit& unit) {
+  // The single-close shorthand: a group of one, charged to the caller's
+  // timeline exactly as the pre-session protocol did.
+  TicketState state;
+  state.unit = unit;
+  commit_group({&state}, nullptr);
+}
+
+std::unique_ptr<Session> SdbBackend::do_open_session(SessionConfig config) {
+  return std::make_unique<Session>(*this, std::move(config),
+                                   &services_->env->latency_ledger());
+}
+
+void SdbBackend::commit_group(const std::vector<TicketState*>& group,
+                              sim::LatencyLedger* ledger) {
   aws::CloudEnv& env = *services_->env;
-  env.failures().crash_point("sdb.store.begin");
 
-  // Step 2: one big provenance record; oversized values spill to S3.
-  SdbEncoding enc = encode_unit_as_attributes(unit);
-  for (std::size_t index : enc.spilled_indexes) {
-    const pass::ProvenanceRecord& r = unit.records[index];
-    const std::string key = overflow_key(unit.object, unit.version, index);
-    auto put = services_->s3.put(kDataBucket, key, r.value_string());
-    PROVCLOUD_REQUIRE_MSG(put.has_value(),
-                          "overflow PUT failed: " + put.error().message);
-    env.failures().crash_point("sdb.store.after_overflow_put");
+  struct PreparedUnit {
+    TicketState* ticket = nullptr;
+    std::string item;
+    const std::string* domain = nullptr;
+    std::vector<aws::SdbReplaceableAttribute> attributes;
+    /// Causal wave within the group: a batch call may only carry items
+    /// whose intra-group ancestors were written by an earlier call, so a
+    /// crash between calls can never leave a stored item referencing an
+    /// unstored one (the claim Table 1 scores for this architecture).
+    std::size_t level = 0;
+  };
+  std::vector<PreparedUnit> prepared;
+  prepared.reserve(group.size());
+  std::map<std::string, std::size_t> item_of;  // item name -> prepared index
+
+  // Phase 1, per close in submit order: spill oversized values to S3 and
+  // encode the provenance attributes. No SimpleDB traffic yet.
+  for (TicketState* ticket : group) {
+    const pass::FlushUnit& unit = ticket->unit;
+    env.failures().crash_point("sdb.store.begin");
+    SdbEncoding enc = encode_unit_as_attributes(unit);
+    {
+      // Spill PUTs are exclusive to this close: in-flight closes overlap
+      // them, so they land on the ticket's own timeline.
+      std::optional<sim::LatencyLedger::ScopedTimeline> bind;
+      if (ledger != nullptr) bind.emplace(*ledger, ticket->timeline);
+      for (std::size_t index : enc.spilled_indexes) {
+        const pass::ProvenanceRecord& r = unit.records[index];
+        const std::string key = overflow_key(unit.object, unit.version, index);
+        auto put = services_->s3.put(kDataBucket, key, r.value_string());
+        PROVCLOUD_REQUIRE_MSG(put.has_value(),
+                              "overflow PUT failed: " + put.error().message);
+        env.failures().crash_point("sdb.store.after_overflow_put");
+      }
+    }
+    const std::string nonce = nonce_for_version(unit.version);
+    const util::SharedBytes data =
+        unit.data != nullptr ? unit.data : kEmptyBytes;
+    enc.attributes.push_back(aws::SdbReplaceableAttribute{
+        kMd5Attribute, util::md5_with_nonce(*data, nonce), true});
+
+    PreparedUnit p;
+    p.ticket = ticket;
+    p.item = item_name(unit.object, unit.version);
+    p.domain = &topology_->domain_for_object(unit.object);
+    p.attributes = std::move(enc.attributes);
+    for (const pass::ProvenanceRecord& r : unit.records) {
+      if (!r.is_xref()) continue;
+      auto dep = item_of.find(item_name(r.xref().object, r.xref().version));
+      if (dep != item_of.end())
+        p.level = std::max(p.level, prepared[dep->second].level + 1);
+    }
+    auto [slot, inserted] = item_of.emplace(p.item, prepared.size());
+    if (!inserted) {
+      // The same (object, version) submitted twice in one group: the
+      // writes must not share a batch call (duplicate item names are
+      // rejected) and the later submit must win, so it rides a later wave.
+      p.level = std::max(p.level, prepared[slot->second].level + 1);
+      slot->second = prepared.size();
+    }
+    prepared.push_back(std::move(p));
   }
-  const std::string nonce = nonce_for_version(unit.version);
-  const util::SharedBytes data = unit.data != nullptr ? unit.data : kEmptyBytes;
-  enc.attributes.push_back(aws::SdbReplaceableAttribute{
-      kMd5Attribute, util::md5_with_nonce(*data, nonce), true});
 
-  // Step 3: the record into the object's shard domain. Batched path: one
-  // BatchPutAttributes round trip carries all attributes (batch entries
-  // admit the full 256-pair item limit); legacy path (batch_size == 1):
-  // PutAttributes chunked at the 100-attribute call limit.
-  const std::string item = item_name(unit.object, unit.version);
-  const std::string& domain = topology_->domain_for_object(unit.object);
+  // Phase 2: provenance into the shard domains. Batched path: the whole
+  // group coalesces into BatchPutAttributes calls of up to batch_size
+  // (<= 25) items per shard domain, wave by wave -- the cross-close group
+  // commit. Legacy path (batch_size == 1): the paper's PutAttributes
+  // chunking, one item at a time in submit (causal) order.
   if (config_.batch_size <= 1) {
-    for (std::size_t start = 0; start < enc.attributes.size();
-         start += aws::kSdbMaxAttrsPerCall) {
-      const std::size_t end = std::min(start + aws::kSdbMaxAttrsPerCall,
-                                       enc.attributes.size());
-      std::vector<aws::SdbReplaceableAttribute> chunk(
-          enc.attributes.begin() + static_cast<std::ptrdiff_t>(start),
-          enc.attributes.begin() + static_cast<std::ptrdiff_t>(end));
-      auto put = services_->sdb.put_attributes(domain, item, chunk);
-      PROVCLOUD_REQUIRE_MSG(put.has_value(),
-                            "PutAttributes failed: " + put.error().message);
-      env.failures().crash_point("sdb.store.mid_putattrs");
+    for (PreparedUnit& p : prepared) {
+      for (std::size_t start = 0; start < p.attributes.size();
+           start += aws::kSdbMaxAttrsPerCall) {
+        const std::size_t end = std::min(start + aws::kSdbMaxAttrsPerCall,
+                                         p.attributes.size());
+        std::vector<aws::SdbReplaceableAttribute> chunk(
+            p.attributes.begin() + static_cast<std::ptrdiff_t>(start),
+            p.attributes.begin() + static_cast<std::ptrdiff_t>(end));
+        auto put = services_->sdb.put_attributes(*p.domain, p.item, chunk);
+        PROVCLOUD_REQUIRE_MSG(put.has_value(),
+                              "PutAttributes failed: " + put.error().message);
+        env.failures().crash_point("sdb.store.mid_putattrs");
+      }
     }
   } else {
-    auto put = services_->sdb.batch_put_attributes(
-        domain, {aws::SdbBatchEntry{item, enc.attributes}});
-    PROVCLOUD_REQUIRE_MSG(put.has_value(),
-                          "BatchPutAttributes failed: " + put.error().message);
-    PROVCLOUD_REQUIRE_MSG(put->ok(),
-                          "BatchPutAttributes rejected item: " +
-                              put->failed.front().error.message);
-    env.failures().crash_point("sdb.store.mid_putattrs");
+    const std::size_t batch_limit =
+        std::min(config_.batch_size, aws::kSdbMaxItemsPerBatch);
+    std::size_t max_level = 0;
+    for (const PreparedUnit& p : prepared)
+      max_level = std::max(max_level, p.level);
+    for (std::size_t level = 0; level <= max_level; ++level) {
+      std::map<std::string, std::vector<PreparedUnit*>> by_domain;
+      for (PreparedUnit& p : prepared)
+        if (p.level == level) by_domain[*p.domain].push_back(&p);
+      for (auto& [domain, items] : by_domain) {
+        for (std::size_t start = 0; start < items.size();
+             start += batch_limit) {
+          const std::size_t end =
+              std::min(start + batch_limit, items.size());
+          std::vector<aws::SdbBatchEntry> entries;
+          entries.reserve(end - start);
+          for (std::size_t i = start; i < end; ++i)
+            entries.push_back(aws::SdbBatchEntry{
+                items[i]->item, std::move(items[i]->attributes)});
+          auto put = services_->sdb.batch_put_attributes(domain, entries);
+          PROVCLOUD_REQUIRE_MSG(
+              put.has_value(),
+              "BatchPutAttributes failed: " + put.error().message);
+          PROVCLOUD_REQUIRE_MSG(put->ok(),
+                                "BatchPutAttributes rejected item: " +
+                                    put->failed.front().error.message);
+          env.failures().crash_point("sdb.store.mid_putattrs");
+        }
+      }
+    }
   }
 
-  // *** The atomicity hole: a crash here leaves orphan provenance. ***
+  // *** The atomicity hole, now group-wide: a crash here leaves one orphan
+  // provenance item per close in the group. ***
   env.failures().crash_point("sdb.store.between_prov_and_data");
 
-  // Step 4: data to S3, the nonce rides as metadata. Transient pnodes
-  // (processes, pipes) have no data: their provenance lives only in
-  // SimpleDB, exactly as in the paper (its Raw column counts file PUTs
-  // while its item count includes every transient version).
-  if (unit.kind == pass::PnodeKind::kFile) {
-    aws::S3Metadata meta;
-    meta[kNonceMetaKey] = nonce;
-    meta[kVersionMetaKey] = std::to_string(unit.version);
-    auto put = services_->s3.put_shared(kDataBucket, unit.object, data, meta);
-    PROVCLOUD_REQUIRE_MSG(put.has_value(),
-                          "data PUT failed: " + put.error().message);
+  // Phase 3: data to S3 in submit order, the nonce riding as metadata.
+  // Transient pnodes (processes, pipes) have no data: their provenance
+  // lives only in SimpleDB, exactly as in the paper (its Raw column counts
+  // file PUTs while its item count includes every transient version).
+  for (PreparedUnit& p : prepared) {
+    const pass::FlushUnit& unit = p.ticket->unit;
+    if (unit.kind == pass::PnodeKind::kFile) {
+      const util::SharedBytes data =
+          unit.data != nullptr ? unit.data : kEmptyBytes;
+      aws::S3Metadata meta;
+      meta[kNonceMetaKey] = nonce_for_version(unit.version);
+      meta[kVersionMetaKey] = std::to_string(unit.version);
+      std::optional<sim::LatencyLedger::ScopedTimeline> bind;
+      if (ledger != nullptr) bind.emplace(*ledger, p.ticket->timeline);
+      auto put = services_->s3.put_shared(kDataBucket, unit.object, data, meta);
+      PROVCLOUD_REQUIRE_MSG(put.has_value(),
+                            "data PUT failed: " + put.error().message);
+    }
+    p.ticket->done = true;
+    env.failures().crash_point("sdb.store.after_data");
   }
-  env.failures().crash_point("sdb.store.after_data");
 }
 
 BackendResult<ReadResult> SdbBackend::read(const std::string& object,

@@ -47,6 +47,14 @@ class SdbBackend final : public ProvenanceBackend {
   std::string name() const override { return "S3+SimpleDB"; }
 
   void store(const pass::FlushUnit& unit) override;
+  std::unique_ptr<Session> do_open_session(SessionConfig config) override;
+  bool supports_group_commit() const override { return true; }
+  /// Cross-close group commit: one BatchPutAttributes chain per group of
+  /// closes (per shard domain, in causal waves) instead of one per close,
+  /// then the data PUTs in submit order. With a single-close group this is
+  /// bit-for-bit the per-close store() protocol.
+  void commit_group(const std::vector<TicketState*>& group,
+                    sim::LatencyLedger* ledger) override;
   BackendResult<ReadResult> read(const std::string& object,
                                  std::uint32_t max_retries = 64) override;
   /// Overlaps the per-object consistency rounds on the topology's executor.

@@ -1,0 +1,118 @@
+#include "cloudprov/session.hpp"
+
+#include "sim/failure.hpp"
+
+namespace provcloud::cloudprov {
+
+std::unique_ptr<Session> ProvenanceBackend::open_session(
+    SessionConfig config) {
+  return do_open_session(std::move(config));
+}
+
+void ProvenanceBackend::commit_group(const std::vector<TicketState*>& group,
+                                     sim::LatencyLedger* ledger) {
+  // Degenerate group commit: one blocking store per close, in submit
+  // order. Arch 1 keeps this (submit == store is what its single-PUT
+  // atomicity claim rests on); Arch 2/3 override with real group commits.
+  (void)ledger;
+  for (TicketState* ticket : group) {
+    store(ticket->unit);
+    ticket->done = true;  // result defaults to success
+  }
+}
+
+Session::Session(ProvenanceBackend& backend, SessionConfig config,
+                 sim::LatencyLedger* ledger)
+    : backend_(&backend), config_(std::move(config)), ledger_(ledger) {
+  if (config_.group_size == 0) config_.group_size = 1;
+}
+
+Session::~Session() {
+  // Closing a session with submits that never reached a barrier is the
+  // client dying before its data was durable: the units were never handed
+  // to the backend. Mark the tickets so a holder does not read "pending"
+  // forever.
+  for (std::shared_ptr<TicketState>& ticket : group_) {
+    ticket->done = true;
+    ticket->result = backend_error(BackendErrorCode::kCrashed,
+                                   "session closed before sync");
+  }
+}
+
+Ticket Session::submit(const pass::FlushUnit& unit) {
+  auto state = std::make_shared<TicketState>();
+  state->id = next_ticket_id_++;
+  state->unit = unit;
+  group_.push_back(state);
+  Ticket ticket(state);
+  const std::size_t effective_group =
+      backend_->supports_group_commit() ? config_.group_size : 1;
+  if (group_.size() >= effective_group) flush();
+  return ticket;
+}
+
+BackendResult<void> Session::sync() {
+  flush();
+  if (!first_error_.has_value()) return {};
+  BackendError error = std::move(*first_error_);
+  first_error_.reset();
+  return util::Unexpected(std::move(error));
+}
+
+void Session::flush() {
+  if (group_.empty()) return;
+  std::vector<std::shared_ptr<TicketState>> owned = std::move(group_);
+  group_.clear();
+  std::vector<TicketState*> group;
+  group.reserve(owned.size());
+  for (const std::shared_ptr<TicketState>& t : owned) group.push_back(t.get());
+
+  const auto settle = [&](BackendErrorCode code, const char* what) {
+    for (TicketState* ticket : group) {
+      if (ticket->done) continue;
+      ticket->done = true;
+      ticket->result = backend_error(code, what);
+    }
+  };
+  const auto merge_timelines = [&] {
+    if (ledger_ == nullptr) return;
+    std::vector<const sim::LatencyLedger::Timeline*> timelines;
+    timelines.reserve(group.size());
+    for (const TicketState* ticket : group)
+      timelines.push_back(&ticket->timeline);
+    ledger_->merge_critical_path(timelines);
+  };
+
+  try {
+    backend_->commit_group(group, ledger_);
+  } catch (const sim::CrashError&) {
+    // The client died mid-group: whatever the backend marked done stays;
+    // the rest was never made durable.
+    settle(BackendErrorCode::kCrashed, "client crashed before this close");
+    merge_timelines();
+    record_errors(group);
+    throw;
+  } catch (...) {
+    settle(BackendErrorCode::kServiceError,
+           "backend failed while committing this group");
+    merge_timelines();
+    record_errors(group);
+    throw;
+  }
+  settle(BackendErrorCode::kServiceError,
+         "backend returned without completing this close");
+  merge_timelines();
+  record_errors(group);
+}
+
+void Session::record_errors(const std::vector<TicketState*>& group) {
+  if (first_error_.has_value()) return;
+  for (const TicketState* ticket : group) {
+    if (ticket->done && !ticket->result.has_value()) {
+      first_error_ = ticket->result.error();
+      return;
+    }
+  }
+}
+
+}  // namespace provcloud::cloudprov

@@ -1,0 +1,120 @@
+// Session / Ticket: the asynchronous close path.
+//
+// The paper's close-time protocol charges one full cloud round-trip chain
+// per file close because ProvenanceBackend::store blocks until the close is
+// durable. A Session decouples the two halves of that contract, after
+// kivaloo's pipelined request/response protocol: submit(unit) enqueues a
+// close and returns a Ticket immediately; sync() is the durability barrier
+// that drains every outstanding ticket. Between barriers the backend is
+// free to coalesce the submitted closes into one group commit:
+//
+//   Arch 1  submit == store (its single-PUT atomicity depends on it);
+//   Arch 2  one BatchPutAttributes chain per group of closes instead of
+//           per close, routed per shard through DomainTopology;
+//   Arch 3  WAL log records of the whole group ride batched SQS sends and
+//           one commit-daemon poke per group.
+//
+// Error handling: each Ticket carries the eventual BackendResult of its
+// close, so a per-close failure inside a batched flush is not lost. An
+// injected client crash (sim::CrashError) still propagates out of
+// submit()/sync() -- the client is dead -- with every not-yet-durable
+// ticket marked BackendErrorCode::kCrashed.
+//
+// Elapsed time: service calls exclusive to one close (spill PUTs, data
+// PUTs, WAL temp PUTs) are charged to that ticket's own ledger timeline;
+// calls shared by the group (the batched provenance writes) are charged to
+// the session's (caller's) timeline. When a group retires, the ticket
+// timelines merge into the caller's by critical path: in-flight closes
+// overlap, so the client waits for the slowest one, not the sum. With
+// group_size == 1 the merge degenerates to the sum and the session is
+// bit-for-bit the old store() accounting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cloudprov/backend.hpp"
+
+namespace provcloud::cloudprov {
+
+/// Shared state of one submitted close. Owned by the session while the
+/// close is in flight; the Ticket keeps it readable afterwards.
+struct TicketState {
+  std::uint64_t id = 0;
+  pass::FlushUnit unit;
+  /// Service time exclusive to this close (spill / data / temp PUTs),
+  /// merged into the client's timeline by critical path at group retire.
+  sim::LatencyLedger::Timeline timeline;
+  /// True once the backend finished processing this close (successfully
+  /// or not); `result` is meaningful only then.
+  bool done = false;
+  BackendResult<void> result;
+};
+
+/// Handle to one submitted close. Cheap to copy; outlives the session.
+class Ticket {
+ public:
+  Ticket() = default;
+  explicit Ticket(std::shared_ptr<const TicketState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  std::uint64_t id() const { return state_ == nullptr ? 0 : state_->id; }
+
+  /// The backend finished processing this close (after the group it rode
+  /// in flushed -- at the latest at the next sync()).
+  bool done() const { return state_ != nullptr && state_->done; }
+
+  /// done() and the close is durable.
+  bool ok() const { return done() && state_->result.has_value(); }
+
+  /// The per-close failure; call only when done() && !ok().
+  const BackendError& error() const { return state_->result.error(); }
+
+ private:
+  std::shared_ptr<const TicketState> state_;
+};
+
+/// One client's asynchronous close stream. Single-threaded, like the
+/// store() path it replaces; one session per client.
+class Session {
+ public:
+  /// Built by ProvenanceBackend::open_session.
+  Session(ProvenanceBackend& backend, SessionConfig config,
+          sim::LatencyLedger* ledger);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Enqueue one close. Returns immediately unless the enqueue fills the
+  /// group (or the backend has no group commit), in which case the group
+  /// flushes before returning. May throw sim::CrashError from a flush.
+  Ticket submit(const pass::FlushUnit& unit);
+
+  /// Durability barrier: flush the partial group and report the first
+  /// per-close failure since the last sync (success if every ticket since
+  /// then is durable). May throw sim::CrashError from the flush.
+  BackendResult<void> sync();
+
+  /// Closes submitted but not yet handed to the backend.
+  std::size_t pending() const { return group_.size(); }
+  /// Closes submitted over the session's lifetime.
+  std::uint64_t submitted() const { return next_ticket_id_ - 1; }
+
+  const SessionConfig& config() const { return config_; }
+
+ private:
+  void flush();
+  void record_errors(const std::vector<TicketState*>& group);
+
+  ProvenanceBackend* backend_;
+  SessionConfig config_;
+  sim::LatencyLedger* ledger_;
+  std::vector<std::shared_ptr<TicketState>> group_;
+  std::optional<BackendError> first_error_;
+  std::uint64_t next_ticket_id_ = 1;
+};
+
+}  // namespace provcloud::cloudprov

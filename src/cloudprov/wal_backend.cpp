@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 #include <set>
 
 #include "cloudprov/consistency_read.hpp"
 #include "cloudprov/serialize.hpp"
+#include "cloudprov/session.hpp"
 #include "util/md5.hpp"
 #include "util/require.hpp"
 
@@ -31,6 +33,20 @@ WalBackend::WalBackend(CloudServices& services, WalBackendConfig config)
 }
 
 void WalBackend::store(const pass::FlushUnit& unit) {
+  log_transaction(unit, nullptr, nullptr);
+  // The close returns as soon as the log is durable; the commit daemon
+  // moves the bits to their final homes asynchronously.
+  pump();
+}
+
+std::unique_ptr<Session> WalBackend::do_open_session(SessionConfig config) {
+  return std::make_unique<Session>(*this, std::move(config),
+                                   &services_->env->latency_ledger());
+}
+
+void WalBackend::log_transaction(const pass::FlushUnit& unit,
+                                 TicketState* ticket,
+                                 sim::LatencyLedger* ledger) {
   aws::CloudEnv& env = *services_->env;
   env.failures().crash_point("wal.store.begin");
 
@@ -61,10 +77,15 @@ void WalBackend::store(const pass::FlushUnit& unit) {
   env.failures().crash_point("wal.store.after_begin");
 
   // (c) the data goes to a temporary S3 object -- it cannot ride the queue
-  // (8 KB limit) -- and a pointer record is logged.
+  // (8 KB limit) -- and a pointer record is logged. The temp PUT is
+  // exclusive to this close: charged to the ticket's timeline so in-flight
+  // closes overlap it.
   if (has_data) {
     aws::S3Metadata temp_meta;
     temp_meta[kTempCreatedMetaKey] = std::to_string(env.clock().now());
+    std::optional<sim::LatencyLedger::ScopedTimeline> bind;
+    if (ledger != nullptr && ticket != nullptr)
+      bind.emplace(*ledger, ticket->timeline);
     auto temp_put =
         services_->s3.put_shared(kDataBucket, temp_key, data, temp_meta);
     PROVCLOUD_REQUIRE_MSG(temp_put.has_value(),
@@ -87,10 +108,124 @@ void WalBackend::store(const pass::FlushUnit& unit) {
                                             encode_wal_record(records.back()));
   PROVCLOUD_REQUIRE_MSG(commit.has_value(),
                         "WAL send failed: " + commit.error().message);
+  if (ticket != nullptr) ticket->done = true;  // the log is durable
   env.failures().crash_point("wal.store.after_commit");
+}
 
-  // The close returns as soon as the log is durable; the commit daemon
-  // moves the bits to their final homes asynchronously.
+void WalBackend::commit_group(const std::vector<TicketState*>& group,
+                              sim::LatencyLedger* ledger) {
+  if (group.size() <= 1) {
+    // A single-close group is the per-close protocol, message for message.
+    for (TicketState* ticket : group)
+      log_transaction(ticket->unit, ticket, ledger);
+    pump();
+    return;
+  }
+
+  aws::CloudEnv& env = *services_->env;
+  struct LoggedTxn {
+    TicketState* ticket = nullptr;
+    std::vector<WalRecord> records;
+    std::string temp_key;
+    bool has_data = false;
+  };
+  std::vector<LoggedTxn> txns;
+  txns.reserve(group.size());
+  for (TicketState* ticket : group) {
+    env.failures().crash_point("wal.store.begin");
+    const pass::FlushUnit& unit = ticket->unit;
+    const std::string txid = "tx-" + std::to_string(next_txid_++);
+    const std::string nonce = nonce_for_version(unit.version);
+    const util::SharedBytes data =
+        unit.data != nullptr ? unit.data : kEmptyBytes;
+    const std::string md5 = util::md5_with_nonce(*data, nonce);
+    const bool has_data = unit.kind == pass::PnodeKind::kFile;
+    const std::string temp_key =
+        has_data ? std::string(kTempPrefix) + config_.queue_name + "/" + txid
+                 : std::string();
+    LoggedTxn txn;
+    txn.ticket = ticket;
+    txn.records = build_transaction(txid, unit, temp_key, nonce, md5);
+    txn.temp_key = temp_key;
+    txn.has_data = has_data;
+    txns.push_back(std::move(txn));
+  }
+
+  // Up to 10 log records per SQS round trip. `mark` runs after each batch
+  // call lands (before its crash point), so commit sends can retire their
+  // tickets exactly when the log becomes durable.
+  const auto send_batched =
+      [&](std::vector<util::Bytes> bodies, const char* point,
+          const std::function<void(std::size_t, std::size_t)>& mark) {
+        for (std::size_t start = 0; start < bodies.size();
+             start += aws::kSqsMaxSendBatch) {
+          const std::size_t end =
+              std::min(start + aws::kSqsMaxSendBatch, bodies.size());
+          std::vector<util::Bytes> chunk(
+              bodies.begin() + static_cast<std::ptrdiff_t>(start),
+              bodies.begin() + static_cast<std::ptrdiff_t>(end));
+          auto sent = services_->sqs.send_message_batch(queue_url_, chunk);
+          PROVCLOUD_REQUIRE_MSG(sent.has_value(),
+                                "WAL batch send failed: " +
+                                    sent.error().message);
+          PROVCLOUD_REQUIRE_MSG(sent->ok(),
+                                "WAL batch send rejected entry: " +
+                                    sent->failed.front().error.message);
+          if (mark) mark(start, end);
+          env.failures().crash_point(point);
+        }
+      };
+
+  // (b) every begin record first: each carries the record count the commit
+  // daemon needs to know its transaction is fully present.
+  std::vector<util::Bytes> begins;
+  begins.reserve(txns.size());
+  for (const LoggedTxn& txn : txns)
+    begins.push_back(encode_wal_record(txn.records.front()));
+  send_batched(std::move(begins), "wal.store.after_begin", nullptr);
+
+  // (c) temp objects, one PUT per data-bearing close (exclusive to the
+  // close: charged to its ticket's timeline).
+  for (const LoggedTxn& txn : txns) {
+    if (txn.has_data) {
+      aws::S3Metadata temp_meta;
+      temp_meta[kTempCreatedMetaKey] = std::to_string(env.clock().now());
+      const pass::FlushUnit& unit = txn.ticket->unit;
+      const util::SharedBytes data =
+          unit.data != nullptr ? unit.data : kEmptyBytes;
+      std::optional<sim::LatencyLedger::ScopedTimeline> bind;
+      if (ledger != nullptr) bind.emplace(*ledger, txn.ticket->timeline);
+      auto temp_put =
+          services_->s3.put_shared(kDataBucket, txn.temp_key, data, temp_meta);
+      PROVCLOUD_REQUIRE_MSG(temp_put.has_value(),
+                            "temp PUT failed: " + temp_put.error().message);
+    }
+    env.failures().crash_point("wal.store.after_temp_put");
+  }
+
+  // (c continued), (d): pointer records, provenance chunks and md5 records
+  // of the whole group, submit order.
+  std::vector<util::Bytes> middles;
+  for (const LoggedTxn& txn : txns)
+    for (std::size_t i = 1; i + 1 < txn.records.size(); ++i)
+      middles.push_back(encode_wal_record(txn.records[i]));
+  send_batched(std::move(middles), "wal.store.mid_records", nullptr);
+  env.failures().crash_point("wal.store.before_commit");
+
+  // (e) the commit records seal the transactions, in submit order: a crash
+  // between batch calls leaves a committed prefix (those closes are
+  // durable) and incomplete suffix transactions the retention reaps.
+  std::vector<util::Bytes> commits;
+  commits.reserve(txns.size());
+  for (const LoggedTxn& txn : txns)
+    commits.push_back(encode_wal_record(txn.records.back()));
+  send_batched(std::move(commits), "wal.store.after_commit",
+               [&](std::size_t start, std::size_t end) {
+                 for (std::size_t i = start; i < end; ++i)
+                   txns[i].ticket->done = true;
+               });
+
+  // One commit-daemon poke per group instead of per close.
   pump();
 }
 

@@ -67,6 +67,16 @@ class WalBackend final : public ProvenanceBackend {
   std::string name() const override { return "S3+SimpleDB+SQS"; }
 
   void store(const pass::FlushUnit& unit) override;
+  std::unique_ptr<Session> do_open_session(SessionConfig config) override;
+  bool supports_group_commit() const override { return true; }
+  /// Cross-close group commit for the log phase: the whole group's WAL
+  /// records ride SendMessageBatch calls (10 messages per round trip,
+  /// ordering preserved: begins, temp PUTs, middles, then the sealing
+  /// commits in submit order) and the commit daemon is poked once per
+  /// group instead of once per close. A single-close group takes the
+  /// legacy per-message path bit-for-bit.
+  void commit_group(const std::vector<TicketState*>& group,
+                    sim::LatencyLedger* ledger) override;
   BackendResult<ReadResult> read(const std::string& object,
                                  std::uint32_t max_retries = 64) override;
   /// Overlaps the per-object consistency rounds on the topology's executor.
@@ -117,6 +127,13 @@ class WalBackend final : public ProvenanceBackend {
     std::vector<aws::SdbReplaceableAttribute> attributes;
     bool flushed = false;
   };
+
+  /// The per-close log phase (the old store() body): begin record, temp
+  /// PUT, provenance chunks, commit record, one message per send. `ticket`
+  /// (nullable) is marked done once the commit record is durable; its
+  /// timeline (when `ledger` is set) receives the temp PUT.
+  void log_transaction(const pass::FlushUnit& unit, TicketState* ticket,
+                       sim::LatencyLedger* ledger);
 
   void commit_phase(bool forced);
   /// Per-transaction front half: COPY/supersede handling, spill PUTs, and

@@ -43,8 +43,25 @@ const LatencyLedger::Timeline* LatencyLedger::active_timeline_or_null() const {
   return it == roots_.end() ? nullptr : &it->second;
 }
 
-void LatencyLedger::charge(SimTime latency) {
-  active_timeline()->elapsed += latency;
+namespace {
+
+/// Add `latency` to `t`'s per-service split (heterogeneous find: the key
+/// string is built only on first sight of a service).
+void accumulate_service(LatencyLedger::Timeline& t, std::string_view service,
+                        SimTime latency) {
+  auto it = t.by_service.find(service);
+  if (it == t.by_service.end())
+    t.by_service.emplace(std::string(service), latency);
+  else
+    it->second += latency;
+}
+
+}  // namespace
+
+void LatencyLedger::charge(SimTime latency, std::string_view service) {
+  Timeline* t = active_timeline();
+  t->elapsed += latency;
+  if (!service.empty()) accumulate_service(*t, service, latency);
 }
 
 SimTime LatencyLedger::elapsed() const {
@@ -52,11 +69,31 @@ SimTime LatencyLedger::elapsed() const {
   return t == nullptr ? 0 : t->elapsed;
 }
 
+std::map<std::string, SimTime, std::less<>> LatencyLedger::elapsed_by_service()
+    const {
+  const Timeline* t = active_timeline_or_null();
+  return t == nullptr ? std::map<std::string, SimTime, std::less<>>{}
+                      : t->by_service;
+}
+
 void LatencyLedger::merge_critical_path(
     const std::vector<SimTime>& branch_elapsed) {
   SimTime critical = 0;
   for (const SimTime e : branch_elapsed) critical = std::max(critical, e);
   charge(critical);
+}
+
+void LatencyLedger::merge_critical_path(
+    const std::vector<const Timeline*>& branches) {
+  const Timeline* critical = nullptr;
+  for (const Timeline* b : branches)
+    if (b != nullptr && (critical == nullptr || b->elapsed > critical->elapsed))
+      critical = b;
+  if (critical == nullptr) return;
+  Timeline* t = active_timeline();
+  t->elapsed += critical->elapsed;
+  for (const auto& [service, elapsed] : critical->by_service)
+    accumulate_service(*t, service, elapsed);
 }
 
 LatencyLedger::Branch::Branch(LatencyLedger& ledger) : ledger_(&ledger) {
@@ -68,6 +105,18 @@ LatencyLedger::Branch::~Branch() {
   ledger_->open_branches_.fetch_sub(1, std::memory_order_acq_rel);
   PROVCLOUD_REQUIRE(!tls_branches.empty() &&
                     tls_branches.back().timeline == &timeline_);
+  tls_branches.pop_back();
+}
+
+LatencyLedger::ScopedTimeline::ScopedTimeline(LatencyLedger& ledger,
+                                              Timeline& timeline)
+    : ledger_(&ledger), timeline_(&timeline) {
+  tls_branches.push_back(BranchFrame{ledger_, timeline_});
+}
+
+LatencyLedger::ScopedTimeline::~ScopedTimeline() {
+  PROVCLOUD_REQUIRE(!tls_branches.empty() &&
+                    tls_branches.back().timeline == timeline_);
   tls_branches.pop_back();
 }
 

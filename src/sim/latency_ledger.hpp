@@ -13,6 +13,11 @@
 //     branch land on that branch's timeline; at the gather barrier the
 //     caller merges the branch totals by **max** (the critical path), so a
 //     parallel run reports the *overlapped* elapsed time.
+//   * A session's group commit opens one ScopedTimeline per in-flight
+//     ticket: the close's exclusive service calls land on the ticket's own
+//     timeline (on the same thread -- no executor involved), and the
+//     durability barrier merges the ticket timelines by critical path. That
+//     is how latency hiding *across closes* becomes measurable.
 //   * The simulated clock never moves on a charge. Replica propagation is
 //     scheduled at logical commit time and fires only at explicit driver-
 //     thread synchronization points (SimClock::advance_to/drain), which a
@@ -21,12 +26,19 @@
 // With parallelism == 1 no branches open and every charge lands on the
 // caller's root timeline in issue order: the reported elapsed time is
 // bit-identical to the retired charge_latency accounting.
+//
+// Timelines additionally keep a per-service breakdown (which of S3 /
+// SimpleDB / SQS the elapsed time was spent waiting on); critical-path
+// merges carry the breakdown of the slowest branch, so the per-service
+// split of a merged timeline always sums to its total.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -40,6 +52,9 @@ class LatencyLedger {
   /// owning the root) ever touches it.
   struct Timeline {
     SimTime elapsed = 0;
+    /// Breakdown of `elapsed` by the service that was waited on. Charges
+    /// recorded without a service name count only in `elapsed`.
+    std::map<std::string, SimTime, std::less<>> by_service;
   };
 
   LatencyLedger() = default;
@@ -48,8 +63,10 @@ class LatencyLedger {
   ~LatencyLedger();
 
   /// Add `latency` to the calling thread's active timeline: the innermost
-  /// open Branch on this thread, or the thread's root timeline.
-  void charge(SimTime latency);
+  /// open Branch/ScopedTimeline on this thread, or the thread's root
+  /// timeline. A non-empty `service` also lands in the per-service
+  /// breakdown.
+  void charge(SimTime latency, std::string_view service = {});
 
   /// Elapsed virtual time on the calling thread's active timeline. For a
   /// client driver thread this is "the elapsed time of the client,
@@ -57,10 +74,21 @@ class LatencyLedger {
   /// to measure.
   SimTime elapsed() const;
 
+  /// Per-service breakdown of elapsed() (a copy; empty when nothing was
+  /// charged with a service name on this thread's active timeline).
+  std::map<std::string, SimTime, std::less<>> elapsed_by_service() const;
+
   /// Critical-path merge: the gather side of a parallel scatter. Advances
   /// the caller's timeline by the *longest* branch -- overlapped work costs
-  /// its slowest leg, not the sum of all legs.
+  /// its slowest leg, not the sum of all legs. This overload carries no
+  /// per-service attribution.
   void merge_critical_path(const std::vector<SimTime>& branch_elapsed);
+
+  /// Critical-path merge over full branch timelines: the caller's timeline
+  /// advances by the longest branch's total *and* absorbs that branch's
+  /// per-service breakdown (the slowest leg is what the client actually
+  /// waited on).
+  void merge_critical_path(const std::vector<const Timeline*>& branches);
 
   /// Open branches across all threads. Non-zero means a scatter/gather is
   /// in flight; SimClock's advance guard uses this to reject event firing
@@ -81,10 +109,31 @@ class LatencyLedger {
     Branch& operator=(const Branch&) = delete;
 
     SimTime elapsed() const { return timeline_.elapsed; }
+    const Timeline& timeline() const { return timeline_; }
 
    private:
     LatencyLedger* ledger_;
     Timeline timeline_;
+  };
+
+  /// RAII scope that installs a caller-owned timeline as the thread's
+  /// active timeline. Unlike Branch (which owns a fresh timeline and is
+  /// meant for executor fan-out), a ScopedTimeline lets the same external
+  /// timeline accumulate across several disjoint scopes -- a session binds
+  /// each ticket's timeline around that ticket's exclusive service calls,
+  /// phase by phase, and merges the ticket timelines at the durability
+  /// barrier. Same-thread only; does not count as an open branch (no
+  /// scatter is in flight).
+  class ScopedTimeline {
+   public:
+    ScopedTimeline(LatencyLedger& ledger, Timeline& timeline);
+    ~ScopedTimeline();
+    ScopedTimeline(const ScopedTimeline&) = delete;
+    ScopedTimeline& operator=(const ScopedTimeline&) = delete;
+
+   private:
+    LatencyLedger* ledger_;
+    Timeline* timeline_;
   };
 
  private:

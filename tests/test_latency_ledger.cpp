@@ -78,8 +78,71 @@ TEST(LatencyLedgerTest, NestedBranchesStack) {
   }
   // The gather happens after the branch closes: the critical path lands on
   // the enclosing (outer) timeline.
-  ledger.merge_critical_path({inner_elapsed});
+  ledger.merge_critical_path(std::vector<sim::SimTime>{inner_elapsed});
   EXPECT_EQ(outer.elapsed(), 11u);
+}
+
+TEST(LatencyLedgerTest, ServiceBreakdownSumsToElapsed) {
+  sim::LatencyLedger ledger;
+  ledger.charge(5, "s3");
+  ledger.charge(7, "sdb");
+  ledger.charge(4, "s3");
+  ledger.charge(2);  // no service: counts in elapsed only
+  EXPECT_EQ(ledger.elapsed(), 18u);
+  const auto by_service = ledger.elapsed_by_service();
+  ASSERT_EQ(by_service.size(), 2u);
+  EXPECT_EQ(by_service.at("s3"), 9u);
+  EXPECT_EQ(by_service.at("sdb"), 7u);
+}
+
+TEST(LatencyLedgerTest, CriticalPathMergeCarriesTheSlowestBranchBreakdown) {
+  sim::LatencyLedger ledger;
+  ledger.charge(5, "s3");
+  sim::LatencyLedger::Timeline fast, slow;
+  {
+    sim::LatencyLedger::ScopedTimeline bind(ledger, fast);
+    ledger.charge(3, "s3");
+  }
+  {
+    sim::LatencyLedger::ScopedTimeline bind(ledger, slow);
+    ledger.charge(6, "sdb");
+    ledger.charge(2, "sqs");
+  }
+  ledger.merge_critical_path(
+      std::vector<const sim::LatencyLedger::Timeline*>{&fast, &slow});
+  // The caller waited for the slowest leg: its total *and* its per-service
+  // split land on the root; the fast leg's s3 time was hidden by overlap.
+  EXPECT_EQ(ledger.elapsed(), 13u);  // 5 + (6 + 2)
+  const auto by_service = ledger.elapsed_by_service();
+  EXPECT_EQ(by_service.at("s3"), 5u);
+  EXPECT_EQ(by_service.at("sdb"), 6u);
+  EXPECT_EQ(by_service.at("sqs"), 2u);
+  sim::SimTime split_sum = 0;
+  for (const auto& [service, t] : by_service) split_sum += t;
+  EXPECT_EQ(split_sum, ledger.elapsed());
+}
+
+TEST(LatencyLedgerTest, ScopedTimelineAccumulatesAcrossScopes) {
+  // A session binds the same ticket timeline around several disjoint
+  // phases of a group commit; the charges must accumulate.
+  sim::LatencyLedger ledger;
+  sim::LatencyLedger::Timeline ticket;
+  {
+    sim::LatencyLedger::ScopedTimeline bind(ledger, ticket);
+    ledger.charge(4, "s3");
+  }
+  ledger.charge(100, "sdb");  // between scopes: lands on the root
+  {
+    sim::LatencyLedger::ScopedTimeline bind(ledger, ticket);
+    ledger.charge(6, "s3");
+  }
+  EXPECT_EQ(ticket.elapsed, 10u);
+  EXPECT_EQ(ticket.by_service.at("s3"), 10u);
+  EXPECT_EQ(ledger.elapsed(), 100u);
+  // Unlike Branch, a ScopedTimeline opens no scatter: the clock guard must
+  // not treat a bound ticket timeline as an in-flight fan-out.
+  sim::LatencyLedger::ScopedTimeline bind(ledger, ticket);
+  EXPECT_EQ(ledger.open_branches(), 0);
 }
 
 TEST(LatencyLedgerTest, EachClientThreadOwnsItsTimeline) {

@@ -1,0 +1,405 @@
+// The session-oriented close path: submit/sync tickets, cross-close group
+// commit, typed per-close errors, and crash-mid-group recovery.
+#include <gtest/gtest.h>
+
+#include "cloudprov/consistency_read.hpp"
+#include "cloudprov/sdb_backend.hpp"
+#include "cloudprov/serialize.hpp"
+#include "cloudprov/session.hpp"
+#include "cloudprov/wal_backend.hpp"
+#include "sim/failure.hpp"
+#include "util/md5.hpp"
+
+namespace {
+
+using namespace provcloud::cloudprov;
+using namespace provcloud::pass;
+namespace aws = provcloud::aws;
+namespace pass = provcloud::pass;
+namespace sim = provcloud::sim;
+namespace util = provcloud::util;
+
+FlushUnit file_unit(const std::string& object, std::uint32_t version,
+                    const std::string& data,
+                    std::vector<ProvenanceRecord> records = {}) {
+  FlushUnit u;
+  u.object = object;
+  u.version = version;
+  u.kind = PnodeKind::kFile;
+  u.data = util::make_shared_bytes(data);
+  if (records.empty())
+    records = {make_text_record("TYPE", "file"),
+               make_text_record("NAME", object)};
+  u.records = std::move(records);
+  return u;
+}
+
+// --- ticket lifecycle ---
+
+TEST(SessionTest, TicketsPendUntilTheBarrier) {
+  aws::CloudEnv env(11, aws::ConsistencyConfig::strong());
+  CloudServices services(env);
+  auto backend = make_sdb_backend(services);
+  auto session = backend->open_session(SessionConfig{.group_size = 4});
+
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 3; ++i)
+    tickets.push_back(
+        session->submit(file_unit("f" + std::to_string(i), 1, "x")));
+  EXPECT_EQ(session->pending(), 3u);
+  for (const Ticket& t : tickets) {
+    EXPECT_TRUE(t.valid());
+    EXPECT_FALSE(t.done());  // the group has not flushed
+  }
+  EXPECT_EQ(tickets[0].id(), 1u);
+  EXPECT_EQ(tickets[2].id(), 3u);
+
+  ASSERT_TRUE(session->sync().has_value());
+  EXPECT_EQ(session->pending(), 0u);
+  EXPECT_EQ(session->submitted(), 3u);
+  for (const Ticket& t : tickets) {
+    EXPECT_TRUE(t.done());
+    EXPECT_TRUE(t.ok());
+  }
+  // Durable for real, not just ticked: the reads verify.
+  for (int i = 0; i < 3; ++i) {
+    auto got = backend->read("f" + std::to_string(i));
+    ASSERT_TRUE(got.has_value()) << i;
+    EXPECT_TRUE(got->verified);
+  }
+}
+
+TEST(SessionTest, FullGroupFlushesWithoutExplicitSync) {
+  aws::CloudEnv env(12, aws::ConsistencyConfig::strong());
+  CloudServices services(env);
+  auto backend = make_sdb_backend(services);
+  auto session = backend->open_session(SessionConfig{.group_size = 2});
+  const Ticket a = session->submit(file_unit("a", 1, "x"));
+  EXPECT_FALSE(a.done());
+  const Ticket b = session->submit(file_unit("b", 1, "y"));  // fills the group
+  EXPECT_TRUE(a.done());
+  EXPECT_TRUE(b.ok());
+  EXPECT_EQ(session->pending(), 0u);
+}
+
+// --- group size 1 reproduces the per-close protocol bit-for-bit ---
+
+TEST(SessionTest, GroupSizeOneMatchesStoreBitForBit) {
+  for (const Architecture arch :
+       {Architecture::kS3Only, Architecture::kS3SimpleDb,
+        Architecture::kS3SimpleDbSqs}) {
+    aws::CloudEnv store_env(11, aws::ConsistencyConfig::strong());
+    CloudServices store_services(store_env);
+    auto store_backend = make_backend(arch, store_services);
+    aws::CloudEnv session_env(11, aws::ConsistencyConfig::strong());
+    CloudServices session_services(session_env);
+    auto session_backend = make_backend(arch, session_services);
+
+    for (int i = 0; i < 6; ++i)
+      store_backend->store(file_unit("f" + std::to_string(i), 1, "payload"));
+    auto session = session_backend->open_session(SessionConfig{});
+    for (int i = 0; i < 6; ++i)
+      session->submit(file_unit("f" + std::to_string(i), 1, "payload"));
+    ASSERT_TRUE(session->sync().has_value());
+
+    // Same requests, same billing, same elapsed time -- byte for byte the
+    // pre-session protocol.
+    const auto store_snap = store_env.meter().snapshot();
+    const auto session_snap = session_env.meter().snapshot();
+    EXPECT_EQ(store_snap.total_calls(), session_snap.total_calls())
+        << to_string(arch);
+    EXPECT_EQ(store_env.busy_time(), session_env.busy_time())
+        << to_string(arch);
+    EXPECT_EQ(store_env.elapsed_time(), session_env.elapsed_time())
+        << to_string(arch);
+  }
+}
+
+// --- per-architecture group-commit semantics ---
+
+TEST(SessionTest, ArchOneSubmitsAreImmediateWhateverTheGroupSize) {
+  // Arch 1's Table-1 properties rest on submit == store: the single-PUT
+  // close is atomic, so sessions never hold its submits back.
+  aws::CloudEnv env(13, aws::ConsistencyConfig::strong());
+  CloudServices services(env);
+  auto backend = make_backend(Architecture::kS3Only, services);
+  EXPECT_FALSE(backend->supports_group_commit());
+  auto session = backend->open_session(SessionConfig{.group_size = 25});
+  for (int i = 0; i < 3; ++i) {
+    const Ticket t =
+        session->submit(file_unit("f" + std::to_string(i), 1, "x"));
+    EXPECT_TRUE(t.done());
+    EXPECT_TRUE(t.ok());
+    EXPECT_EQ(session->pending(), 0u);
+    EXPECT_TRUE(backend->read("f" + std::to_string(i)).has_value());
+  }
+}
+
+TEST(SessionTest, ArchTwoGroupCommitCoalescesWriteRoundTrips) {
+  const auto write_calls = [](std::size_t group_size) {
+    aws::CloudEnv env(14, aws::ConsistencyConfig::strong());
+    CloudServices services(env);
+    auto backend = make_sdb_backend(services);
+    auto session =
+        backend->open_session(SessionConfig{.group_size = group_size});
+    for (int i = 0; i < 25; ++i)
+      session->submit(file_unit("f" + std::to_string(i), 1, "x"));
+    EXPECT_TRUE(session->sync().has_value());
+    for (int i = 0; i < 25; ++i) {
+      auto got = backend->read("f" + std::to_string(i));
+      EXPECT_TRUE(got.has_value() && got->verified) << i;
+    }
+    return env.meter().snapshot().calls("sdb", "BatchPutAttributes");
+  };
+  // 25 independent closes: one BatchPutAttributes round trip per group.
+  EXPECT_EQ(write_calls(1), 25u);
+  EXPECT_EQ(write_calls(25), 1u);
+}
+
+TEST(SessionTest, ArchTwoCausalWavesOrderIntraGroupAncestors) {
+  // b derives from a, c from b, all in one group: the batch calls must go
+  // out in causal waves so a crash between calls can never persist a
+  // record whose intra-group ancestor was lost.
+  aws::CloudEnv env(15, aws::ConsistencyConfig::strong());
+  CloudServices services(env);
+  auto backend = make_sdb_backend(services);
+  auto session = backend->open_session(SessionConfig{.group_size = 3});
+  session->submit(file_unit("a", 1, "va"));
+  session->submit(file_unit("b", 1, "vb",
+                            {make_text_record("TYPE", "file"),
+                             make_xref_record("INPUT", {"a", 1})}));
+  session->submit(file_unit("c", 1, "vc",
+                            {make_text_record("TYPE", "file"),
+                             make_xref_record("INPUT", {"b", 1})}));
+  ASSERT_TRUE(session->sync().has_value());
+  // Three dependency levels -> three write waves even though all three
+  // items share one shard domain.
+  EXPECT_EQ(env.meter().snapshot().calls("sdb", "BatchPutAttributes"), 3u);
+}
+
+TEST(SessionTest, ArchTwoCrashBetweenWavesKeepsCausalOrdering) {
+  aws::CloudEnv env(16, aws::ConsistencyConfig::strong());
+  CloudServices services(env);
+  auto backend = make_sdb_backend(services);
+  auto session = backend->open_session(SessionConfig{.group_size = 3});
+  // Crash after the second wave's batch call: a and b written, c lost.
+  env.failures().arm_crash("sdb.store.mid_putattrs", 2);
+  session->submit(file_unit("a", 1, "va"));
+  session->submit(file_unit("b", 1, "vb",
+                            {make_text_record("TYPE", "file"),
+                             make_xref_record("INPUT", {"a", 1})}));
+  Ticket c;
+  EXPECT_THROW(
+      {
+        c = session->submit(file_unit(
+            "c", 1, "vc",
+            {make_text_record("TYPE", "file"),
+             make_xref_record("INPUT", {"b", 1})}));  // fills the group
+      },
+      sim::CrashError);
+  env.clock().drain();
+  // Whatever survived respects causality: b's ancestor a is stored; the
+  // dependent c never made it without its own ancestors.
+  EXPECT_TRUE(services.sdb.peek_item(kProvenanceDomain, "a:1").has_value());
+  EXPECT_TRUE(services.sdb.peek_item(kProvenanceDomain, "b:1").has_value());
+  EXPECT_FALSE(services.sdb.peek_item(kProvenanceDomain, "c:1").has_value());
+}
+
+TEST(SessionTest, DuplicateSubmitInOneGroupLaterCloseWins) {
+  // The same (object, version) twice between barriers: duplicate item
+  // names cannot share a batch call, and the later submit must win.
+  aws::CloudEnv env(17, aws::ConsistencyConfig::strong());
+  CloudServices services(env);
+  auto backend = make_sdb_backend(services);
+  auto session = backend->open_session(SessionConfig{.group_size = 2});
+  session->submit(file_unit("dup", 1, "first"));
+  session->submit(file_unit("dup", 1, "second"));
+  ASSERT_TRUE(session->sync().has_value());
+  EXPECT_EQ(env.meter().snapshot().calls("sdb", "BatchPutAttributes"), 2u);
+  auto got = backend->read("dup");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->verified);
+  EXPECT_EQ(*got->data, "second");
+}
+
+// --- per-close errors carried by tickets, asserted on typed codes ---
+
+/// A backend that fails exactly one close inside a batched commit, to
+/// prove the session loses no per-close result.
+class PoisonBackend final : public ProvenanceBackend {
+ public:
+  Architecture architecture() const override { return Architecture::kS3Only; }
+  std::string name() const override { return "poison"; }
+  void store(const pass::FlushUnit&) override {}
+  std::unique_ptr<Session> do_open_session(SessionConfig config) override {
+    return std::make_unique<Session>(*this, std::move(config), nullptr);
+  }
+  bool supports_group_commit() const override { return true; }
+  void commit_group(const std::vector<TicketState*>& group,
+                    sim::LatencyLedger*) override {
+    for (TicketState* t : group) {
+      t->done = true;
+      if (t->unit.object == "poison")
+        t->result = backend_error(BackendErrorCode::kServiceError,
+                                  "injected per-close failure");
+    }
+  }
+  BackendResult<ReadResult> read(const std::string&, std::uint32_t) override {
+    return backend_error(BackendErrorCode::kUnsupported, "poison");
+  }
+  BackendResult<std::vector<pass::ProvenanceRecord>> get_provenance(
+      const std::string&, std::uint32_t) override {
+    return backend_error(BackendErrorCode::kUnsupported, "poison");
+  }
+  void recover() override {}
+  PropertyClaims claims() const override { return {}; }
+};
+
+TEST(SessionTest, PerCloseFailureInsideAGroupIsNotLost) {
+  PoisonBackend backend;
+  auto session = backend.open_session(SessionConfig{.group_size = 3});
+  const Ticket ok1 = session->submit(file_unit("fine", 1, "x"));
+  const Ticket bad = session->submit(file_unit("poison", 1, "x"));
+  const Ticket ok2 = session->submit(file_unit("alsofine", 1, "x"));
+  EXPECT_TRUE(ok1.ok());
+  EXPECT_TRUE(ok2.ok());
+  ASSERT_TRUE(bad.done());
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, BackendErrorCode::kServiceError);
+
+  // The barrier reports the first failure since the last sync...
+  const auto synced = session->sync();
+  ASSERT_FALSE(synced.has_value());
+  EXPECT_EQ(synced.error().code, BackendErrorCode::kServiceError);
+  // ...and a clean interval syncs clean again.
+  session->submit(file_unit("fine", 2, "y"));
+  EXPECT_TRUE(session->sync().has_value());
+}
+
+TEST(SessionTest, DroppingAnUnsyncedSessionMarksTicketsCrashed) {
+  aws::CloudEnv env(18, aws::ConsistencyConfig::strong());
+  CloudServices services(env);
+  auto backend = make_sdb_backend(services);
+  Ticket abandoned;
+  {
+    auto session = backend->open_session(SessionConfig{.group_size = 8});
+    abandoned = session->submit(file_unit("gone", 1, "x"));
+    EXPECT_FALSE(abandoned.done());
+  }
+  ASSERT_TRUE(abandoned.done());
+  EXPECT_FALSE(abandoned.ok());
+  EXPECT_EQ(abandoned.error().code, BackendErrorCode::kCrashed);
+  EXPECT_FALSE(services.sdb.peek_item(kProvenanceDomain, "gone:1").has_value());
+}
+
+// --- crash mid-group-commit, restart, recover ---
+
+TEST(SessionTest, ArchTwoCrashMidGroupRecoversByOrphanScan) {
+  aws::CloudEnv env(19, aws::ConsistencyConfig::strong());
+  CloudServices services(env);
+  SdbBackend backend(services, SdbBackendConfig{});
+  auto session = backend.open_session(SessionConfig{.group_size = 8});
+
+  // The atomicity hole, group-wide: every provenance item of the group is
+  // written, then the client dies before any data PUT.
+  env.failures().arm_crash("sdb.store.between_prov_and_data");
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 7; ++i)
+    tickets.push_back(
+        session->submit(file_unit("f" + std::to_string(i), 1, "x")));
+  EXPECT_THROW(session->sync(), sim::CrashError);
+  for (const Ticket& t : tickets) {
+    ASSERT_TRUE(t.done());
+    EXPECT_FALSE(t.ok());
+    EXPECT_EQ(t.error().code, BackendErrorCode::kCrashed);
+  }
+  env.clock().drain();
+  EXPECT_EQ(services.sdb.peek_item_names(kProvenanceDomain).size(), 7u);
+
+  // Restart: a fresh client over the same cloud state runs the remedial
+  // orphan scan. Every orphan goes; nothing is double-deleted or left.
+  SdbBackend restarted(services, SdbBackendConfig{});
+  restarted.recover();
+  EXPECT_EQ(restarted.last_recovery_orphans(), 7u);
+  EXPECT_TRUE(services.sdb.peek_item_names(kProvenanceDomain).empty());
+  // A second scan finds a clean state.
+  restarted.recover();
+  EXPECT_EQ(restarted.last_recovery_orphans(), 0u);
+}
+
+TEST(SessionTest, ArchThreeCrashMidGroupReplaysCommittedPrefixExactlyOnce) {
+  aws::CloudEnv env(20, aws::ConsistencyConfig::strong());
+  CloudServices services(env);
+  WalBackendConfig cfg;
+  cfg.commit_threshold = 1;
+  WalBackend backend(services, cfg);
+  auto session = backend.open_session(SessionConfig{.group_size = 12});
+
+  // Twelve closes in one group: the sealing commit records span two
+  // SendMessageBatch calls (10 + 2). Crash after the first call lands --
+  // ten closes are durable in the log, two are not.
+  env.failures().arm_crash("wal.store.after_commit", 1);
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 11; ++i)
+    tickets.push_back(session->submit(
+        file_unit("f" + std::to_string(i), 1, "body" + std::to_string(i))));
+  EXPECT_THROW(session->submit(file_unit("f11", 1, "body11")),
+               sim::CrashError);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(tickets[i].ok()) << i;  // log durable before the crash
+  }
+  EXPECT_EQ(tickets[10].error().code, BackendErrorCode::kCrashed);
+
+  // Restart: WAL replay via the commit daemon.
+  backend.recover();
+  backend.quiesce();
+  env.clock().drain();
+  backend.recover();
+
+  // The committed prefix is applied exactly once (set semantics: replay
+  // must not duplicate attributes)...
+  for (int i = 0; i < 10; ++i) {
+    const std::string object = "f" + std::to_string(i);
+    auto obj = services.s3.peek(kDataBucket, object);
+    ASSERT_TRUE(obj.has_value()) << object;
+    EXPECT_EQ(*obj->data, "body" + std::to_string(i));
+    auto item = services.sdb.peek_item(kProvenanceDomain, object + ":1");
+    ASSERT_TRUE(item.has_value()) << object;
+    EXPECT_EQ(item->at("TYPE").size(), 1u);
+    EXPECT_EQ(item->at(kMd5Attribute).size(), 1u);
+  }
+  // ...and the uncommitted suffix never reaches a final home: no data
+  // object, no provenance item -- no orphaned and no duplicated provenance.
+  for (const char* object : {"f10", "f11"}) {
+    EXPECT_FALSE(services.s3.peek(kDataBucket, object).has_value()) << object;
+    EXPECT_FALSE(
+        services.sdb.peek_item(kProvenanceDomain, std::string(object) + ":1")
+            .has_value())
+        << object;
+  }
+}
+
+TEST(SessionTest, ArchThreeGroupLogRidesBatchedSends) {
+  const auto sends = [](std::size_t group_size) {
+    aws::CloudEnv env(21, aws::ConsistencyConfig::strong());
+    CloudServices services(env);
+    WalBackendConfig cfg;
+    cfg.commit_threshold = 1000;  // keep the daemon out of the way
+    WalBackend backend(services, cfg);
+    auto session =
+        backend.open_session(SessionConfig{.group_size = group_size});
+    for (int i = 0; i < 10; ++i)
+      session->submit(file_unit("f" + std::to_string(i), 1, "x"));
+    EXPECT_TRUE(session->sync().has_value());
+    const auto snap = env.meter().snapshot();
+    return snap.calls("sqs", "SendMessage") +
+           snap.calls("sqs", "SendMessageBatch");
+  };
+  // Per close: begin + pointer + provenance + md5 + commit = 5 sends each.
+  // Grouped: the same records packed 10-per-call.
+  const std::uint64_t per_close = sends(1);
+  const std::uint64_t grouped = sends(10);
+  EXPECT_GE(per_close, grouped * 5);
+}
+
+}  // namespace
