@@ -97,10 +97,16 @@ struct WorkloadRun {
   /// bit-for-bit; larger groups let Arch 2/3 coalesce closes between
   /// durability barriers (cross-close group commit).
   void run(const pass::SyscallTrace& trace) {
-    auto session = backend->open_session(cloudprov::SessionConfig{
-        .client_id = "client-0", .group_size = group_size});
-    pass::PassObserver observer(
-        [&session](const pass::FlushUnit& u) { session->submit(u); });
+    auto session = backend->open_session(
+        cloudprov::SessionConfig{.client_id = "client-0",
+                                 .max_group = group_size,
+                                 .flush_deadline = flush_deadline});
+    pass::PassObserver observer([this, &session](const pass::FlushUnit& u) {
+      session->submit(u);
+      // Offered load: with an inter-close gap the clock moves between
+      // closes, so a deadline-driven flush can fire before a group fills.
+      if (inter_close_gap > 0) env.clock().advance_by(inter_close_gap);
+    });
     observer.apply_trace(trace);
     observer.finish();
     const auto synced = session->sync();
@@ -118,6 +124,11 @@ struct WorkloadRun {
   pass::ObserverStats stats;
   /// Closes coalesced per session group commit (see SessionConfig).
   std::size_t group_size = 1;
+  /// Adaptive group-flush deadline (0 = flush only on group-full/sync).
+  sim::SimTime flush_deadline = 0;
+  /// Simulated time advanced after each close -- the bench's offered load.
+  /// 0 keeps the legacy back-to-back submit stream bit-for-bit.
+  sim::SimTime inter_close_gap = 0;
 };
 
 // --- table printing ---

@@ -100,6 +100,41 @@ GroupPoint run_group_point(Architecture arch, const pass::SyscallTrace& trace,
   return p;
 }
 
+/// One deadline-driven run: a fixed offered load (one close per 20 ms of
+/// simulated time, group cap 25) with the adaptive flush deadline swept.
+/// Short deadlines flush small groups (deadline expiry wins); long ones let
+/// groups fill toward the cap, shedding write round trips at the price of
+/// closes idling in the queue -- the idle wait lands on the ledger.
+struct DeadlinePoint {
+  sim::SimTime deadline = 0;
+  std::uint64_t write_rts = 0;  // the arch's batched write: sdb RTs or sqs sends
+  sim::SimTime elapsed = 0;
+  sim::SimTime idle = 0;
+};
+
+DeadlinePoint run_deadline_point(Architecture arch,
+                                 const pass::SyscallTrace& trace,
+                                 sim::SimTime deadline) {
+  bench::WorkloadRun run(arch);
+  run.group_size = 25;
+  run.flush_deadline = deadline;
+  run.inter_close_gap = 20 * sim::kMillisecond;
+  run.run(trace);
+  DeadlinePoint p;
+  p.deadline = deadline;
+  const auto snap = run.env.meter().snapshot();
+  p.write_rts = arch == Architecture::kS3SimpleDb
+                    ? snap.calls("sdb", "PutAttributes") +
+                          snap.calls("sdb", "BatchPutAttributes")
+                    : snap.calls("sqs", "SendMessage") +
+                          snap.calls("sqs", "SendMessageBatch");
+  p.elapsed = run.env.elapsed_time();
+  const auto by_service = run.env.elapsed_by_service();
+  const auto idle_it = by_service.find("idle");
+  p.idle = idle_it == by_service.end() ? 0 : idle_it->second;
+  return p;
+}
+
 }  // namespace
 
 int main() {
@@ -294,14 +329,52 @@ int main() {
     group_ok = group_ok && g25.elapsed <= g1.elapsed;
   }
 
+  // --- adaptive flush deadline at fixed offered load ---
+  //
+  // One close arrives per 20 ms; the daemon flushes on group-full (25) or
+  // deadline expiry, whichever first. Sweeping the deadline trades write
+  // round trips against queue idle time: at 25 ms a group barely pairs up,
+  // at 400 ms groups fill toward the cap.
+  const std::vector<sim::SimTime> deadlines{25 * sim::kMillisecond,
+                                            100 * sim::kMillisecond,
+                                            400 * sim::kMillisecond};
+  std::printf("\nadaptive flush deadline (one close per 20 ms, group cap "
+              "25):\n");
+  std::printf("%-17s %9s %12s %12s %12s\n", "", "deadline", "write RTs",
+              "elapsed min", "idle min");
+  bench::print_rule();
+  bool deadline_ok = true;
+  std::vector<std::pair<Architecture, std::vector<DeadlinePoint>>>
+      deadline_sweeps;
+  for (const Architecture arch :
+       {Architecture::kS3SimpleDb, Architecture::kS3SimpleDbSqs}) {
+    std::vector<DeadlinePoint> points;
+    for (const sim::SimTime deadline : deadlines)
+      points.push_back(run_deadline_point(arch, trace, deadline));
+    for (const DeadlinePoint& p : points) {
+      std::printf("%-17s %6lld ms %12s %12.1f %12.1f\n", to_string(arch),
+                  static_cast<long long>(p.deadline / sim::kMillisecond),
+                  bench::fmt_count(p.write_rts).c_str(), as_min(p.elapsed),
+                  as_min(p.idle));
+      // Deadline-expiry flushes really idled: the wait is on the ledger.
+      deadline_ok = deadline_ok && p.idle > 0;
+    }
+    // A longer deadline coalesces more closes per flush, never fewer.
+    for (std::size_t i = 1; i < points.size(); ++i)
+      deadline_ok =
+          deadline_ok && points[i].write_rts <= points[i - 1].write_rts;
+    deadline_sweeps.emplace_back(arch, std::move(points));
+  }
+
   const bool premium_ok = arch3_total < 4.0 * arch1_total;
   const bool ok = premium_ok && ledger_matches_legacy && parallel_ok &&
-                  group_ok && service_split_sums;
+                  group_ok && service_split_sums && deadline_ok;
   std::printf("\nshape check (premium < 4x in USD; sequential ledger == "
               "legacy busy time; parallel critical path <= sequential sum "
               "at equal billing; group 1 == per-close protocol and group 25 "
-              "sheds >= 2x write RTs; per-service split sums to elapsed): "
-              "%s\n",
+              "sheds >= 2x write RTs; per-service split sums to elapsed; "
+              "deadline sweep sheds write RTs as the deadline grows with "
+              "idle wait on the ledger): %s\n",
               ok ? "PASS" : "FAIL");
 
   if (const char* path = bench::json_output_path()) {
@@ -343,6 +416,18 @@ int main() {
               p.closes > 0 ? p.usd / static_cast<double>(p.closes) : 0.0);
         j.add(g + "_sdb_write_rts", p.sdb_write_rts);
         j.add(g + "_sqs_send_rts", p.sqs_send_rts);
+      }
+    }
+    // The deadline sweep: write RTs vs. idle wait at fixed offered load.
+    for (const auto& [arch, points] : deadline_sweeps) {
+      const std::string key =
+          arch == Architecture::kS3SimpleDb ? "arch2" : "arch3";
+      for (const DeadlinePoint& p : points) {
+        const std::string d =
+            key + "_d" + std::to_string(p.deadline / sim::kMillisecond);
+        j.add(d + "_write_rts", p.write_rts);
+        j.add(d + "_elapsed_us", static_cast<std::uint64_t>(p.elapsed));
+        j.add(d + "_idle_us", static_cast<std::uint64_t>(p.idle));
       }
     }
     j.add("shape_check", std::string(ok ? "PASS" : "FAIL"));

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -93,19 +94,45 @@ struct CloudServices {
 
 class Session;
 struct TicketState;
+class CommitDaemon;
+class DomainTopology;
 
-/// Per-client session knobs (see ProvenanceBackend::open_session).
+/// Per-client session knobs (see ProvenanceBackend::open_session). The one
+/// typed home of every batching knob: group size, flush deadline and the
+/// SimpleDB batch width all ride here, so a session fully describes how its
+/// closes may be coalesced.
 struct SessionConfig {
-  /// Names the client the session belongs to (diagnostics; sessions are
-  /// single-threaded like the close path they replace).
+  /// Names the client the session belongs to (diagnostics; each session is
+  /// driven from one thread, but many sessions may share a backend).
   std::string client_id = "client-0";
-  /// Closes coalesced between durability barriers. 1 reproduces the
-  /// paper's per-close protocol bit-for-bit (same requests, same billing,
-  /// same elapsed time); larger groups let the backend commit submitted
-  /// closes together (Arch 2: cross-close BatchPutAttributes chains; Arch
-  /// 3: batched WAL sends). Backends without group commit (Arch 1) treat
+  /// Closes coalesced between durability barriers: the commit daemon
+  /// flushes once this many submits are queued. 1 reproduces the paper's
+  /// per-close protocol bit-for-bit (same requests, same billing, same
+  /// elapsed time); larger groups let the backend commit submitted closes
+  /// together (Arch 2: cross-close BatchPutAttributes chains; Arch 3:
+  /// batched WAL sends). Backends without group commit (Arch 1) treat
   /// every submit as an immediate store regardless of this value.
-  std::size_t group_size = 1;
+  /// 0 defers to the deprecated `group_size` alias (default 1).
+  std::size_t max_group = 0;
+  /// Adaptive group flush: a queued submit older than this flushes the
+  /// pending group even when it is not full (kivaloo's kvlds deadline).
+  /// The wait is charged to the ticket's ledger timeline as "idle" --
+  /// deadline batching trades elapsed time for round trips, and the ledger
+  /// shows it. 0 disables the deadline (flush only on group-full or sync).
+  sim::SimTime flush_deadline = 0;
+  /// Items per BatchPutAttributes call when this session's groups hit
+  /// SimpleDB directly (Arch 2). 0 inherits the backend's configured batch
+  /// width; 1 forces the legacy one-PutAttributes-per-chunk path.
+  std::size_t batch_size = 0;
+  /// Deprecated spelling of `max_group`, kept so existing call sites keep
+  /// compiling; a nonzero value applies only when `max_group` is 0.
+  std::size_t group_size = 0;
+
+  /// The group size after alias resolution (never 0).
+  std::size_t resolved_group() const {
+    if (max_group > 0) return max_group;
+    return group_size > 0 ? group_size : 1;
+  }
 };
 
 class ProvenanceBackend {
@@ -117,16 +144,19 @@ class ProvenanceBackend {
 
   /// The close-time protocol: persist one object version and its
   /// provenance. May throw sim::CrashError at an armed crash point.
-  /// Equivalent to a group-size-1 session's submit + sync; kept as the
-  /// single-close shorthand (and for the migration path from the pre-
-  /// session API).
-  virtual void store(const pass::FlushUnit& unit) = 0;
+  /// Non-virtual by design: store() IS a one-shot session (open_session ->
+  /// submit -> sync at group size 1), so every backend's single-close path
+  /// and its commit_group primitive are one code path. Defined in
+  /// session.cpp, where Session is complete.
+  void store(const pass::FlushUnit& unit);
 
   /// The session-oriented close path: submits enqueue closes without
   /// blocking on the cloud round-trip chain, sync() is the durability
-  /// barrier, and between barriers the backend may coalesce submitted
-  /// closes into one group commit. One session per client; sessions are
-  /// driven from one thread, like the store() path they replace.
+  /// barrier, and between barriers the backend's commit daemon may
+  /// coalesce submitted closes into one group commit. Each session is
+  /// driven from one thread, but a backend accepts many concurrent
+  /// sessions: their submits feed one MPSC queue drained by a single
+  /// commit daemon (see Session for the full contract).
   /// (Non-virtual so the default argument exists exactly once; backends
   /// override do_open_session. Defined in session.cpp, where Session is
   /// complete.)
@@ -138,14 +168,21 @@ class ProvenanceBackend {
   /// submit == store), sessions flush every submit immediately.
   virtual bool supports_group_commit() const { return false; }
 
-  /// The group-commit engine behind Session: persist every unit of `group`
-  /// (in submit order where ordering matters), marking each ticket done as
-  /// its close becomes durable. `ledger` (may be null) receives each
-  /// ticket's exclusive service time on the ticket's own timeline so the
-  /// session can merge in-flight tickets by critical path. The default is
-  /// the degenerate group: one store() per unit.
+  /// The group-commit primitive behind Session and store(): persist every
+  /// unit of `group` (in submit order where ordering matters), marking
+  /// each ticket done as its close becomes durable. `ledger` (may be null)
+  /// receives each ticket's exclusive service time on the ticket's own
+  /// timeline so the commit daemon can merge in-flight tickets by critical
+  /// path. The only close-path entry point a backend implements.
   virtual void commit_group(const std::vector<TicketState*>& group,
-                            sim::LatencyLedger* ledger);
+                            sim::LatencyLedger* ledger) = 0;
+
+  /// The backend's shard/parallelism layout, when it has one (Arch 2/3 and
+  /// any backend that overlaps multi-object reads). The base read_many
+  /// routes through it; null means sequential.
+  virtual std::shared_ptr<const DomainTopology> topology() const {
+    return nullptr;
+  }
 
   /// The read path a scientist uses: fetch the latest data of `object`
   /// together with its provenance, enforcing whatever consistency the
@@ -155,16 +192,13 @@ class ProvenanceBackend {
                                          std::uint32_t max_retries = 64) = 0;
 
   /// Multi-object read path: one read() per object, results in input
-  /// order. Backends with a parallel topology overlap the per-object
-  /// consistency rounds; the default is a sequential loop.
+  /// order. The default routes through topology()->run_tasks so every
+  /// backend with a parallel topology overlaps the per-object consistency
+  /// rounds (null topology or parallelism 1: a sequential loop, charges in
+  /// issue order). Defined in session.cpp, where DomainTopology is
+  /// complete.
   virtual std::vector<BackendResult<ReadResult>> read_many(
-      const std::vector<std::string>& objects, std::uint32_t max_retries = 64) {
-    std::vector<BackendResult<ReadResult>> out;
-    out.reserve(objects.size());
-    for (const std::string& object : objects)
-      out.push_back(read(object, max_retries));
-    return out;
-  }
+      const std::vector<std::string>& objects, std::uint32_t max_retries = 64);
 
   /// Retrieve the provenance of one (object, version), resolving spilled
   /// records.
@@ -192,9 +226,20 @@ class ProvenanceBackend {
   };
   virtual PropertyClaims claims() const = 0;
 
+  /// The backend's commit daemon, created lazily on first use (the first
+  /// caller's ledger/clock win; all sessions of one backend share one env,
+  /// so they agree). Every session's submits funnel through it -- one MPSC
+  /// queue, one flusher at a time. Defined in session.cpp.
+  std::shared_ptr<CommitDaemon> commit_daemon(sim::LatencyLedger* ledger,
+                                              sim::SimClock* clock);
+
  protected:
   /// open_session's virtual hook.
   virtual std::unique_ptr<Session> do_open_session(SessionConfig config) = 0;
+
+ private:
+  std::mutex daemon_mu_;
+  std::shared_ptr<CommitDaemon> daemon_;
 };
 
 inline const char* to_string(Architecture arch) {

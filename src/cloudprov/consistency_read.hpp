@@ -34,16 +34,6 @@ BackendResult<ReadResult> consistency_checked_read(
     CloudServices& services, const DomainTopology& topology,
     const std::string& object, std::uint32_t max_retries);
 
-/// Multi-object read: one consistency_checked_read per object, overlapped
-/// on the topology's executor so the GetAttributes/GET rounds of distinct
-/// objects proceed concurrently. Results are returned in input order; with
-/// parallelism == 1 this is exactly a sequential loop of single reads
-/// (elapsed time sums), while a parallel run charges the caller's timeline
-/// with the slowest per-object round only (critical-path merge).
-std::vector<BackendResult<ReadResult>> consistency_checked_read_many(
-    CloudServices& services, const DomainTopology& topology,
-    const std::vector<std::string>& objects, std::uint32_t max_retries);
-
 /// Fetch provenance records of (object, version) from the object's shard
 /// domain, retrying empty reads (propagation races) and resolving S3 spill
 /// pointers.

@@ -55,6 +55,7 @@ struct Fixture {
       topology = DomainTopology::make(
           TopologyConfig{.ledger = &env.latency_ledger()});
     group_size = options.group_size;
+    flush_deadline = options.flush_deadline;
   }
 
   aws::CloudEnv env;
@@ -62,6 +63,10 @@ struct Fixture {
   std::unique_ptr<ProvenanceBackend> backend;
   std::shared_ptr<const DomainTopology> topology;
   std::size_t group_size = 1;
+  sim::SimTime flush_deadline = 0;
+  // Read-your-writes evidence gathered while driving workloads.
+  std::uint64_t ryw_checked = 0;
+  std::uint64_t ryw_violations = 0;
 };
 
 aws::ConsistencyConfig aggressive_staleness() {
@@ -122,13 +127,32 @@ pass::SyscallTrace mini_trace(std::uint64_t seed, std::size_t files) {
 /// Run a trace through PASS into the backend via a client session at the
 /// checker's group size. Returns false if an injected crash killed the
 /// client partway -- with group_size > 1 that crash lands mid-group-commit,
-/// which is exactly the scenario the batched-submit sweep must score.
+/// which is exactly the scenario the batched-submit sweep must score. With a
+/// flush deadline set, the clock advances half a deadline between closes, so
+/// crashes also land inside deadline-expiry flushes (the commit daemon, not
+/// the submitter, holds the group). Every still-pending close is immediately
+/// read back through the session: read-your-writes says the pending submit
+/// must be observed without waiting for durability.
 bool drive(Fixture& fx, const pass::SyscallTrace& trace,
            pass::PassObserver* observer_out = nullptr) {
   auto session = fx.backend->open_session(
-      SessionConfig{.client_id = "client-0", .group_size = fx.group_size});
-  pass::PassObserver observer(
-      [&session](const pass::FlushUnit& unit) { session->submit(unit); });
+      SessionConfig{.client_id = "client-0",
+                    .max_group = fx.group_size,
+                    .flush_deadline = fx.flush_deadline});
+  pass::PassObserver observer([&fx, &session](const pass::FlushUnit& unit) {
+    const Ticket ticket = session->submit(unit);
+    if (!ticket.done()) {
+      ++fx.ryw_checked;
+      const auto got = session->read(unit.object);
+      const bool observed =
+          got.has_value() && got->version == unit.version &&
+          (unit.data == nullptr ||
+           (got->data != nullptr && *got->data == *unit.data));
+      if (!observed) ++fx.ryw_violations;
+    }
+    if (fx.flush_deadline > 0)
+      fx.env.clock().advance_by(fx.flush_deadline / 2);
+  });
   try {
     observer.apply_trace(trace);
     observer.finish();
@@ -296,6 +320,8 @@ PropertyReport check_properties(Architecture arch,
       const StateViolations v = check_state(arch, fx.services, *fx.topology);
       atomicity_violations += v.atomicity;
       causal_violations += v.causal;
+      report.ryw_checked += fx.ryw_checked;
+      report.ryw_violations += fx.ryw_violations;
       ++report.crash_scenarios;
       (void)completed;
     }

@@ -47,6 +47,10 @@ struct PropertyReport {
   std::uint64_t causal_violations = 0;
   std::uint64_t reads_checked = 0;
   std::uint64_t consistency_violations = 0;
+  /// Read-your-writes: session reads issued against still-pending submits
+  /// during the crash-sweep workload, and how many failed to observe them.
+  std::uint64_t ryw_checked = 0;
+  std::uint64_t ryw_violations = 0;
   std::uint64_t reads_with_retries = 0;  // staleness *detected* and handled
   std::uint64_t query_ops_small = 0;
   std::uint64_t query_ops_large = 0;
@@ -77,6 +81,12 @@ struct PropertyCheckOptions {
   /// then crashes *mid-group*). The consistency hammer always syncs per
   /// close -- its property is read-after-durable, independent of grouping.
   std::size_t group_size = 1;
+  /// Adaptive flush deadline of the crash-sweep session (0 = flush only on
+  /// group-full or sync). When set, the workload advances the clock half a
+  /// deadline between closes, so injected crashes land *mid-deadline-flush*
+  /// -- the daemon, not the submitter, is in commit_group when the crash
+  /// fires.
+  sim::SimTime flush_deadline = 0;
 };
 
 PropertyReport check_properties(Architecture arch,

@@ -1,5 +1,7 @@
 #include "cloudprov/s3_backend.hpp"
 
+#include <optional>
+
 #include "cloudprov/serialize.hpp"
 #include "cloudprov/session.hpp"
 #include "util/require.hpp"
@@ -10,7 +12,26 @@ namespace {
 const util::SharedBytes kEmptyBytes = util::make_shared_bytes(util::Bytes{});
 }
 
-void S3Backend::store(const pass::FlushUnit& unit) {
+S3Backend::S3Backend(CloudServices& services, std::size_t parallelism)
+    : services_(&services),
+      topology_(DomainTopology::make(
+          TopologyConfig{.shard_count = 1,
+                         .parallelism = parallelism,
+                         .ledger = &services.env->latency_ledger()})) {}
+
+void S3Backend::commit_group(const std::vector<TicketState*>& group,
+                             sim::LatencyLedger* ledger) {
+  for (TicketState* ticket : group) {
+    // The whole single-PUT close is exclusive to this ticket: land it on
+    // the ticket's timeline so in-flight closes of other sessions overlap.
+    std::optional<sim::LatencyLedger::ScopedTimeline> bind;
+    if (ledger != nullptr) bind.emplace(*ledger, ticket->timeline);
+    store_one(ticket->unit);
+    ticket->done = true;
+  }
+}
+
+void S3Backend::store_one(const pass::FlushUnit& unit) {
   aws::CloudEnv& env = *services_->env;
   env.failures().crash_point("s3.store.begin");
 
@@ -120,7 +141,8 @@ BackendResult<std::vector<pass::ProvenanceRecord>> S3Backend::get_provenance(
 
 std::unique_ptr<Session> S3Backend::do_open_session(SessionConfig config) {
   return std::make_unique<Session>(*this, std::move(config),
-                                   &services_->env->latency_ledger());
+                                   &services_->env->latency_ledger(),
+                                   &services_->env->clock());
 }
 
 std::unique_ptr<ProvenanceBackend> make_s3_backend(CloudServices& services) {

@@ -19,22 +19,31 @@
 #pragma once
 
 #include "cloudprov/backend.hpp"
+#include "cloudprov/domain_topology.hpp"
 
 namespace provcloud::cloudprov {
 
 class S3Backend final : public ProvenanceBackend {
  public:
-  explicit S3Backend(CloudServices& services) : services_(&services) {}
+  /// `parallelism` bounds read_many's fan-out (1 = the paper's sequential
+  /// protocol); Arch 1 keeps no SimpleDB shards, so its topology is a
+  /// single-shard executor handle only.
+  explicit S3Backend(CloudServices& services, std::size_t parallelism = 1);
 
   Architecture architecture() const override { return Architecture::kS3Only; }
   std::string name() const override { return "S3"; }
 
-  void store(const pass::FlushUnit& unit) override;
-  /// Sessions on Arch 1 flush every submit immediately (the base
-  /// commit_group): the single-PUT close is what the atomicity and
-  /// consistency rows of Table 1 rest on, so submits never wait for a
-  /// group no matter the configured group_size.
+  /// Sessions on Arch 1 flush every submit immediately
+  /// (supports_group_commit is false): the single-PUT close is what the
+  /// atomicity and consistency rows of Table 1 rest on, so submits never
+  /// wait for a group no matter the configured max_group.
   std::unique_ptr<Session> do_open_session(SessionConfig config) override;
+  /// One blocking single-PUT store per close, in submit order.
+  void commit_group(const std::vector<TicketState*>& group,
+                    sim::LatencyLedger* ledger) override;
+  std::shared_ptr<const DomainTopology> topology() const override {
+    return topology_;
+  }
   BackendResult<ReadResult> read(const std::string& object,
                                  std::uint32_t max_retries = 64) override;
   BackendResult<std::vector<pass::ProvenanceRecord>> get_provenance(
@@ -49,11 +58,15 @@ class S3Backend final : public ProvenanceBackend {
   }
 
  private:
+  /// The paper's close protocol for one unit (the commit_group body).
+  void store_one(const pass::FlushUnit& unit);
+
   /// Resolve spill pointers in decoded records, charging GETs.
   BackendResult<std::vector<pass::ProvenanceRecord>> resolve_spills(
       std::vector<pass::ProvenanceRecord> records, std::uint32_t max_retries);
 
   CloudServices* services_;
+  std::shared_ptr<const DomainTopology> topology_;
 };
 
 }  // namespace provcloud::cloudprov

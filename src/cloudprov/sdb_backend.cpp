@@ -124,24 +124,6 @@ BackendResult<ReadResult> consistency_checked_read(
   return best;
 }
 
-std::vector<BackendResult<ReadResult>> consistency_checked_read_many(
-    CloudServices& services, const DomainTopology& topology,
-    const std::vector<std::string>& objects, std::uint32_t max_retries) {
-  std::vector<BackendResult<ReadResult>> out(
-      objects.size(),
-      backend_error(BackendErrorCode::kUnknown, "read_many: not attempted"));
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(objects.size());
-  for (std::size_t i = 0; i < objects.size(); ++i) {
-    tasks.push_back([&services, &topology, &objects, &out, i, max_retries] {
-      out[i] = consistency_checked_read(services, topology, objects[i],
-                                        max_retries);
-    });
-  }
-  topology.run_tasks(std::move(tasks));
-  return out;
-}
-
 // ---------------------------------------------------------------------------
 // SdbBackend
 // ---------------------------------------------------------------------------
@@ -156,22 +138,25 @@ SdbBackend::SdbBackend(CloudServices& services, SdbBackendConfig config)
   topology_->ensure_domains(services_->sdb);
 }
 
-void SdbBackend::store(const pass::FlushUnit& unit) {
-  // The single-close shorthand: a group of one, charged to the caller's
-  // timeline exactly as the pre-session protocol did.
-  TicketState state;
-  state.unit = unit;
-  commit_group({&state}, nullptr);
-}
-
 std::unique_ptr<Session> SdbBackend::do_open_session(SessionConfig config) {
   return std::make_unique<Session>(*this, std::move(config),
-                                   &services_->env->latency_ledger());
+                                   &services_->env->latency_ledger(),
+                                   &services_->env->clock());
 }
 
 void SdbBackend::commit_group(const std::vector<TicketState*>& group,
                               sim::LatencyLedger* ledger) {
   aws::CloudEnv& env = *services_->env;
+
+  // Sessions may narrow the SimpleDB batch width: the smallest nonzero
+  // per-ticket override wins for the whole group (every rider's constraint
+  // is honored); no override inherits the backend's configured width.
+  std::size_t batch_size = 0;
+  for (const TicketState* ticket : group)
+    if (ticket->batch_size > 0)
+      batch_size = batch_size == 0 ? ticket->batch_size
+                                   : std::min(batch_size, ticket->batch_size);
+  if (batch_size == 0) batch_size = config_.batch_size;
 
   struct PreparedUnit {
     TicketState* ticket = nullptr;
@@ -241,7 +226,7 @@ void SdbBackend::commit_group(const std::vector<TicketState*>& group,
   // (<= 25) items per shard domain, wave by wave -- the cross-close group
   // commit. Legacy path (batch_size == 1): the paper's PutAttributes
   // chunking, one item at a time in submit (causal) order.
-  if (config_.batch_size <= 1) {
+  if (batch_size <= 1) {
     for (PreparedUnit& p : prepared) {
       for (std::size_t start = 0; start < p.attributes.size();
            start += aws::kSdbMaxAttrsPerCall) {
@@ -258,7 +243,7 @@ void SdbBackend::commit_group(const std::vector<TicketState*>& group,
     }
   } else {
     const std::size_t batch_limit =
-        std::min(config_.batch_size, aws::kSdbMaxItemsPerBatch);
+        std::min(batch_size, aws::kSdbMaxItemsPerBatch);
     std::size_t max_level = 0;
     for (const PreparedUnit& p : prepared)
       max_level = std::max(max_level, p.level);
@@ -319,12 +304,6 @@ void SdbBackend::commit_group(const std::vector<TicketState*>& group,
 BackendResult<ReadResult> SdbBackend::read(const std::string& object,
                                            std::uint32_t max_retries) {
   return consistency_checked_read(*services_, *topology_, object, max_retries);
-}
-
-std::vector<BackendResult<ReadResult>> SdbBackend::read_many(
-    const std::vector<std::string>& objects, std::uint32_t max_retries) {
-  return consistency_checked_read_many(*services_, *topology_, objects,
-                                       max_retries);
 }
 
 BackendResult<std::vector<pass::ProvenanceRecord>> SdbBackend::get_provenance(

@@ -46,21 +46,18 @@ class SdbBackend final : public ProvenanceBackend {
   }
   std::string name() const override { return "S3+SimpleDB"; }
 
-  void store(const pass::FlushUnit& unit) override;
   std::unique_ptr<Session> do_open_session(SessionConfig config) override;
   bool supports_group_commit() const override { return true; }
   /// Cross-close group commit: one BatchPutAttributes chain per group of
   /// closes (per shard domain, in causal waves) instead of one per close,
   /// then the data PUTs in submit order. With a single-close group this is
-  /// bit-for-bit the per-close store() protocol.
+  /// bit-for-bit the per-close store() protocol. A session batch_size
+  /// override rides the tickets; the smallest nonzero one wins for the
+  /// whole group (1 forces the legacy PutAttributes-chunk path).
   void commit_group(const std::vector<TicketState*>& group,
                     sim::LatencyLedger* ledger) override;
   BackendResult<ReadResult> read(const std::string& object,
                                  std::uint32_t max_retries = 64) override;
-  /// Overlaps the per-object consistency rounds on the topology's executor.
-  std::vector<BackendResult<ReadResult>> read_many(
-      const std::vector<std::string>& objects,
-      std::uint32_t max_retries = 64) override;
   BackendResult<std::vector<pass::ProvenanceRecord>> get_provenance(
       const std::string& object, std::uint32_t version) override;
 
@@ -78,7 +75,7 @@ class SdbBackend final : public ProvenanceBackend {
   std::uint64_t last_recovery_orphans() const { return last_orphans_; }
 
   const SdbBackendConfig& config() const { return config_; }
-  const std::shared_ptr<const DomainTopology>& topology() const {
+  std::shared_ptr<const DomainTopology> topology() const override {
     return topology_;
   }
   const ShardRouter& router() const { return topology_->router(); }

@@ -32,16 +32,10 @@ WalBackend::WalBackend(CloudServices& services, WalBackendConfig config)
   queue_url_ = *queue;
 }
 
-void WalBackend::store(const pass::FlushUnit& unit) {
-  log_transaction(unit, nullptr, nullptr);
-  // The close returns as soon as the log is durable; the commit daemon
-  // moves the bits to their final homes asynchronously.
-  pump();
-}
-
 std::unique_ptr<Session> WalBackend::do_open_session(SessionConfig config) {
   return std::make_unique<Session>(*this, std::move(config),
-                                   &services_->env->latency_ledger());
+                                   &services_->env->latency_ledger(),
+                                   &services_->env->clock());
 }
 
 void WalBackend::log_transaction(const pass::FlushUnit& unit,
@@ -547,12 +541,6 @@ void WalBackend::clean_temp_objects() {
 BackendResult<ReadResult> WalBackend::read(const std::string& object,
                                            std::uint32_t max_retries) {
   return consistency_checked_read(*services_, *topology_, object, max_retries);
-}
-
-std::vector<BackendResult<ReadResult>> WalBackend::read_many(
-    const std::vector<std::string>& objects, std::uint32_t max_retries) {
-  return consistency_checked_read_many(*services_, *topology_, objects,
-                                       max_retries);
 }
 
 BackendResult<std::vector<pass::ProvenanceRecord>> WalBackend::get_provenance(

@@ -66,7 +66,6 @@ class WalBackend final : public ProvenanceBackend {
   }
   std::string name() const override { return "S3+SimpleDB+SQS"; }
 
-  void store(const pass::FlushUnit& unit) override;
   std::unique_ptr<Session> do_open_session(SessionConfig config) override;
   bool supports_group_commit() const override { return true; }
   /// Cross-close group commit for the log phase: the whole group's WAL
@@ -79,10 +78,6 @@ class WalBackend final : public ProvenanceBackend {
                     sim::LatencyLedger* ledger) override;
   BackendResult<ReadResult> read(const std::string& object,
                                  std::uint32_t max_retries = 64) override;
-  /// Overlaps the per-object consistency rounds on the topology's executor.
-  std::vector<BackendResult<ReadResult>> read_many(
-      const std::vector<std::string>& objects,
-      std::uint32_t max_retries = 64) override;
   BackendResult<std::vector<pass::ProvenanceRecord>> get_provenance(
       const std::string& object, std::uint32_t version) override;
 
@@ -109,7 +104,7 @@ class WalBackend final : public ProvenanceBackend {
   }
 
   const WalBackendConfig& config() const { return config_; }
-  const std::shared_ptr<const DomainTopology>& topology() const {
+  std::shared_ptr<const DomainTopology> topology() const override {
     return topology_;
   }
   const ShardRouter& router() const { return topology_->router(); }

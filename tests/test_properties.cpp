@@ -176,6 +176,45 @@ TEST(TableOneTest, BatchedShardedArchThreeKeepsFullProperties) {
   EXPECT_TRUE(report.efficient_query);
 }
 
+TEST(TableOneTest, VerdictsSurviveDeadlineDrivenFlushes) {
+  // With a flush deadline armed, the crash-sweep workload advances the
+  // clock between closes, so injected crashes fire while the commit daemon
+  // (not the submitter) is mid-deadline-flush. The Table 1 verdicts are a
+  // protocol property and must not depend on *who* drained the group.
+  for (const Architecture arch :
+       {Architecture::kS3SimpleDb, Architecture::kS3SimpleDbSqs}) {
+    PropertyCheckOptions base_options = fast_options();
+    base_options.group_size = 8;
+    const PropertyReport base = check_properties(arch, base_options);
+    PropertyCheckOptions o = base_options;
+    o.flush_deadline = 100 * provcloud::sim::kMillisecond;
+    const PropertyReport deadline = check_properties(arch, o);
+    EXPECT_EQ(deadline.atomicity, base.atomicity) << to_string(arch);
+    EXPECT_EQ(deadline.consistency, base.consistency) << to_string(arch);
+    EXPECT_EQ(deadline.causal_ordering, base.causal_ordering)
+        << to_string(arch);
+    EXPECT_EQ(deadline.efficient_query, base.efficient_query)
+        << to_string(arch);
+    EXPECT_GT(deadline.crash_scenarios, 0u) << to_string(arch);
+  }
+}
+
+TEST(TableOneTest, ReadYourWritesHoldsAcrossTheCrashSweep) {
+  // Every close the sweep leaves pending in a group is immediately read
+  // back through the session; read-your-writes says the unsynced submit
+  // must be observed. group_size > 1 guarantees pending submits exist
+  // (Arch 1 flushes per close, so only the SimpleDB architectures produce
+  // checkable pending reads).
+  for (const Architecture arch :
+       {Architecture::kS3SimpleDb, Architecture::kS3SimpleDbSqs}) {
+    PropertyCheckOptions o = fast_options();
+    o.group_size = 8;
+    const PropertyReport report = check_properties(arch, o);
+    EXPECT_GT(report.ryw_checked, 0u) << to_string(arch);
+    EXPECT_EQ(report.ryw_violations, 0u) << to_string(arch);
+  }
+}
+
 TEST(TableOneTest, ParallelBackendsReportTheSameProperties) {
   PropertyCheckOptions o = fast_options();
   o.shard_count = 4;

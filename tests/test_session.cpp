@@ -222,6 +222,122 @@ TEST(SessionTest, DuplicateSubmitInOneGroupLaterCloseWins) {
   EXPECT_EQ(*got->data, "second");
 }
 
+// --- read-your-writes ---
+
+TEST(SessionTest, ReadObservesUnsyncedSubmitsWithoutCloudCalls) {
+  aws::CloudEnv env(31, aws::ConsistencyConfig::strong());
+  CloudServices services(env);
+  auto backend = make_sdb_backend(services);
+  auto session = backend->open_session(SessionConfig{.max_group = 8});
+
+  const Ticket t = session->submit(file_unit("ryw", 1, "pending-data"));
+  ASSERT_FALSE(t.done());
+  const auto before = env.meter().snapshot();
+  auto got = session->read("ryw");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got->data, "pending-data");
+  EXPECT_EQ(got->version, 1u);
+  EXPECT_EQ(got->retries, 0u);
+  // Served from the in-flight queue: not a single cloud round trip.
+  EXPECT_EQ(env.meter().snapshot().total_calls(), before.total_calls());
+
+  // An object this session never wrote still takes the backend path.
+  auto other = session->read("never-written", /*max_retries=*/2);
+  EXPECT_FALSE(other.has_value());
+
+  // After the barrier the same read flows through the backend, verified.
+  ASSERT_TRUE(session->sync().has_value());
+  auto durable = session->read("ryw");
+  ASSERT_TRUE(durable.has_value());
+  EXPECT_TRUE(durable->verified);
+  EXPECT_EQ(*durable->data, "pending-data");
+}
+
+TEST(SessionTest, ReadFloorsStaleRepliesAtOwnDurableWrite) {
+  // Eventual consistency, no propagation: the backend read path cannot see
+  // the write yet, but the session's own durable write floors the answer --
+  // a stale replica never rolls the session's view of its writes backwards.
+  aws::CloudEnv env(32);
+  CloudServices services(env);
+  auto backend = make_sdb_backend(services);
+  auto session = backend->open_session(SessionConfig{.max_group = 1});
+  session->submit(file_unit("mine", 3, "v3"));
+  ASSERT_TRUE(session->sync().has_value());
+
+  // The raw backend read may fail or return stale state here; the session
+  // read must succeed at the own version either way.
+  auto own = session->read("mine", /*max_retries=*/2);
+  ASSERT_TRUE(own.has_value());
+  EXPECT_GE(own->version, 3u);
+  EXPECT_EQ(*own->data, "v3");
+}
+
+// --- deadline-driven adaptive group flush ---
+
+TEST(SessionTest, DeadlineExpiryFlushesAPartialGroup) {
+  aws::CloudEnv env(33, aws::ConsistencyConfig::strong());
+  CloudServices services(env);
+  auto backend = make_sdb_backend(services);
+  auto session = backend->open_session(SessionConfig{
+      .max_group = 8, .flush_deadline = 50 * sim::kMillisecond});
+
+  const Ticket a = session->submit(file_unit("da", 1, "x"));
+  const Ticket b = session->submit(file_unit("db", 1, "y"));
+  EXPECT_FALSE(a.done());
+  EXPECT_EQ(session->pending(), 2u);
+
+  // The deadline wake flushes the partial group of 2; no barrier needed.
+  env.clock().advance_by(50 * sim::kMillisecond);
+  EXPECT_TRUE(a.done());
+  EXPECT_TRUE(b.ok());
+  EXPECT_EQ(env.meter().snapshot().calls("sdb", "BatchPutAttributes"), 1u);
+  EXPECT_TRUE(backend->read("da").has_value());
+
+  // The queued wait is charged to the closes as "idle" and surfaces in the
+  // client's elapsed time at the barrier merge: deadline batching trades
+  // elapsed time for round trips, visibly.
+  ASSERT_TRUE(session->sync().has_value());
+  const auto split = env.latency_ledger().elapsed_by_service();
+  ASSERT_TRUE(split.count("idle"));
+  EXPECT_GE(split.at("idle"), 50 * sim::kMillisecond);
+}
+
+TEST(SessionTest, SubmitsDuringAFlushJoinTheNextGroup) {
+  // kivaloo-style: a submit landing while a flush is in flight must not
+  // block and must not squeeze into the in-flight group.
+  aws::CloudEnv env(34, aws::ConsistencyConfig::strong());
+  CloudServices services(env);
+  auto backend = make_sdb_backend(services);
+  auto s1 = backend->open_session(SessionConfig{.max_group = 2});
+  auto s2 = backend->open_session(SessionConfig{.max_group = 2});
+  s1->submit(file_unit("g1a", 1, "x"));
+  s1->submit(file_unit("g1b", 1, "x"));  // fills and flushes group 1
+  s2->submit(file_unit("g2a", 1, "x"));
+  s2->submit(file_unit("g2b", 1, "x"));  // fills and flushes group 2
+  ASSERT_TRUE(s1->sync().has_value());
+  ASSERT_TRUE(s2->sync().has_value());
+  EXPECT_EQ(env.meter().snapshot().calls("sdb", "BatchPutAttributes"), 2u);
+}
+
+TEST(SessionTest, CrashLandsMidDeadlineFlush) {
+  // A deadline flush is protocol like any other: an injected client crash
+  // during it propagates out of the clock advance that fired the wake, and
+  // the group's tickets settle as kCrashed.
+  aws::CloudEnv env(35, aws::ConsistencyConfig::strong());
+  CloudServices services(env);
+  auto backend = make_sdb_backend(services);
+  auto session = backend->open_session(SessionConfig{
+      .max_group = 8, .flush_deadline = 20 * sim::kMillisecond});
+  env.failures().arm_crash("sdb.store.between_prov_and_data");
+  const Ticket t = session->submit(file_unit("doomed", 1, "x"));
+  EXPECT_FALSE(t.done());
+  EXPECT_THROW(env.clock().advance_by(20 * sim::kMillisecond),
+               sim::CrashError);
+  ASSERT_TRUE(t.done());
+  EXPECT_EQ(t.error().code, BackendErrorCode::kCrashed);
+  EXPECT_FALSE(session->sync().has_value());
+}
+
 // --- per-close errors carried by tickets, asserted on typed codes ---
 
 /// A backend that fails exactly one close inside a batched commit, to
@@ -230,7 +346,6 @@ class PoisonBackend final : public ProvenanceBackend {
  public:
   Architecture architecture() const override { return Architecture::kS3Only; }
   std::string name() const override { return "poison"; }
-  void store(const pass::FlushUnit&) override {}
   std::unique_ptr<Session> do_open_session(SessionConfig config) override {
     return std::make_unique<Session>(*this, std::move(config), nullptr);
   }

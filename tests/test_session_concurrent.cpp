@@ -1,0 +1,169 @@
+// Many concurrent sessions into one backend: real threads hammer a single
+// commit daemon with interleaved submits, syncs, read-your-writes reads,
+// duplicate (object, version) closes across sessions, and sessions dropped
+// without sync. Runs under the TSan job via the test glob -- the point is
+// that the daemon's single-flusher token and the two-flag ticket
+// publication hold up under genuine parallelism, not just the simulated
+// kind.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cloudprov/sdb_backend.hpp"
+#include "cloudprov/session.hpp"
+#include "util/bytes.hpp"
+
+namespace {
+
+using namespace provcloud::cloudprov;
+namespace aws = provcloud::aws;
+namespace pass = provcloud::pass;
+namespace util = provcloud::util;
+
+pass::FlushUnit file_unit(const std::string& object, std::uint32_t version,
+                          const std::string& data) {
+  pass::FlushUnit u;
+  u.object = object;
+  u.version = version;
+  u.kind = pass::PnodeKind::kFile;
+  u.data = util::make_shared_bytes(data);
+  u.records = {pass::make_text_record("TYPE", "file"),
+               pass::make_text_record("NAME", object)};
+  return u;
+}
+
+constexpr int kThreads = 4;
+constexpr int kSessionsPerThread = 3;
+constexpr int kClosesPerSession = 8;
+
+TEST(SessionConcurrentTest, ThreadsShareOneCommitDaemonSafely) {
+  aws::CloudEnv env(91, aws::ConsistencyConfig::strong());
+  CloudServices services(env);
+  auto backend = std::make_unique<SdbBackend>(
+      services, SdbBackendConfig{.batch_size = aws::kSdbMaxItemsPerBatch});
+
+  auto worker = [&backend](int tid) {
+    for (int s = 0; s < kSessionsPerThread; ++s) {
+      auto session = backend->open_session(
+          SessionConfig{.client_id = "client-" + std::to_string(tid),
+                        .max_group = 4});
+      std::vector<Ticket> tickets;
+      for (int c = 0; c < kClosesPerSession; ++c) {
+        const std::string mine = "t" + std::to_string(tid) + "/s" +
+                                 std::to_string(s) + "/f" + std::to_string(c);
+        const std::string payload = "payload-" + mine;
+        tickets.push_back(session->submit(file_unit(mine, 1, payload)));
+
+        // Read-your-writes from this thread: whether the close is still
+        // pending (synthesized reply, no cloud calls) or a concurrent
+        // flush already retired it (durable, strong consistency), the
+        // session must hand back this session's write.
+        const auto got = session->read(mine);
+        EXPECT_TRUE(got.has_value()) << mine;
+        if (got.has_value()) {
+          EXPECT_EQ(got->version, 1u) << mine;
+          ASSERT_NE(got->data, nullptr) << mine;
+          EXPECT_EQ(*got->data, payload) << mine;
+        }
+
+        // Duplicate (object, version) across sessions: every thread
+        // rewrites the shared object at the same version so groups keep
+        // colliding on one item.
+        tickets.push_back(
+            session->submit(file_unit("shared/obj", c + 1, "winner-" + mine)));
+
+        // Interleave syncs mid-stream, not just at the end.
+        if (c % 3 == 2) EXPECT_TRUE(session->sync().has_value());
+      }
+      EXPECT_TRUE(session->sync().has_value());
+      for (const Ticket& t : tickets) {
+        EXPECT_TRUE(t.done());
+        EXPECT_TRUE(t.ok());
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) threads.emplace_back(worker, tid);
+  for (std::thread& t : threads) t.join();
+
+  // Every private object is durable and verified.
+  for (int tid = 0; tid < kThreads; ++tid)
+    for (int s = 0; s < kSessionsPerThread; ++s)
+      for (int c = 0; c < kClosesPerSession; ++c) {
+        const std::string mine = "t" + std::to_string(tid) + "/s" +
+                                 std::to_string(s) + "/f" + std::to_string(c);
+        const auto got = backend->read(mine);
+        ASSERT_TRUE(got.has_value()) << mine;
+        EXPECT_TRUE(got->verified) << mine;
+        EXPECT_EQ(*got->data, "payload-" + mine) << mine;
+      }
+
+  // The contested object settles on *some* submitted (version, payload)
+  // pair -- replace semantics, no torn state. (Which thread's close lands
+  // last is scheduling-dependent, so the exact version is not pinned.)
+  const auto shared = backend->read("shared/obj");
+  ASSERT_TRUE(shared.has_value());
+  EXPECT_TRUE(shared->verified);
+  EXPECT_GE(shared->version, 1u);
+  EXPECT_LE(shared->version, static_cast<std::uint32_t>(kClosesPerSession));
+  ASSERT_NE(shared->data, nullptr);
+  EXPECT_EQ(shared->data->rfind("winner-", 0), 0u);
+}
+
+TEST(SessionConcurrentTest, DroppedSessionsDoNotPoisonConcurrentSyncs) {
+  aws::CloudEnv env(92, aws::ConsistencyConfig::strong());
+  CloudServices services(env);
+  auto backend = std::make_unique<SdbBackend>(
+      services, SdbBackendConfig{.batch_size = aws::kSdbMaxItemsPerBatch});
+
+  auto worker = [&backend](int tid) {
+    for (int s = 0; s < kSessionsPerThread; ++s) {
+      auto session = backend->open_session(
+          SessionConfig{.client_id = "client-" + std::to_string(tid),
+                        .max_group = 4});
+      std::vector<Ticket> tickets;
+      for (int c = 0; c < 3; ++c)
+        tickets.push_back(session->submit(file_unit(
+            "drop/t" + std::to_string(tid) + "/s" + std::to_string(s) + "/f" +
+                std::to_string(c),
+            1, "x")));
+      if ((tid + s) % 2 == 0) {
+        // Poisoned close: the session dies without a durability barrier.
+        // Its still-queued closes settle as kCrashed; closes a concurrent
+        // flush already picked up may finish durably after the drop, so a
+        // ticket is not necessarily done() the instant reset() returns --
+        // but a settled failure must be the crash, nothing else.
+        session.reset();
+        for (const Ticket& t : tickets)
+          if (t.done() && !t.ok())
+            EXPECT_EQ(t.error().code, BackendErrorCode::kCrashed);
+      } else {
+        EXPECT_TRUE(session->sync().has_value());
+        for (const Ticket& t : tickets) EXPECT_TRUE(t.ok());
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) threads.emplace_back(worker, tid);
+  for (std::thread& t : threads) t.join();
+
+  // Survivors' writes are all durable.
+  for (int tid = 0; tid < kThreads; ++tid)
+    for (int s = 0; s < kSessionsPerThread; ++s) {
+      if ((tid + s) % 2 == 0) continue;
+      for (int c = 0; c < 3; ++c) {
+        const std::string object = "drop/t" + std::to_string(tid) + "/s" +
+                                   std::to_string(s) + "/f" +
+                                   std::to_string(c);
+        const auto got = backend->read(object);
+        ASSERT_TRUE(got.has_value()) << object;
+        EXPECT_TRUE(got->verified) << object;
+      }
+    }
+}
+
+}  // namespace
