@@ -120,9 +120,9 @@ std::string AncestryGraph::to_dot(const std::string& graph_name) const {
   return os.str();
 }
 
-AncestryResult fetch_ancestry(ProvenanceBackend& backend,
-                              const std::string& object, std::uint32_t version,
-                              std::size_t max_nodes) {
+AncestryResult walk_ancestry(const ProvenanceFetcher& fetch,
+                             const std::string& object, std::uint32_t version,
+                             std::size_t max_nodes) {
   AncestryResult result;
   std::set<ObjectVersion> enqueued;
   std::deque<ObjectVersion> frontier;
@@ -131,26 +131,54 @@ AncestryResult fetch_ancestry(ProvenanceBackend& backend,
   enqueued.insert(root);
 
   while (!frontier.empty() && result.graph.nodes().size() < max_nodes) {
-    const ObjectVersion cur = frontier.front();
-    frontier.pop_front();
-    auto records = backend.get_provenance(cur.object, cur.version);
-    if (!records) {
-      result.missing.push_back(cur);
-      continue;
+    // One fetch round per pending frontier, capped so the graph cannot
+    // overshoot max_nodes even when every fetched id resolves.
+    const std::size_t take = std::min(
+        frontier.size(), max_nodes - result.graph.nodes().size());
+    std::vector<ObjectVersion> batch(frontier.begin(),
+                                     frontier.begin() +
+                                         static_cast<std::ptrdiff_t>(take));
+    frontier.erase(frontier.begin(),
+                   frontier.begin() + static_cast<std::ptrdiff_t>(take));
+    std::vector<BackendResult<std::vector<pass::ProvenanceRecord>>> fetched =
+        fetch(batch);
+    PROVCLOUD_REQUIRE_MSG(fetched.size() == batch.size(),
+                          "ProvenanceFetcher result count mismatch");
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (!fetched[i]) {
+        result.missing.push_back(batch[i]);
+        continue;
+      }
+      AncestryNode node;
+      node.id = batch[i];
+      node.records = std::move(*fetched[i]);
+      for (const pass::ProvenanceRecord& r : node.records) {
+        if (r.attribute == pass::attr::kType && !r.is_xref())
+          node.kind = r.text();
+        if (!r.is_xref()) continue;
+        node.ancestors.push_back(r.xref());
+        if (enqueued.insert(r.xref()).second) frontier.push_back(r.xref());
+      }
+      result.graph.add_node(std::move(node));
     }
-    AncestryNode node;
-    node.id = cur;
-    node.records = std::move(*records);
-    for (const pass::ProvenanceRecord& r : node.records) {
-      if (r.attribute == pass::attr::kType && !r.is_xref())
-        node.kind = r.text();
-      if (!r.is_xref()) continue;
-      node.ancestors.push_back(r.xref());
-      if (enqueued.insert(r.xref()).second) frontier.push_back(r.xref());
-    }
-    result.graph.add_node(std::move(node));
   }
   return result;
+}
+
+AncestryResult fetch_ancestry(ProvenanceBackend& backend,
+                              const std::string& object, std::uint32_t version,
+                              std::size_t max_nodes) {
+  // The classic walk: one get_provenance round trip per node, expressed as
+  // a degenerate batch fetcher (same code path as the manifest walk).
+  return walk_ancestry(
+      [&backend](const std::vector<ObjectVersion>& ids) {
+        std::vector<BackendResult<std::vector<pass::ProvenanceRecord>>> out;
+        out.reserve(ids.size());
+        for (const ObjectVersion& id : ids)
+          out.push_back(backend.get_provenance(id.object, id.version));
+        return out;
+      },
+      object, version, max_nodes);
 }
 
 }  // namespace provcloud::cloudprov

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -79,5 +80,21 @@ struct AncestryResult {
 AncestryResult fetch_ancestry(ProvenanceBackend& backend,
                               const std::string& object, std::uint32_t version,
                               std::size_t max_nodes = 10000);
+
+/// Batched provenance source for walk_ancestry: given a frontier of ids,
+/// return one result per id, in input order.
+using ProvenanceFetcher =
+    std::function<std::vector<BackendResult<std::vector<pass::ProvenanceRecord>>>(
+        const std::vector<pass::ObjectVersion>&)>;
+
+/// The BFS underneath fetch_ancestry, generalized over the record source:
+/// each round hands the whole pending frontier to `fetch` in one call, so a
+/// batching source (the manifest reader) amortizes a round's lookups into a
+/// few block GETs. Node-visit order, graph contents and `missing` are
+/// bit-identical to the classic one-get_provenance-per-node walk for any
+/// fetcher returning the same records.
+AncestryResult walk_ancestry(const ProvenanceFetcher& fetch,
+                             const std::string& object, std::uint32_t version,
+                             std::size_t max_nodes = 10000);
 
 }  // namespace provcloud::cloudprov

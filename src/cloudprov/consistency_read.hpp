@@ -23,6 +23,13 @@ inline constexpr const char* kVersionMetaKey = "x-version";
 /// Attribute under which the consistency token lives in SimpleDB.
 inline constexpr const char* kMd5Attribute = "MD5";
 
+/// Backoff a reader sleeps between consistency/visibility retry rounds,
+/// charged to the caller's ledger timeline as "idle" (mirror of the write
+/// side's deadline-flush idle charge): staleness retries trade elapsed
+/// time for a consistent view, and the timelines show it. Zero-retry runs
+/// (strong consistency) charge nothing -- bit-identical to before.
+inline constexpr sim::SimTime kReadRetryIdle = 20 * sim::kMillisecond;
+
 /// Nonce of a version ("the nonce is typically the file version").
 std::string nonce_for_version(std::uint32_t version);
 

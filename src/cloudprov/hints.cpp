@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cloudprov/consistency_read.hpp"
+#include "cloudprov/manifest/ancestor_cache.hpp"
 #include "cloudprov/serialize.hpp"
 #include "util/require.hpp"
 #include "util/string_utils.hpp"
@@ -86,15 +87,35 @@ std::vector<std::string> ProvenanceCache::hint_candidates(
   if (version_it == head->metadata.end()) return out;
   const std::string item = object + ":" + version_it->second;
 
-  auto attrs = services_->sdb.get_attributes(
-      topology_->domain_for_object(object), item);
-  if (!attrs || attrs->empty()) return out;
-
   std::vector<std::string> producers;
-  auto inputs = attrs->find(pass::attr::kInput);
-  if (inputs != attrs->end())
-    for (const std::string& v : inputs->second)
-      if (v.rfind(kSpillMarker, 0) != 0) producers.push_back(v);
+  bool from_cache = false;
+  if (ancestor_cache_ != nullptr) {
+    std::uint32_t version = 0;
+    try {
+      version = static_cast<std::uint32_t>(std::stoul(version_it->second));
+    } catch (...) {
+    }
+    // An ancestry walk may already hold this fragment: mine it instead of
+    // re-reading the item from SimpleDB (cached records are fully resolved,
+    // so no spill-marker filtering is needed).
+    if (const auto* cached =
+            ancestor_cache_->find(pass::ObjectVersion{object, version})) {
+      for (const pass::ProvenanceRecord& r : *cached)
+        if (r.is_xref() && r.attribute == pass::attr::kInput)
+          producers.push_back(r.value_string());
+      from_cache = true;
+      ++stats_.ancestor_cache_hits;
+    }
+  }
+  if (!from_cache) {
+    auto attrs = services_->sdb.get_attributes(
+        topology_->domain_for_object(object), item);
+    if (!attrs || attrs->empty()) return out;
+    auto inputs = attrs->find(pass::attr::kInput);
+    if (inputs != attrs->end())
+      for (const std::string& v : inputs->second)
+        if (v.rfind(kSpillMarker, 0) != 0) producers.push_back(v);
+  }
 
   // 2. Siblings: other items whose INPUT includes the same producer
   //    version -- the rest of the run's outputs.

@@ -30,6 +30,10 @@
 
 namespace provcloud::cloudprov {
 
+namespace manifest {
+class AncestorCache;
+}
+
 struct PrefetchConfig {
   /// Objects the edge cache can hold.
   std::size_t cache_capacity = 64;
@@ -47,6 +51,9 @@ struct PrefetchStats {
   std::uint64_t misses = 0;          // went to S3
   std::uint64_t prefetches = 0;      // objects warmed speculatively
   std::uint64_t prefetch_hits = 0;   // hits on speculatively-warmed entries
+  /// Hint-mining SimpleDB reads skipped because the shared AncestorCache
+  /// already held the object's provenance fragment.
+  std::uint64_t ancestor_cache_hits = 0;
 
   double hit_rate() const {
     return reads == 0 ? 0.0
@@ -79,6 +86,14 @@ class ProvenanceCache {
   /// is separable from client traffic.
   util::SharedBytes read(const std::string& object);
 
+  /// Share a manifest reader's AncestorCache: hint mining consults it for
+  /// the object's provenance fragment before issuing the per-item SimpleDB
+  /// read, so ancestors already resident from an ancestry walk stop being
+  /// double-fetched. Stats count the avoided reads.
+  void attach_ancestor_cache(std::shared_ptr<manifest::AncestorCache> cache) {
+    ancestor_cache_ = std::move(cache);
+  }
+
   const PrefetchStats& stats() const { return stats_; }
   std::size_t cached_objects() const { return entries_.size(); }
   bool is_cached(const std::string& object) const {
@@ -110,6 +125,7 @@ class ProvenanceCache {
   CloudServices* services_;
   PrefetchConfig config_;
   std::shared_ptr<const DomainTopology> topology_;
+  std::shared_ptr<manifest::AncestorCache> ancestor_cache_;
   std::map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // front = most recent
   PrefetchStats stats_;

@@ -1,0 +1,52 @@
+#include "cloudprov/manifest/ancestor_cache.hpp"
+
+#include "util/require.hpp"
+
+namespace provcloud::cloudprov::manifest {
+
+AncestorCache::AncestorCache(std::size_t capacity) : capacity_(capacity) {
+  PROVCLOUD_REQUIRE(capacity_ > 0);
+}
+
+void AncestorCache::set_snapshot(std::uint64_t snapshot_id) {
+  if (snapshot_id == snapshot_id_) return;
+  stats_.invalidations += entries_.size();
+  entries_.clear();
+  lru_.clear();
+  snapshot_id_ = snapshot_id;
+}
+
+const std::vector<pass::ProvenanceRecord>* AncestorCache::find(
+    const pass::ObjectVersion& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(id);
+  it->second.lru_it = lru_.begin();
+  return &it->second.records;
+}
+
+void AncestorCache::insert(const pass::ObjectVersion& id,
+                           std::vector<pass::ProvenanceRecord> records) {
+  ++stats_.insertions;
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    it->second.records = std::move(records);
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(id);
+    it->second.lru_it = lru_.begin();
+    return;
+  }
+  lru_.push_front(id);
+  entries_.emplace(id, Entry{std::move(records), lru_.begin()});
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+}  // namespace provcloud::cloudprov::manifest

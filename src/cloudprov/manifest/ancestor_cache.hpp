@@ -1,0 +1,63 @@
+// AncestorCache: a bounded LRU of transitive-closure fragments.
+//
+// The manifest read path decodes whole blocks; this cache keeps the decoded
+// (object, version) -> records fragments resident (the pass/local_cache
+// idiom, lifted to the read side), so an ancestry walk that revisits a hot
+// region -- or a later walk over an overlapping closure -- issues no cloud
+// reads at all for it. Entries are tagged with the snapshot they were
+// decoded from: when a newer snapshot lands, set_snapshot invalidates
+// everything (blocks are re-cut per snapshot, so fragments must not leak
+// across).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "pass/pnode.hpp"
+#include "pass/record.hpp"
+
+namespace provcloud::cloudprov::manifest {
+
+struct AncestorCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t invalidations = 0;  // entries dropped by snapshot changes
+};
+
+class AncestorCache {
+ public:
+  explicit AncestorCache(std::size_t capacity);
+
+  /// Bind the cache to a snapshot. A different id than the current binding
+  /// drops every entry (counted in stats().invalidations).
+  void set_snapshot(std::uint64_t snapshot_id);
+  std::uint64_t snapshot_id() const { return snapshot_id_; }
+
+  /// Records of `id` if resident (touches LRU), else nullptr.
+  const std::vector<pass::ProvenanceRecord>* find(const pass::ObjectVersion& id);
+
+  /// Insert (or refresh) a fragment, evicting LRU entries over capacity.
+  void insert(const pass::ObjectVersion& id,
+              std::vector<pass::ProvenanceRecord> records);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const AncestorCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::vector<pass::ProvenanceRecord> records;
+    std::list<pass::ObjectVersion>::iterator lru_it;
+  };
+
+  std::size_t capacity_;
+  std::uint64_t snapshot_id_ = 0;
+  std::map<pass::ObjectVersion, Entry> entries_;
+  std::list<pass::ObjectVersion> lru_;  // front = most recent
+  AncestorCacheStats stats_;
+};
+
+}  // namespace provcloud::cloudprov::manifest

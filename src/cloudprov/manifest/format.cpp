@@ -1,0 +1,221 @@
+#include "cloudprov/manifest/format.hpp"
+
+#include <algorithm>
+
+#include "cloudprov/serialize.hpp"
+
+namespace provcloud::cloudprov::manifest {
+
+namespace {
+
+constexpr const char* kBlockMagic = "PMB1\n";
+constexpr const char* kListMagic = "PML1\n";
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+/// Cursor over a length-prefixed buffer. All read_* methods return false on
+/// any framing violation, which the decoders surface as nullopt.
+struct Cursor {
+  const std::string& buf;
+  std::size_t pos = 0;
+
+  bool expect(const char* literal) {
+    const std::size_t n = std::char_traits<char>::length(literal);
+    if (buf.compare(pos, n, literal) != 0) return false;
+    pos += n;
+    return true;
+  }
+
+  bool read_u64(std::uint64_t& out) {
+    if (pos >= buf.size() || buf[pos] < '0' || buf[pos] > '9') return false;
+    std::uint64_t v = 0;
+    while (pos < buf.size() && buf[pos] >= '0' && buf[pos] <= '9') {
+      v = v * 10 + static_cast<std::uint64_t>(buf[pos] - '0');
+      ++pos;
+    }
+    out = v;
+    return true;
+  }
+
+  bool read_sep() {
+    if (pos >= buf.size() || buf[pos] != ' ') return false;
+    ++pos;
+    return true;
+  }
+
+  bool read_nl() {
+    if (pos >= buf.size() || buf[pos] != '\n') return false;
+    ++pos;
+    return true;
+  }
+
+  bool read_bytes(std::size_t n, std::string& out) {
+    if (pos + n > buf.size()) return false;
+    out.assign(buf, pos, n);
+    pos += n;
+    return true;
+  }
+};
+
+void encode_record(std::string& out, const pass::ProvenanceRecord& r) {
+  const std::string value = r.value_string();
+  append_u64(out, r.attribute.size());
+  out += ' ';
+  append_u64(out, value.size());
+  out += ' ';
+  out += r.is_xref() ? '1' : '0';
+  out += '\n';
+  out += r.attribute;
+  out += value;
+}
+
+bool decode_record(Cursor& c, pass::ProvenanceRecord& out) {
+  std::uint64_t attr_len = 0, value_len = 0, xref = 0;
+  if (!c.read_u64(attr_len) || !c.read_sep() || !c.read_u64(value_len) ||
+      !c.read_sep() || !c.read_u64(xref) || !c.read_nl())
+    return false;
+  std::string attribute, value;
+  if (!c.read_bytes(attr_len, attribute) || !c.read_bytes(value_len, value))
+    return false;
+  if (xref == 1) {
+    std::string object;
+    std::uint32_t version = 0;
+    if (!parse_item_name(value, object, version)) return false;
+    out = pass::make_xref_record(std::move(attribute),
+                                 pass::ObjectVersion{object, version});
+  } else {
+    out = pass::make_text_record(std::move(attribute), std::move(value));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string manifest_list_key(std::uint64_t snapshot_id) {
+  return "snap-" + std::to_string(snapshot_id) + "/manifest-list";
+}
+
+std::string manifest_block_key(std::uint64_t snapshot_id, std::size_t block) {
+  return "snap-" + std::to_string(snapshot_id) + "/block-" +
+         std::to_string(block);
+}
+
+std::string encode_block(const std::vector<ManifestEntry>& entries) {
+  std::string out = kBlockMagic;
+  append_u64(out, entries.size());
+  out += '\n';
+  for (const ManifestEntry& e : entries) {
+    append_u64(out, e.id.object.size());
+    out += ' ';
+    append_u64(out, e.id.version);
+    out += ' ';
+    append_u64(out, e.records.size());
+    out += '\n';
+    out += e.id.object;
+    for (const pass::ProvenanceRecord& r : e.records) encode_record(out, r);
+  }
+  return out;
+}
+
+std::optional<std::vector<ManifestEntry>> decode_block(const std::string& raw) {
+  Cursor c{raw};
+  if (!c.expect(kBlockMagic)) return std::nullopt;
+  std::uint64_t count = 0;
+  if (!c.read_u64(count) || !c.read_nl()) return std::nullopt;
+  std::vector<ManifestEntry> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t object_len = 0, version = 0, records = 0;
+    if (!c.read_u64(object_len) || !c.read_sep() || !c.read_u64(version) ||
+        !c.read_sep() || !c.read_u64(records) || !c.read_nl())
+      return std::nullopt;
+    ManifestEntry e;
+    if (!c.read_bytes(object_len, e.id.object)) return std::nullopt;
+    e.id.version = static_cast<std::uint32_t>(version);
+    e.records.resize(records);
+    for (std::uint64_t r = 0; r < records; ++r)
+      if (!decode_record(c, e.records[r])) return std::nullopt;
+    out.push_back(std::move(e));
+  }
+  if (c.pos != raw.size()) return std::nullopt;
+  return out;
+}
+
+std::string encode_manifest_list(const ManifestList& list) {
+  std::string out = kListMagic;
+  append_u64(out, list.snapshot_id);
+  out += ' ';
+  append_u64(out, list.total_entries);
+  out += ' ';
+  append_u64(out, list.blocks.size());
+  out += '\n';
+  for (const BlockStats& b : list.blocks) {
+    append_u64(out, b.key.size());
+    out += ' ';
+    append_u64(out, b.min.object.size());
+    out += ' ';
+    append_u64(out, b.min.version);
+    out += ' ';
+    append_u64(out, b.max.object.size());
+    out += ' ';
+    append_u64(out, b.max.version);
+    out += ' ';
+    append_u64(out, b.entries);
+    out += ' ';
+    append_u64(out, b.bytes);
+    out += '\n';
+    out += b.key;
+    out += b.min.object;
+    out += b.max.object;
+  }
+  return out;
+}
+
+std::optional<ManifestList> decode_manifest_list(const std::string& raw) {
+  Cursor c{raw};
+  if (!c.expect(kListMagic)) return std::nullopt;
+  ManifestList list;
+  std::uint64_t block_count = 0;
+  if (!c.read_u64(list.snapshot_id) || !c.read_sep() ||
+      !c.read_u64(list.total_entries) || !c.read_sep() ||
+      !c.read_u64(block_count) || !c.read_nl())
+    return std::nullopt;
+  list.blocks.reserve(block_count);
+  for (std::uint64_t i = 0; i < block_count; ++i) {
+    std::uint64_t key_len = 0, min_len = 0, min_ver = 0, max_len = 0,
+                  max_ver = 0;
+    BlockStats b;
+    if (!c.read_u64(key_len) || !c.read_sep() || !c.read_u64(min_len) ||
+        !c.read_sep() || !c.read_u64(min_ver) || !c.read_sep() ||
+        !c.read_u64(max_len) || !c.read_sep() || !c.read_u64(max_ver) ||
+        !c.read_sep() || !c.read_u64(b.entries) || !c.read_sep() ||
+        !c.read_u64(b.bytes) || !c.read_nl())
+      return std::nullopt;
+    if (!c.read_bytes(key_len, b.key) ||
+        !c.read_bytes(min_len, b.min.object) ||
+        !c.read_bytes(max_len, b.max.object))
+      return std::nullopt;
+    b.min.version = static_cast<std::uint32_t>(min_ver);
+    b.max.version = static_cast<std::uint32_t>(max_ver);
+    list.blocks.push_back(std::move(b));
+  }
+  if (c.pos != raw.size()) return std::nullopt;
+  return list;
+}
+
+std::optional<std::size_t> find_block(const ManifestList& list,
+                                      const pass::ObjectVersion& id) {
+  // Blocks are sorted and disjoint: binary search the first block whose max
+  // is >= id, then confirm its min is <= id (min/max pruning).
+  const auto it = std::lower_bound(
+      list.blocks.begin(), list.blocks.end(), id,
+      [](const BlockStats& b, const pass::ObjectVersion& v) {
+        return b.max < v;
+      });
+  if (it == list.blocks.end() || id < it->min) return std::nullopt;
+  return static_cast<std::size_t>(it - list.blocks.begin());
+}
+
+}  // namespace provcloud::cloudprov::manifest

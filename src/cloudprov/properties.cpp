@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "cloudprov/consistency_read.hpp"
+#include "cloudprov/manifest/reader.hpp"
+#include "cloudprov/manifest/writer.hpp"
 #include "cloudprov/query.hpp"
 #include "cloudprov/sdb_backend.hpp"
 #include "cloudprov/serialize.hpp"
@@ -285,6 +287,37 @@ StateViolations check_state(Architecture arch, CloudServices& services,
   return v;
 }
 
+/// The late derivation stored *after* the first snapshot rolls: the mutable
+/// tail the manifest read path must fall back to SimpleDB for.
+pass::SyscallTrace tail_trace(std::uint64_t seed) {
+  util::Rng rng(seed);
+  pass::SyscallTrace t;
+  const pass::Pid late = 15;
+  t.push_back(pass::ev_exec(late, "/usr/bin/late", {"late"},
+                            workloads::synth_environment(rng, 800)));
+  t.push_back(pass::ev_read(late, "data/derived1"));
+  t.push_back(pass::ev_write(late, "data/late0", util::Bytes(96, 'l')));
+  t.push_back(pass::ev_close(late, "data/late0"));
+  t.push_back(pass::ev_exit(late));
+  return t;
+}
+
+/// Full structural equality of two ancestry answers: same nodes (kind,
+/// records, ancestor edges) and the same missing list.
+bool ancestry_equal(const AncestryResult& a, const AncestryResult& b) {
+  if (a.missing != b.missing) return false;
+  const auto& an = a.graph.nodes();
+  const auto& bn = b.graph.nodes();
+  if (an.size() != bn.size()) return false;
+  for (const auto& [id, node] : an) {
+    const AncestryNode* other = b.graph.find(id);
+    if (other == nullptr || node.kind != other->kind ||
+        node.records != other->records || node.ancestors != other->ancestors)
+      return false;
+  }
+  return true;
+}
+
 /// All crash points the architecture's protocol passes through, discovered
 /// from an uninjected run.
 std::vector<std::string> discover_crash_points(
@@ -417,6 +450,85 @@ std::vector<PropertyReport> check_all_architectures(
   return {check_properties(Architecture::kS3Only, options),
           check_properties(Architecture::kS3SimpleDb, options),
           check_properties(Architecture::kS3SimpleDbSqs, options)};
+}
+
+ManifestRollReport check_manifest_roll(Architecture arch,
+                                       const PropertyCheckOptions& options) {
+  PROVCLOUD_REQUIRE_MSG(arch != Architecture::kS3Only,
+                        "manifest rolls need a SimpleDB layout");
+  ManifestRollReport report;
+  report.arch = arch;
+  // Small blocks so multi-block rolls exist and after_block_put fires more
+  // than once -- the sweep then lands crashes both early and mid-sequence.
+  const manifest::ManifestWriterConfig roll_cfg{.block_entries = 4};
+
+  // Discover the roll protocol's crash surface from an uninjected run.
+  std::vector<std::string> points;
+  {
+    Fixture fx(arch, options.seed, aggressive_staleness(), options);
+    drive(fx, mini_trace(options.seed, options.mini_files));
+    settle(fx);
+    manifest::ManifestWriter writer(fx.services, fx.topology, roll_cfg);
+    const auto rolled = writer.roll();
+    PROVCLOUD_REQUIRE_MSG(rolled.has_value(), "uninjected roll failed");
+    for (const std::string& p : fx.env.failures().observed_points())
+      if (util::starts_with(p, "manifest.")) points.push_back(p);
+  }
+
+  for (const std::string& point : points) {
+    for (std::uint64_t occurrence : {std::uint64_t{1}, std::uint64_t{2}}) {
+      Fixture fx(arch, options.seed + occurrence, aggressive_staleness(),
+                 options);
+      drive(fx, mini_trace(options.seed, options.mini_files));
+      settle(fx);
+      manifest::ManifestWriter writer(fx.services, fx.topology, roll_cfg);
+      const auto first = writer.roll();
+      PROVCLOUD_REQUIRE_MSG(first.has_value(), "first roll failed");
+      const std::uint64_t first_id = first->snapshot_id;
+
+      // The mutable tail lands after snapshot 1.
+      drive(fx, tail_trace(options.seed));
+      settle(fx);
+
+      // Ground truth from the pure per-shard SimpleDB scatter walk, taken
+      // before any crash: the live manifest walk must match it afterwards.
+      auto scatter = make_sdb_query_engine(fx.services, fx.topology);
+      const AncestryResult want_tail = scatter->ancestry("data/late0", 1);
+      const AncestryResult want_frozen = scatter->ancestry("data/derived1", 1);
+
+      fx.env.failures().arm_crash(point, occurrence);
+      bool crashed = false;
+      try {
+        writer.roll();
+      } catch (const sim::CrashError&) {
+        crashed = true;
+      }
+      fx.env.failures().disarm(point);
+      settle(fx);
+      ++report.crash_scenarios;
+      if (crashed) ++report.crashed_rolls;
+
+      // The catalog must bind *some* committed snapshot -- never an
+      // uncommitted torso, never nothing.
+      manifest::ManifestReader reader(fx.services, fx.topology);
+      if (!reader.open_current() || reader.snapshot_id() < first_id) {
+        ++report.violations;
+        continue;
+      }
+      auto engine = make_manifest_query_engine(fx.services, fx.topology);
+      // The live walk (snapshot + tail fallback) must be bit-identical to
+      // the scatter walk regardless of where the roll died.
+      if (!ancestry_equal(engine->ancestry("data/late0", 1), want_tail))
+        ++report.violations;
+      // The pre-crash snapshot must keep serving complete, correct
+      // time-travel ancestry: nothing lost, nothing duplicated.
+      const AncestryResult as_of =
+          engine->ancestry_as_of(first_id, "data/derived1", 1);
+      if (!as_of.missing.empty() || !ancestry_equal(as_of, want_frozen))
+        ++report.violations;
+    }
+  }
+  return report;
 }
 
 }  // namespace provcloud::cloudprov

@@ -96,4 +96,25 @@ PropertyReport check_properties(Architecture arch,
 std::vector<PropertyReport> check_all_architectures(
     const PropertyCheckOptions& options = {});
 
+/// Crash-sweep verdict for the manifest-roll protocol (the snapshot read
+/// path's commit sequence: block PUTs, list PUT, history row, pointer
+/// swap). Every discovered manifest.* crash point is swept; after each
+/// injected crash the catalog must still bind a committed snapshot, the
+/// previous snapshot must keep serving complete, correct time-travel
+/// ancestry, and live manifest-path walks must stay bit-identical to the
+/// pure SimpleDB scatter walk.
+struct ManifestRollReport {
+  Architecture arch = Architecture::kS3SimpleDb;
+  std::uint64_t crash_scenarios = 0;
+  std::uint64_t crashed_rolls = 0;  // scenarios where the armed crash fired
+  std::uint64_t violations = 0;     // lost/duplicated/diverging provenance
+
+  bool crash_safe() const { return crash_scenarios > 0 && violations == 0; }
+};
+
+/// Requires a SimpleDB architecture (Arch 2 or 3): rolls snapshot the
+/// provenance index, which Architecture 1 does not have.
+ManifestRollReport check_manifest_roll(Architecture arch,
+                                       const PropertyCheckOptions& options = {});
+
 }  // namespace provcloud::cloudprov

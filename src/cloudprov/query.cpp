@@ -5,6 +5,7 @@
 
 #include "cloudprov/consistency_read.hpp"
 #include "cloudprov/domain_topology.hpp"
+#include "cloudprov/manifest/reader.hpp"
 #include "cloudprov/serialize.hpp"
 #include "util/require.hpp"
 #include "util/string_utils.hpp"
@@ -40,6 +41,32 @@ class S3QueryEngine final : public QueryEngine {
     // phase can, of course, be executed from a cache").
     const std::vector<DecodedMetadata> all = scan_all();
     return outputs_from(all, program);
+  }
+
+  AncestryResult ancestry(const std::string& object, std::uint32_t version,
+                          std::size_t max_nodes) override {
+    // One scan, then walk locally: S3 retains only the latest version's
+    // metadata, so any older ancestor version lands in `missing` -- the
+    // Arch-1 limitation fetch_ancestry has always surfaced.
+    const std::vector<DecodedMetadata> all = scan_all();
+    std::map<pass::ObjectVersion, const DecodedMetadata*> by_id;
+    for (const DecodedMetadata& m : all)
+      by_id[pass::ObjectVersion{m.object, m.version}] = &m;
+    return walk_ancestry(
+        [&by_id](const std::vector<pass::ObjectVersion>& ids) {
+          std::vector<BackendResult<std::vector<pass::ProvenanceRecord>>> out;
+          out.reserve(ids.size());
+          for (const pass::ObjectVersion& id : ids) {
+            auto it = by_id.find(id);
+            if (it == by_id.end())
+              out.push_back(backend_error(BackendErrorCode::kNotFound,
+                                          "not in scan: " + id.to_string()));
+            else
+              out.push_back(it->second->records);
+          }
+          return out;
+        },
+        object, version, max_nodes);
   }
 
   std::set<std::string> q3_descendants_of(const std::string& program) override {
@@ -185,6 +212,23 @@ class SdbQueryEngine final : public QueryEngine {
     return outputs;
   }
 
+  AncestryResult ancestry(const std::string& object, std::uint32_t version,
+                          std::size_t max_nodes) override {
+    // The scatter baseline: one per-shard GetAttributes round trip per
+    // node of the walk (plus spill GETs), billed exactly like
+    // SdbBackend::get_provenance.
+    return walk_ancestry(
+        [this](const std::vector<pass::ObjectVersion>& ids) {
+          std::vector<BackendResult<std::vector<pass::ProvenanceRecord>>> out;
+          out.reserve(ids.size());
+          for (const pass::ObjectVersion& id : ids)
+            out.push_back(fetch_sdb_provenance(*services_, *topology_,
+                                               id.object, id.version, 64));
+          return out;
+        },
+        object, version, max_nodes);
+  }
+
   std::set<std::string> q3_descendants_of(const std::string& program) override {
     // Level-by-level expansion: "for ancestry queries, it has to retrieve
     // each item ..., then examine each item for its ancestors and then look
@@ -292,7 +336,89 @@ class SdbQueryEngine final : public QueryEngine {
   std::shared_ptr<const DomainTopology> topology_;
 };
 
+// ---------------------------------------------------------------------------
+// Manifest-backed read path: snapshots + AncestorCache, SimpleDB tail.
+// ---------------------------------------------------------------------------
+
+class ManifestQueryEngine final : public QueryEngine {
+ public:
+  ManifestQueryEngine(CloudServices& services,
+                      std::shared_ptr<manifest::ManifestReader> reader,
+                      std::shared_ptr<const DomainTopology> topology,
+                      ManifestQueryConfig config)
+      : services_(&services),
+        config_(config),
+        topology_(std::move(topology)),
+        reader_(std::move(reader)),
+        inner_(std::make_unique<SdbQueryEngine>(services, topology_,
+                                                config.base)) {}
+
+  std::string name() const override { return inner_->name() + "+manifest"; }
+
+  Q1Result q1_all_provenance() override { return inner_->q1_all_provenance(); }
+  std::set<std::string> q2_outputs_of(const std::string& program) override {
+    return inner_->q2_outputs_of(program);
+  }
+  std::set<std::string> q3_descendants_of(const std::string& program) override {
+    return inner_->q3_descendants_of(program);
+  }
+
+  AncestryResult ancestry(const std::string& object, std::uint32_t version,
+                          std::size_t max_nodes) override {
+    // Rebind to the current snapshot each walk: one catalog read; the list
+    // GET and cache invalidation only happen when a newer snapshot landed.
+    const auto opened = reader_->open_current();
+    if (!opened) {
+      // Nothing ever rolled: serve the walk from the scatter path outright.
+      return inner_->ancestry(object, version, max_nodes);
+    }
+    return walk_ancestry(
+        [this](const std::vector<pass::ObjectVersion>& ids) {
+          return reader_->get_provenance_many(ids);
+        },
+        object, version, max_nodes);
+  }
+
+  bool supports_time_travel() const override { return true; }
+
+  AncestryResult ancestry_as_of(std::uint64_t snapshot_id,
+                                const std::string& object,
+                                std::uint32_t version,
+                                std::size_t max_nodes) override {
+    // A pinned reader with its own cache: binding the shared reader to an
+    // old snapshot would invalidate the hot current-snapshot cache.
+    manifest::ManifestReader pinned(
+        *services_, topology_,
+        manifest::ManifestReaderConfig{.cache_capacity = config_.cache_capacity,
+                                       .max_retries = config_.max_retries});
+    const auto opened = pinned.open(snapshot_id);
+    if (!opened) {
+      AncestryResult result;
+      result.missing.push_back(pass::ObjectVersion{object, version});
+      return result;
+    }
+    return walk_ancestry(
+        [&pinned](const std::vector<pass::ObjectVersion>& ids) {
+          return pinned.get_provenance_many(ids);
+        },
+        object, version, max_nodes);
+  }
+
+ private:
+  CloudServices* services_;
+  ManifestQueryConfig config_;
+  std::shared_ptr<const DomainTopology> topology_;
+  std::shared_ptr<manifest::ManifestReader> reader_;
+  std::unique_ptr<SdbQueryEngine> inner_;
+};
+
 }  // namespace
+
+AncestryResult QueryEngine::ancestry_as_of(std::uint64_t, const std::string&,
+                                           std::uint32_t, std::size_t) {
+  util::require_failed("supports_time_travel()", __FILE__, __LINE__,
+                       "this query engine has no snapshots");
+}
 
 std::unique_ptr<QueryEngine> make_s3_query_engine(CloudServices& services) {
   return std::make_unique<S3QueryEngine>(services);
@@ -326,6 +452,31 @@ std::unique_ptr<QueryEngine> make_sdb_query_engine(
   config.parallelism = topology->parallelism();
   return std::make_unique<SdbQueryEngine>(services, std::move(topology),
                                           config);
+}
+
+std::unique_ptr<QueryEngine> make_manifest_query_engine(
+    CloudServices& services, std::shared_ptr<const DomainTopology> topology,
+    const ManifestQueryConfig& config) {
+  ManifestQueryConfig cfg = config;
+  cfg.base.shard_count = topology->shard_count();
+  cfg.base.parallelism = topology->parallelism();
+  auto reader = std::make_shared<manifest::ManifestReader>(
+      services, topology,
+      manifest::ManifestReaderConfig{.cache_capacity = cfg.cache_capacity,
+                                     .max_retries = cfg.max_retries});
+  return std::make_unique<ManifestQueryEngine>(services, std::move(reader),
+                                               std::move(topology), cfg);
+}
+
+std::unique_ptr<QueryEngine> make_manifest_query_engine(
+    CloudServices& services, std::shared_ptr<manifest::ManifestReader> reader,
+    const ManifestQueryConfig& config) {
+  ManifestQueryConfig cfg = config;
+  std::shared_ptr<const DomainTopology> topology = reader->topology();
+  cfg.base.shard_count = topology->shard_count();
+  cfg.base.parallelism = topology->parallelism();
+  return std::make_unique<ManifestQueryEngine>(services, std::move(reader),
+                                               std::move(topology), cfg);
 }
 
 }  // namespace provcloud::cloudprov

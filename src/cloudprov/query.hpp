@@ -24,10 +24,15 @@
 #include <string>
 #include <vector>
 
+#include "cloudprov/ancestry.hpp"
 #include "cloudprov/backend.hpp"
 #include "pass/record.hpp"
 
 namespace provcloud::cloudprov {
+
+namespace manifest {
+class ManifestReader;
+}
 
 struct Q1Result {
   std::uint64_t object_versions = 0;  // provenance sets retrieved
@@ -45,6 +50,26 @@ class QueryEngine {
   /// File object names transitively derived from outputs of `program`
   /// (includes the outputs themselves).
   virtual std::set<std::string> q3_descendants_of(const std::string& program) = 0;
+
+  /// Full ancestry closure of (object, version) -- the deep walk the
+  /// read-path engines compete on. Every engine answers it from its own
+  /// layout (metadata scan, per-shard SimpleDB gets, or snapshot
+  /// manifests), but the result is the same graph.
+  virtual AncestryResult ancestry(const std::string& object,
+                                  std::uint32_t version,
+                                  std::size_t max_nodes = 10000) = 0;
+
+  /// Whether ancestry_as_of is available (manifest engines only).
+  virtual bool supports_time_travel() const { return false; }
+
+  /// Time travel: the ancestry closure as the store stood when
+  /// `snapshot_id` was rolled. Nodes the snapshot does not cover land in
+  /// `missing` (never served from the mutable tail). Engines without
+  /// snapshots fail a requirement -- gate on supports_time_travel().
+  virtual AncestryResult ancestry_as_of(std::uint64_t snapshot_id,
+                                        const std::string& object,
+                                        std::uint32_t version,
+                                        std::size_t max_nodes = 10000);
 };
 
 /// Arch-1 engine: full metadata scans over the data bucket.
@@ -80,5 +105,32 @@ std::unique_ptr<QueryEngine> make_sdb_query_engine(CloudServices& services,
 /// WalBackend::topology()): same layout *and* same executor.
 std::unique_ptr<QueryEngine> make_sdb_query_engine(
     CloudServices& services, std::shared_ptr<const DomainTopology> topology);
+
+/// Manifest-backed engine: q1-q3 answer exactly like the SimpleDB engine
+/// (indexed queries are already one round trip per predicate), but ancestry
+/// walks are served from the committed snapshot -- AncestorCache, then
+/// min/max-pruned manifest-block GETs scatter/gathered through the
+/// topology, then the SimpleDB mutable-tail fallback -- with results
+/// bit-identical to the pure scatter path. supports_time_travel() is true:
+/// ancestry_as_of answers from any committed historical snapshot.
+///
+/// Config migration: SdbQueryConfig call sites keep working unchanged; the
+/// manifest engine nests that struct as `base` and only adds the snapshot
+/// read-path knobs on top.
+struct ManifestQueryConfig {
+  SdbQueryConfig base;
+  /// AncestorCache capacity (transitive-closure fragments kept resident).
+  std::size_t cache_capacity = 4096;
+  /// Propagation-retry budget of the snapshot read path.
+  std::uint32_t max_retries = 64;
+};
+std::unique_ptr<QueryEngine> make_manifest_query_engine(
+    CloudServices& services, std::shared_ptr<const DomainTopology> topology,
+    const ManifestQueryConfig& config = {});
+/// Share an existing reader (and therefore its AncestorCache) with other
+/// consumers -- the hints prefetcher, tests poking cache stats.
+std::unique_ptr<QueryEngine> make_manifest_query_engine(
+    CloudServices& services, std::shared_ptr<manifest::ManifestReader> reader,
+    const ManifestQueryConfig& config = {});
 
 }  // namespace provcloud::cloudprov

@@ -32,6 +32,8 @@ BackendResult<std::vector<pass::ProvenanceRecord>> fetch_sdb_provenance(
   const std::string& domain = topology.domain_for_object(object);
   aws::SdbItem attrs;
   for (std::uint32_t attempt = 0;; ++attempt) {
+    if (attempt > 0)
+      services.env->latency_ledger().charge(kReadRetryIdle, "idle");
     auto got = services.sdb.get_attributes(domain, item);
     if (got && !got->empty()) {
       attrs = std::move(*got);
@@ -49,6 +51,8 @@ BackendResult<std::vector<pass::ProvenanceRecord>> fetch_sdb_provenance(
     const std::string key = r.text().substr(std::strlen(kSpillMarker));
     bool resolved = false;
     for (std::uint32_t attempt = 0; attempt <= max_retries; ++attempt) {
+      if (attempt > 0)
+        services.env->latency_ledger().charge(kReadRetryIdle, "idle");
       auto got = services.s3.get(kDataBucket, key);
       if (!got) continue;
       if (is_xref_attribute(r.attribute)) {
@@ -78,6 +82,10 @@ BackendResult<ReadResult> consistency_checked_read(
   ReadResult best;
   bool have_any = false;
   for (std::uint32_t attempt = 0; attempt <= max_retries; ++attempt) {
+    // Each retry round is a client backoff: charge it as idle wait so the
+    // consistency loop's elapsed-time cost is visible on the timeline.
+    if (attempt > 0)
+      services.env->latency_ledger().charge(kReadRetryIdle, "idle");
     // Round part 1: the data and its nonce from S3.
     auto got = services.s3.get(kDataBucket, object);
     if (!got) continue;  // propagation race
