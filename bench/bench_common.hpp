@@ -16,6 +16,7 @@
 #include "cloudprov/backend.hpp"
 #include "cloudprov/session.hpp"
 #include "cloudprov/wal_backend.hpp"
+#include "obs/metrics.hpp"
 #include "pass/observer.hpp"
 #include "util/string_utils.hpp"
 #include "workloads/combined.hpp"
@@ -196,5 +197,41 @@ class JsonObject {
 inline const char* json_output_path() {
   return std::getenv("PROVCLOUD_BENCH_JSON");
 }
+
+/// Path from PROVCLOUD_TRACE_JSON: when set, benches write a Chrome
+/// trace-event dump of one traced smoke run there (loadable in Perfetto).
+inline const char* trace_output_path() {
+  return std::getenv("PROVCLOUD_TRACE_JSON");
+}
+
+/// The p50/p99/p999 of a latency histogram, JSON-ready. Zeros when the
+/// histogram never saw a sample (keys are still emitted, so consumers can
+/// rely on their presence).
+struct LatencyPercentiles {
+  std::uint64_t p50 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t p999 = 0;
+
+  static LatencyPercentiles of(const obs::Histogram& h) {
+    LatencyPercentiles p;
+    p.p50 = h.quantile(0.5);
+    p.p99 = h.quantile(0.99);
+    p.p999 = h.quantile(0.999);
+    return p;
+  }
+
+  /// The named histogram from a run's registry (e.g. "close.latency_us").
+  static LatencyPercentiles of(const obs::MetricsRegistry& metrics,
+                               const char* histogram_name) {
+    const obs::Histogram* h = metrics.find_histogram(histogram_name);
+    return h == nullptr ? LatencyPercentiles{} : of(*h);
+  }
+
+  void add_to(JsonObject& j, const std::string& prefix) const {
+    j.add(prefix + "_p50_us", p50);
+    j.add(prefix + "_p99_us", p99);
+    j.add(prefix + "_p999_us", p999);
+  }
+};
 
 }  // namespace provcloud::bench

@@ -79,6 +79,7 @@ struct GroupPoint {
   std::uint64_t sqs_send_rts = 0;      // SendMessage + SendMessageBatch
   std::uint64_t total_calls = 0;
   sim::SimTime elapsed = 0;
+  bench::LatencyPercentiles close;  // per-close latency (close.latency_us)
 };
 
 GroupPoint run_group_point(Architecture arch, const pass::SyscallTrace& trace,
@@ -88,6 +89,8 @@ GroupPoint run_group_point(Architecture arch, const pass::SyscallTrace& trace,
   run.run(trace);
   GroupPoint p;
   p.group = group;
+  p.close = bench::LatencyPercentiles::of(run.env.metrics(),
+                                          "close.latency_us");
   const auto snap = run.env.meter().snapshot();
   p.usd = estimate_cost(snap).total();
   p.closes = run.stats.flush_units;
@@ -160,6 +163,7 @@ int main() {
   sim::SimTime arch2_seq_elapsed = 0, arch3_seq_elapsed = 0;
   std::uint64_t arch2_seq_calls = 0, arch3_seq_calls = 0;
   std::map<std::string, sim::SimTime, std::less<>> arch_by_service[3];
+  bench::LatencyPercentiles arch_close[3];
   std::size_t arch_index = 0;
   for (const Architecture arch :
        {Architecture::kS3Only, Architecture::kS3SimpleDb,
@@ -185,6 +189,8 @@ int main() {
     for (const auto& [service, t] : arch_by_service[arch_index])
       split_sum += t;
     service_split_sums = service_split_sums && split_sum == elapsed;
+    arch_close[arch_index] =
+        bench::LatencyPercentiles::of(run.env.metrics(), "close.latency_us");
     ++arch_index;
     std::printf("%-17s %10s %10s %10s %10s %10s | %10s %9.1f min\n",
                 to_string(arch), format_usd(requests).c_str(),
@@ -218,6 +224,19 @@ int main() {
     for (const auto& [service, t] : arch_by_service[arch_index])
       std::printf("  %s %.1f min", service.c_str(), as_min(t));
     std::printf("\n");
+    ++arch_index;
+  }
+
+  std::printf("\nper-close latency percentiles (close.latency_us):\n");
+  arch_index = 0;
+  for (const Architecture arch :
+       {Architecture::kS3Only, Architecture::kS3SimpleDb,
+        Architecture::kS3SimpleDbSqs}) {
+    const bench::LatencyPercentiles& p = arch_close[arch_index];
+    std::printf("%-17s  p50 %8llu us   p99 %8llu us   p999 %8llu us\n",
+                to_string(arch), static_cast<unsigned long long>(p.p50),
+                static_cast<unsigned long long>(p.p99),
+                static_cast<unsigned long long>(p.p999));
     ++arch_index;
   }
 
@@ -403,6 +422,8 @@ int main() {
       for (const auto& [service, t] : arch_by_service[arch_index])
         j.add(std::string(arch_key) + "_elapsed_" + service + "_us",
               static_cast<std::uint64_t>(t));
+      // Per-close latency percentiles of the same runs.
+      arch_close[arch_index].add_to(j, std::string(arch_key) + "_close");
       ++arch_index;
     }
     // The session group-commit sweep: $/close and elapsed vs. group size.
@@ -416,6 +437,7 @@ int main() {
               p.closes > 0 ? p.usd / static_cast<double>(p.closes) : 0.0);
         j.add(g + "_sdb_write_rts", p.sdb_write_rts);
         j.add(g + "_sqs_send_rts", p.sqs_send_rts);
+        p.close.add_to(j, g + "_close");
       }
     }
     // The deadline sweep: write RTs vs. idle wait at fixed offered load.
@@ -432,6 +454,19 @@ int main() {
     }
     j.add("shape_check", std::string(ok ? "PASS" : "FAIL"));
     if (j.write(path)) std::printf("json written: %s\n", path);
+  }
+
+  // A dedicated traced smoke run: Arch 3 per-close with the virtual-time
+  // tracer on, dumped as Chrome trace-event JSON (loadable in Perfetto).
+  // Tracing never changes billing or elapsed time, but the headline runs
+  // above stay untraced regardless.
+  if (const char* trace_path = bench::trace_output_path()) {
+    bench::WorkloadRun traced(Architecture::kS3SimpleDbSqs);
+    traced.env.set_tracing(true);
+    traced.run(trace);
+    if (traced.env.tracer().write_chrome_json(trace_path))
+      std::printf("trace written: %s (%zu events)\n", trace_path,
+                  traced.env.tracer().event_count());
   }
   return ok ? 0 : 1;
 }

@@ -123,6 +123,7 @@ struct WalkCost {
   std::uint64_t elapsed_us = 0; // ledger elapsed (critical path)
   std::size_t nodes = 0;        // graph nodes retrieved (answer fingerprint)
   std::size_t missing = 0;
+  bench::LatencyPercentiles walk;  // per-root ancestry-walk latency
 };
 
 WalkCost measure_walks(SnapshotRun& run, QueryEngine& engine,
@@ -130,8 +131,11 @@ WalkCost measure_walks(SnapshotRun& run, QueryEngine& engine,
   const auto before = run.env.meter().snapshot();
   const sim::SimTime t0 = run.env.latency_ledger().elapsed();
   WalkCost c;
+  obs::Histogram walk_hist;  // local: the two engines must not mix samples
   for (const pass::ObjectVersion& root : roots) {
+    const sim::SimTime w0 = run.env.latency_ledger().elapsed();
     const AncestryResult r = engine.ancestry(root.object, root.version);
+    walk_hist.record(run.env.latency_ledger().elapsed() - w0);
     c.nodes += r.graph.nodes().size();
     c.missing += r.missing.size();
   }
@@ -139,6 +143,7 @@ WalkCost measure_walks(SnapshotRun& run, QueryEngine& engine,
   c.read_rts = sdb_read_rts(diff);
   c.usd = cost::estimate_cost(diff).total();
   c.elapsed_us = run.env.latency_ledger().elapsed() - t0;
+  c.walk = bench::LatencyPercentiles::of(walk_hist);
   return c;
 }
 
@@ -359,10 +364,17 @@ int main() {
       j.add("scatter_" + row.prefix + "_read_rts", row.scatter.read_rts);
       j.add("scatter_" + row.prefix + "_usd", row.scatter.usd);
       j.add("scatter_" + row.prefix + "_elapsed_us", row.scatter.elapsed_us);
+      row.scatter.walk.add_to(j, "scatter_" + row.prefix + "_walk");
       j.add("manifest_" + row.prefix + "_read_rts", row.manifest.read_rts);
       j.add("manifest_" + row.prefix + "_usd", row.manifest.usd);
       j.add("manifest_" + row.prefix + "_elapsed_us", row.manifest.elapsed_us);
+      row.manifest.walk.add_to(j, "manifest_" + row.prefix + "_walk");
     }
+    // Per-close store latency of the arch runs feeding the query tables.
+    bench::LatencyPercentiles::of(s3_run.env.metrics(), "close.latency_us")
+        .add_to(j, "arch1_close");
+    bench::LatencyPercentiles::of(sdb_run.env.metrics(), "close.latency_us")
+        .add_to(j, "arch2_close");
     j.add("manifest_shape_check", std::string(manifest_ok ? "PASS" : "FAIL"));
     j.add("shape_check", std::string(ok ? "PASS" : "FAIL"));
     if (j.write(path)) std::printf("json written: %s\n", path);

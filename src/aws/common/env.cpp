@@ -1,6 +1,16 @@
 #include "aws/common/env.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace provcloud::aws {
+
+bool CloudEnv::env_tracing_requested() {
+  const char* env = std::getenv("PROVCLOUD_TRACE");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "1") == 0 || std::strcmp(env, "true") == 0 ||
+         std::strcmp(env, "on") == 0;
+}
 
 sim::SimTime CloudEnv::charge(const std::string& service, const std::string& op,
                               std::uint64_t bytes_in, std::uint64_t bytes_out,

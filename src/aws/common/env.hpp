@@ -13,6 +13,8 @@
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/clock.hpp"
 #include "sim/failure.hpp"
 #include "sim/latency.hpp"
@@ -63,6 +65,14 @@ class CloudEnv {
           "SimClock advanced during a parallel fan-out: propagation events "
           "may only fire at driver-thread synchronization points");
     });
+    tracer_.bind(&clock_, &ledger_);
+    failures_.set_hit_hook([this](const std::string& point, bool crashing) {
+      if (!tracer_.enabled()) return;
+      tracer_.instant(
+          point, "failure",
+          {obs::trace_arg("crashing", crashing ? "true" : "false")});
+    });
+    if (env_tracing_requested()) set_tracing(true);
   }
 
   CloudEnv(const CloudEnv&) = delete;
@@ -111,6 +121,29 @@ class CloudEnv {
     return busy_time_.load(std::memory_order_relaxed);
   }
 
+  /// Always-on named counters/gauges/histograms for this environment.
+  /// Recording is relaxed-atomic and never touches the meter, the ledger
+  /// or the clock, so metrics cannot perturb billing or elapsed time.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Virtual-time tracer. Off by default; while off, the ledger observer
+  /// is not even installed so the per-charge cost is one nullptr load.
+  obs::Tracer& tracer() { return tracer_; }
+
+  /// Toggle tracing at runtime. Also wired from the PROVCLOUD_TRACE
+  /// environment variable (1|true|on) at construction. Toggle only at
+  /// driver-thread quiescence: installing the observer must happen-before
+  /// any concurrent charging.
+  void set_tracing(bool on) {
+    tracer_.set_enabled(on);
+    ledger_.set_observer(on ? &tracer_ : nullptr);
+  }
+  bool tracing() const { return tracer_.enabled(); }
+
+  /// Whether PROVCLOUD_TRACE asks for tracing (shared with benches that
+  /// decide to write a trace file).
+  static bool env_tracing_requested();
+
   /// Pick a uniform propagation delay for a replica. Thread-safe.
   sim::SimTime sample_propagation_delay();
 
@@ -127,6 +160,8 @@ class CloudEnv {
   ConsistencyConfig consistency_;
   sim::LatencyModel latency_model_;
   sim::LatencyLedger ledger_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
   std::atomic<sim::SimTime> busy_time_{0};
   /// Guards rng_ only -- held for one draw at a time, since every metered
   /// request samples a latency (the meter and clock carry their own locks).

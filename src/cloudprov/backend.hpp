@@ -227,11 +227,12 @@ class ProvenanceBackend {
   virtual PropertyClaims claims() const = 0;
 
   /// The backend's commit daemon, created lazily on first use (the first
-  /// caller's ledger/clock win; all sessions of one backend share one env,
-  /// so they agree). Every session's submits funnel through it -- one MPSC
-  /// queue, one flusher at a time. Defined in session.cpp.
-  std::shared_ptr<CommitDaemon> commit_daemon(sim::LatencyLedger* ledger,
-                                              sim::SimClock* clock);
+  /// caller's ledger/clock/tracer/metrics win; all sessions of one backend
+  /// share one env, so they agree). Every session's submits funnel through
+  /// it -- one MPSC queue, one flusher at a time. Defined in session.cpp.
+  std::shared_ptr<CommitDaemon> commit_daemon(
+      sim::LatencyLedger* ledger, sim::SimClock* clock,
+      obs::Tracer* tracer = nullptr, obs::MetricsRegistry* metrics = nullptr);
 
  protected:
   /// open_session's virtual hook.

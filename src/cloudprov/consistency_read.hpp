@@ -30,6 +30,16 @@ inline constexpr const char* kMd5Attribute = "MD5";
 /// (strong consistency) charge nothing -- bit-identical to before.
 inline constexpr sim::SimTime kReadRetryIdle = 20 * sim::kMillisecond;
 
+/// Charge one consistency-retry backoff round: kReadRetryIdle onto the
+/// caller's ledger timeline as "idle", plus the always-on retry metrics.
+/// Every retry site funnels through here so the counters cannot drift from
+/// the ledger accounting.
+inline void charge_read_retry(aws::CloudEnv& env) {
+  env.latency_ledger().charge(kReadRetryIdle, "idle");
+  env.metrics().counter("read.retries").add(1);
+  env.metrics().counter("idle.read_retry_us").add(kReadRetryIdle);
+}
+
 /// Nonce of a version ("the nonce is typically the file version").
 std::string nonce_for_version(std::uint32_t version);
 

@@ -20,6 +20,14 @@ ProvenanceCache::ProvenanceCache(CloudServices& services, PrefetchConfig config,
     : services_(&services), config_(config), topology_(std::move(topology)) {
   PROVCLOUD_REQUIRE(config_.cache_capacity > 0);
   PROVCLOUD_REQUIRE(topology_ != nullptr);
+  obs::MetricsRegistry& metrics = services.env->metrics();
+  reads_counter_ = &metrics.counter("prefetch.reads");
+  hits_counter_ = &metrics.counter("prefetch.hits");
+  misses_counter_ = &metrics.counter("prefetch.misses");
+  prefetches_counter_ = &metrics.counter("prefetch.issued");
+  prefetch_hits_counter_ = &metrics.counter("prefetch.hits_speculative");
+  ancestor_cache_hits_counter_ =
+      &metrics.counter("prefetch.ancestor_cache_hits");
 }
 
 std::vector<aws::SimpleDbService::ItemWithAttributes>
@@ -105,6 +113,7 @@ std::vector<std::string> ProvenanceCache::hint_candidates(
           producers.push_back(r.value_string());
       from_cache = true;
       ++stats_.ancestor_cache_hits;
+      ancestor_cache_hits_counter_->add(1);
     }
   }
   if (!from_cache) {
@@ -195,11 +204,14 @@ std::vector<std::string> ProvenanceCache::hint_candidates(
 
 util::SharedBytes ProvenanceCache::read(const std::string& object) {
   ++stats_.reads;
+  reads_counter_->add(1);
   auto it = entries_.find(object);
   if (it != entries_.end()) {
     ++stats_.hits;
+    hits_counter_->add(1);
     if (it->second.speculative) {
       ++stats_.prefetch_hits;
+      prefetch_hits_counter_->add(1);
       it->second.speculative = false;
     }
     touch(object, it);
@@ -207,6 +219,7 @@ util::SharedBytes ProvenanceCache::read(const std::string& object) {
   }
 
   ++stats_.misses;
+  misses_counter_->add(1);
   auto got = services_->s3.get(kDataBucket, object);
   if (!got) return nullptr;
   insert(object, got->data, /*speculative=*/false);
@@ -218,6 +231,7 @@ util::SharedBytes ProvenanceCache::read(const std::string& object) {
       services_->env->meter().record("s3", "GET.prefetch", 0, 0);
       if (!warmed) continue;
       ++stats_.prefetches;
+      prefetches_counter_->add(1);
       insert(candidate, warmed->data, /*speculative=*/true);
     }
   }

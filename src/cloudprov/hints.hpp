@@ -27,6 +27,7 @@
 
 #include "cloudprov/backend.hpp"
 #include "cloudprov/domain_topology.hpp"
+#include "obs/metrics.hpp"
 
 namespace provcloud::cloudprov {
 
@@ -129,6 +130,13 @@ class ProvenanceCache {
   std::map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // front = most recent
   PrefetchStats stats_;
+  // Registry mirrors of stats_ (prefetch.*), resolved once in the ctor.
+  obs::Counter* reads_counter_ = nullptr;
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* misses_counter_ = nullptr;
+  obs::Counter* prefetches_counter_ = nullptr;
+  obs::Counter* prefetch_hits_counter_ = nullptr;
+  obs::Counter* ancestor_cache_hits_counter_ = nullptr;
 };
 
 }  // namespace provcloud::cloudprov

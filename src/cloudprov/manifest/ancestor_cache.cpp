@@ -8,9 +8,18 @@ AncestorCache::AncestorCache(std::size_t capacity) : capacity_(capacity) {
   PROVCLOUD_REQUIRE(capacity_ > 0);
 }
 
+void AncestorCache::bind_metrics(obs::MetricsRegistry& registry) {
+  hits_counter_ = &registry.counter("ancestor_cache.hits");
+  misses_counter_ = &registry.counter("ancestor_cache.misses");
+  insertions_counter_ = &registry.counter("ancestor_cache.insertions");
+  invalidations_counter_ = &registry.counter("ancestor_cache.invalidations");
+}
+
 void AncestorCache::set_snapshot(std::uint64_t snapshot_id) {
   if (snapshot_id == snapshot_id_) return;
   stats_.invalidations += entries_.size();
+  if (invalidations_counter_ != nullptr)
+    invalidations_counter_->add(entries_.size());
   entries_.clear();
   lru_.clear();
   snapshot_id_ = snapshot_id;
@@ -21,9 +30,11 @@ const std::vector<pass::ProvenanceRecord>* AncestorCache::find(
   auto it = entries_.find(id);
   if (it == entries_.end()) {
     ++stats_.misses;
+    if (misses_counter_ != nullptr) misses_counter_->add(1);
     return nullptr;
   }
   ++stats_.hits;
+  if (hits_counter_ != nullptr) hits_counter_->add(1);
   lru_.erase(it->second.lru_it);
   lru_.push_front(id);
   it->second.lru_it = lru_.begin();
@@ -33,6 +44,7 @@ const std::vector<pass::ProvenanceRecord>* AncestorCache::find(
 void AncestorCache::insert(const pass::ObjectVersion& id,
                            std::vector<pass::ProvenanceRecord> records) {
   ++stats_.insertions;
+  if (insertions_counter_ != nullptr) insertions_counter_->add(1);
   auto it = entries_.find(id);
   if (it != entries_.end()) {
     it->second.records = std::move(records);

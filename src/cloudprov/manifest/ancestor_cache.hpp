@@ -15,6 +15,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pass/pnode.hpp"
 #include "pass/record.hpp"
 
@@ -47,6 +48,11 @@ class AncestorCache {
   std::size_t capacity() const { return capacity_; }
   const AncestorCacheStats& stats() const { return stats_; }
 
+  /// Mirror the stats onto registry counters ancestor_cache.{hits,misses,
+  /// insertions,invalidations}. The local stats() stay authoritative for
+  /// this cache; the counters aggregate across every cache in the env.
+  void bind_metrics(obs::MetricsRegistry& registry);
+
  private:
   struct Entry {
     std::vector<pass::ProvenanceRecord> records;
@@ -58,6 +64,10 @@ class AncestorCache {
   std::map<pass::ObjectVersion, Entry> entries_;
   std::list<pass::ObjectVersion> lru_;  // front = most recent
   AncestorCacheStats stats_;
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* misses_counter_ = nullptr;
+  obs::Counter* insertions_counter_ = nullptr;
+  obs::Counter* invalidations_counter_ = nullptr;
 };
 
 }  // namespace provcloud::cloudprov::manifest

@@ -50,7 +50,7 @@ std::optional<CatalogPointer> Catalog::read_row(const std::string& item,
                                                 bool retry_invisible) {
   for (std::uint32_t attempt = 0;; ++attempt) {
     if (attempt > 0)
-      services_->env->latency_ledger().charge(kReadRetryIdle, "idle");
+      charge_read_retry(*services_->env);
     auto got = services_->sdb.get_attributes(kCatalogDomain, item);
     if (got && !got->empty()) {
       const auto id = single_value(*got, kIdAttr);

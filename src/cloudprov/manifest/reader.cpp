@@ -6,6 +6,7 @@
 
 #include "cloudprov/consistency_read.hpp"
 #include "cloudprov/manifest/catalog.hpp"
+#include "obs/trace.hpp"
 #include "util/require.hpp"
 
 namespace provcloud::cloudprov::manifest {
@@ -18,6 +19,7 @@ ManifestReader::ManifestReader(CloudServices& services,
       config_(config),
       cache_(std::make_shared<AncestorCache>(config.cache_capacity)) {
   PROVCLOUD_REQUIRE(topology_ != nullptr);
+  cache_->bind_metrics(services.env->metrics());
 }
 
 const char* const* ManifestReader::sdb_read_ops() {
@@ -30,7 +32,7 @@ BackendResult<std::vector<ManifestEntry>> ManifestReader::fetch_block_with_retry
     const std::string& key) {
   for (std::uint32_t attempt = 0; attempt <= config_.max_retries; ++attempt) {
     if (attempt > 0)
-      services_->env->latency_ledger().charge(kReadRetryIdle, "idle");
+      charge_read_retry(*services_->env);
     auto got = services_->s3.get(kManifestBucket, key);
     if (!got) continue;  // propagation race
     auto decoded = decode_block(*got->data);
@@ -51,7 +53,7 @@ BackendResult<void> ManifestReader::bind(const CatalogPointer& pointer,
   }
   for (std::uint32_t attempt = 0; attempt <= config_.max_retries; ++attempt) {
     if (attempt > 0)
-      services_->env->latency_ledger().charge(kReadRetryIdle, "idle");
+      charge_read_retry(*services_->env);
     auto got = services_->s3.get(kManifestBucket, pointer.list_key);
     if (!got) continue;
     auto decoded = decode_manifest_list(*got->data);
@@ -94,6 +96,8 @@ std::vector<BackendResult<std::vector<pass::ProvenanceRecord>>>
 ManifestReader::get_provenance_many(const std::vector<pass::ObjectVersion>& ids) {
   using Records = std::vector<pass::ProvenanceRecord>;
   PROVCLOUD_REQUIRE_MSG(open_, "ManifestReader used before open");
+  obs::Span span(&services_->env->tracer(), "manifest.read", "manifest");
+  span.arg("ids", static_cast<std::uint64_t>(ids.size()));
   std::vector<BackendResult<Records>> results(
       ids.size(), backend_error(BackendErrorCode::kUnknown, "unresolved"));
 
@@ -101,9 +105,11 @@ ManifestReader::get_provenance_many(const std::vector<pass::ObjectVersion>& ids)
   // block (ranges are disjoint); ids outside every range are mutable tail.
   std::map<std::size_t, std::vector<std::size_t>> by_block;  // block -> idxs
   std::vector<std::size_t> tail;
+  std::size_t cache_hits = 0;
   for (std::size_t i = 0; i < ids.size(); ++i) {
     if (const Records* cached = cache_->find(ids[i])) {
       results[i] = *cached;
+      ++cache_hits;
       continue;
     }
     const std::optional<std::size_t> block = find_block(list_, ids[i]);
@@ -112,9 +118,14 @@ ManifestReader::get_provenance_many(const std::vector<pass::ObjectVersion>& ids)
     else
       tail.push_back(i);
   }
+  span.arg("cache_hits", static_cast<std::uint64_t>(cache_hits));
+  // Ids the min/max ranges prune away before any block fetch: they can
+  // only live in the mutable tail.
+  span.arg("pruned_to_tail", static_cast<std::uint64_t>(tail.size()));
 
   // Pass 2: scatter/gather the distinct blocks. Tasks only write their own
   // slot; the ledger charges the critical path of the overlapped GETs.
+  span.arg("blocks", static_cast<std::uint64_t>(by_block.size()));
   if (!by_block.empty()) {
     std::vector<std::size_t> block_order;
     block_order.reserve(by_block.size());
@@ -161,6 +172,7 @@ ManifestReader::get_provenance_many(const std::vector<pass::ObjectVersion>& ids)
   // Pass 3: mutable tail above the snapshot -- the per-shard SimpleDB read
   // the manifest path replaces everywhere else. Pinned (time-travel)
   // readers must not see it.
+  span.arg("tail", static_cast<std::uint64_t>(tail.size()));
   for (const std::size_t i : tail) {
     if (pinned_) {
       results[i] = backend_error(

@@ -140,9 +140,10 @@ BackendResult<std::vector<pass::ProvenanceRecord>> S3Backend::get_provenance(
 }
 
 std::unique_ptr<Session> S3Backend::do_open_session(SessionConfig config) {
-  return std::make_unique<Session>(*this, std::move(config),
-                                   &services_->env->latency_ledger(),
-                                   &services_->env->clock());
+  return std::make_unique<Session>(
+      *this, std::move(config), &services_->env->latency_ledger(),
+      &services_->env->clock(), &services_->env->tracer(),
+      &services_->env->metrics());
 }
 
 std::unique_ptr<ProvenanceBackend> make_s3_backend(CloudServices& services) {

@@ -33,7 +33,7 @@ BackendResult<std::vector<pass::ProvenanceRecord>> fetch_sdb_provenance(
   aws::SdbItem attrs;
   for (std::uint32_t attempt = 0;; ++attempt) {
     if (attempt > 0)
-      services.env->latency_ledger().charge(kReadRetryIdle, "idle");
+      charge_read_retry(*services.env);
     auto got = services.sdb.get_attributes(domain, item);
     if (got && !got->empty()) {
       attrs = std::move(*got);
@@ -52,7 +52,7 @@ BackendResult<std::vector<pass::ProvenanceRecord>> fetch_sdb_provenance(
     bool resolved = false;
     for (std::uint32_t attempt = 0; attempt <= max_retries; ++attempt) {
       if (attempt > 0)
-        services.env->latency_ledger().charge(kReadRetryIdle, "idle");
+        charge_read_retry(*services.env);
       auto got = services.s3.get(kDataBucket, key);
       if (!got) continue;
       if (is_xref_attribute(r.attribute)) {
@@ -85,7 +85,7 @@ BackendResult<ReadResult> consistency_checked_read(
     // Each retry round is a client backoff: charge it as idle wait so the
     // consistency loop's elapsed-time cost is visible on the timeline.
     if (attempt > 0)
-      services.env->latency_ledger().charge(kReadRetryIdle, "idle");
+      charge_read_retry(*services.env);
     // Round part 1: the data and its nonce from S3.
     auto got = services.s3.get(kDataBucket, object);
     if (!got) continue;  // propagation race
@@ -147,9 +147,10 @@ SdbBackend::SdbBackend(CloudServices& services, SdbBackendConfig config)
 }
 
 std::unique_ptr<Session> SdbBackend::do_open_session(SessionConfig config) {
-  return std::make_unique<Session>(*this, std::move(config),
-                                   &services_->env->latency_ledger(),
-                                   &services_->env->clock());
+  return std::make_unique<Session>(
+      *this, std::move(config), &services_->env->latency_ledger(),
+      &services_->env->clock(), &services_->env->tracer(),
+      &services_->env->metrics());
 }
 
 void SdbBackend::commit_group(const std::vector<TicketState*>& group,
@@ -255,10 +256,19 @@ void SdbBackend::commit_group(const std::vector<TicketState*>& group,
     std::size_t max_level = 0;
     for (const PreparedUnit& p : prepared)
       max_level = std::max(max_level, p.level);
+    env.metrics().histogram("sdb.causal_waves").record(max_level + 1);
     for (std::size_t level = 0; level <= max_level; ++level) {
       std::map<std::string, std::vector<PreparedUnit*>> by_domain;
+      std::size_t wave_items = 0;
       for (PreparedUnit& p : prepared)
-        if (p.level == level) by_domain[*p.domain].push_back(&p);
+        if (p.level == level) {
+          by_domain[*p.domain].push_back(&p);
+          ++wave_items;
+        }
+      obs::Span wave_span(&env.tracer(), "sdb.wave", "sdb");
+      wave_span.arg("level", static_cast<std::uint64_t>(level));
+      wave_span.arg("items", static_cast<std::uint64_t>(wave_items));
+      wave_span.arg("domains", static_cast<std::uint64_t>(by_domain.size()));
       for (auto& [domain, items] : by_domain) {
         for (std::size_t start = 0; start < items.size();
              start += batch_limit) {

@@ -5,9 +5,19 @@
 
 #include "cloudprov/domain_topology.hpp"
 #include "sim/failure.hpp"
+#include "util/logging.hpp"
 #include "util/require.hpp"
 
 namespace provcloud::cloudprov {
+
+const char* to_string(FlushTrigger trigger) {
+  switch (trigger) {
+    case FlushTrigger::kGroupFull: return "group_full";
+    case FlushTrigger::kDeadline: return "deadline";
+    case FlushTrigger::kSync: return "sync";
+  }
+  return "?";
+}
 
 // ---------------------------------------------------------------------------
 // ProvenanceBackend members that need Session / CommitDaemon / DomainTopology
@@ -56,10 +66,12 @@ std::vector<BackendResult<ReadResult>> ProvenanceBackend::read_many(
 }
 
 std::shared_ptr<CommitDaemon> ProvenanceBackend::commit_daemon(
-    sim::LatencyLedger* ledger, sim::SimClock* clock) {
+    sim::LatencyLedger* ledger, sim::SimClock* clock, obs::Tracer* tracer,
+    obs::MetricsRegistry* metrics) {
   std::lock_guard<std::mutex> lock(daemon_mu_);
   if (daemon_ == nullptr)
-    daemon_ = std::make_shared<CommitDaemon>(*this, ledger, clock);
+    daemon_ =
+        std::make_shared<CommitDaemon>(*this, ledger, clock, tracer, metrics);
   return daemon_;
 }
 
@@ -92,12 +104,20 @@ void CommitDaemon::submit(const std::shared_ptr<TicketState>& ticket) {
     });
   }
   std::unique_lock<std::mutex> lk(mu_);
-  while (!flushing_ && trigger_locked()) flush_group(lk);
+  while (!flushing_) {
+    const std::optional<FlushTrigger> trigger = trigger_locked();
+    if (!trigger.has_value()) break;
+    flush_group(lk, *trigger);
+  }
 }
 
 void CommitDaemon::poll() {
   std::unique_lock<std::mutex> lk(mu_);
-  while (!flushing_ && trigger_locked()) flush_group(lk);
+  while (!flushing_) {
+    const std::optional<FlushTrigger> trigger = trigger_locked();
+    if (!trigger.has_value()) break;
+    flush_group(lk, *trigger);
+  }
 }
 
 void CommitDaemon::barrier(
@@ -120,7 +140,7 @@ void CommitDaemon::barrier(
     }
     PROVCLOUD_REQUIRE_MSG(!queue_.empty(),
                           "commit daemon lost a submitted close");
-    flush_group(lk);
+    flush_group(lk, trigger_locked().value_or(FlushTrigger::kSync));
   }
 }
 
@@ -145,26 +165,30 @@ std::size_t CommitDaemon::queued() const {
   return queue_.size();
 }
 
-bool CommitDaemon::trigger_locked() const {
-  if (queue_.empty()) return false;
+std::optional<FlushTrigger> CommitDaemon::trigger_locked() const {
+  if (queue_.empty()) return std::nullopt;
   std::size_t min_group = std::numeric_limits<std::size_t>::max();
   for (const std::shared_ptr<TicketState>& t : queue_)
     min_group = std::min(min_group, std::max<std::size_t>(t->max_group, 1));
-  if (queue_.size() >= min_group) return true;
+  if (queue_.size() >= min_group) return FlushTrigger::kGroupFull;
   if (clock_ != nullptr) {
     const sim::SimTime now = clock_->now();
     for (const std::shared_ptr<TicketState>& t : queue_)
-      if (t->deadline_at > 0 && now >= t->deadline_at) return true;
+      if (t->deadline_at > 0 && now >= t->deadline_at)
+        return FlushTrigger::kDeadline;
   }
-  return false;
+  return std::nullopt;
 }
 
-void CommitDaemon::flush_group(std::unique_lock<std::mutex>& lk) {
+void CommitDaemon::flush_group(std::unique_lock<std::mutex>& lk,
+                               FlushTrigger trigger) {
   flushing_ = true;
   const std::uint64_t seq = ++next_group_seq_;
+  if (queue_depth_hist_ != nullptr) queue_depth_hist_->record(queue_.size());
   std::vector<std::shared_ptr<TicketState>> owned(queue_.begin(),
                                                   queue_.end());
   queue_.clear();
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
   const sim::SimTime now = clock_ != nullptr ? clock_->now() : 0;
   for (const std::shared_ptr<TicketState>& t : owned) {
     t->group_seq = seq;
@@ -174,9 +198,28 @@ void CommitDaemon::flush_group(std::unique_lock<std::mutex>& lk) {
     const sim::SimTime wait =
         now > t->enqueue_time ? now - t->enqueue_time : 0;
     if (wait > 0) {
+      // The wait ran from enqueue to the flush claim in *clock* time; on
+      // the ticket's track it starts at the elapsed total the ticket had
+      // when it was enqueued.
+      if (tracing)
+        tracer_->complete(&t->timeline, "queue_wait", "idle",
+                          t->enqueue_time + t->timeline.elapsed, wait);
       t->timeline.elapsed += wait;
       t->timeline.by_service["idle"] += wait;
+      if (queue_wait_us_ != nullptr) queue_wait_us_->add(wait);
     }
+  }
+  if (group_size_hist_ != nullptr) group_size_hist_->record(owned.size());
+  switch (trigger) {
+    case FlushTrigger::kGroupFull:
+      if (flush_group_full_ != nullptr) flush_group_full_->add(1);
+      break;
+    case FlushTrigger::kDeadline:
+      if (flush_deadline_ != nullptr) flush_deadline_->add(1);
+      break;
+    case FlushTrigger::kSync:
+      if (flush_sync_ != nullptr) flush_sync_->add(1);
+      break;
   }
   lk.unlock();
 
@@ -215,7 +258,17 @@ void CommitDaemon::flush_group(std::unique_lock<std::mutex>& lk) {
 
   try {
     if (ledger_ != nullptr) {
+      // The shared timeline is a stack object whose address recurs across
+      // flushes: force it onto a fresh trace track per group.
+      if (tracing)
+        tracer_->begin_track(&shared, "group-" + std::to_string(seq));
       sim::LatencyLedger::ScopedTimeline bind(*ledger_, shared);
+      obs::Span span(tracer_, "flush", "daemon");
+      span.arg("group", static_cast<std::uint64_t>(group.size()));
+      span.arg("trigger", to_string(trigger));
+      span.arg("group_seq", seq);
+      PROVCLOUD_DEBUG("daemon") << "flush group=" << group.size()
+                                << " trigger=" << to_string(trigger);
       backend_->commit_group(group, ledger_);
     } else {
       backend_->commit_group(group, nullptr);
@@ -245,11 +298,17 @@ void CommitDaemon::flush_group(std::unique_lock<std::mutex>& lk) {
 // ---------------------------------------------------------------------------
 
 Session::Session(ProvenanceBackend& backend, SessionConfig config,
-                 sim::LatencyLedger* ledger, sim::SimClock* clock)
-    : backend_(&backend), config_(std::move(config)), ledger_(ledger) {
+                 sim::LatencyLedger* ledger, sim::SimClock* clock,
+                 obs::Tracer* tracer, obs::MetricsRegistry* metrics)
+    : backend_(&backend),
+      config_(std::move(config)),
+      ledger_(ledger),
+      tracer_(tracer) {
   max_group_ =
       backend_->supports_group_commit() ? config_.resolved_group() : 1;
-  daemon_ = backend_->commit_daemon(ledger_, clock);
+  if (metrics != nullptr)
+    close_latency_ = &metrics->histogram("close.latency_us");
+  daemon_ = backend_->commit_daemon(ledger_, clock, tracer, metrics);
   serial_ = daemon_->register_session();
 }
 
@@ -262,6 +321,12 @@ Session::~Session() {
 }
 
 Ticket Session::submit(const pass::FlushUnit& unit) {
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
+  if (tracing && ledger_ != nullptr && !named_client_track_) {
+    tracer_->name_track(ledger_->active_timeline_id(), config_.client_id);
+    named_client_track_ = true;
+  }
+  obs::Span span(tracer_, "session.submit", "session");
   auto state = std::make_shared<TicketState>();
   state->id = next_ticket_id_++;
   state->unit = unit;
@@ -270,6 +335,11 @@ Ticket Session::submit(const pass::FlushUnit& unit) {
   state->batch_size = config_.batch_size;
   // A flush deadline is only meaningful when submits may wait for a group.
   if (max_group_ > 1) state->flush_deadline = config_.flush_deadline;
+  if (tracing)
+    tracer_->name_track(&state->timeline, config_.client_id + "/ticket-" +
+                                              std::to_string(state->id));
+  span.arg("ticket", state->id);
+  span.arg("object", unit.object);
   outstanding_.push_back(state);
   writes_[unit.object] = state;
   Ticket ticket(state);
@@ -284,6 +354,8 @@ Ticket Session::submit(const pass::FlushUnit& unit) {
 }
 
 BackendResult<void> Session::sync() {
+  obs::Span span(tracer_, "session.sync", "session");
+  span.arg("outstanding", static_cast<std::uint64_t>(outstanding_.size()));
   try {
     daemon_->barrier(outstanding_);
   } catch (...) {
@@ -336,6 +408,13 @@ void Session::reap() {
          outstanding_[retired]->retired.load(std::memory_order_acquire))
     ++retired;
   if (retired == 0) return;
+  if (close_latency_ != nullptr) {
+    // Every retired close's end-to-end virtual latency (exclusive service
+    // time + queued idle + the group's shared round trips) feeds the
+    // percentile view the benches report.
+    for (std::size_t i = 0; i < retired; ++i)
+      close_latency_->record(outstanding_[i]->timeline.elapsed);
+  }
   if (ledger_ != nullptr) {
     // One critical-path merge per flush group: this session's closes that
     // rode one group were in flight together, so the caller waited for the

@@ -63,8 +63,17 @@
 #include <vector>
 
 #include "cloudprov/backend.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace provcloud::cloudprov {
+
+/// Why a flush group went out: the group filled, a queued submit's deadline
+/// expired, or a durability barrier drained the queue. Counted per trigger
+/// (metrics daemon.flush.*) and stamped onto flush spans.
+enum class FlushTrigger { kGroupFull, kDeadline, kSync };
+
+const char* to_string(FlushTrigger trigger);
 
 /// Shared state of one submitted close. Written by the flushing thread
 /// (whichever session or clock event claims the flush), published to the
@@ -136,8 +145,18 @@ class Ticket {
 class CommitDaemon : public std::enable_shared_from_this<CommitDaemon> {
  public:
   CommitDaemon(ProvenanceBackend& backend, sim::LatencyLedger* ledger,
-               sim::SimClock* clock)
-      : backend_(&backend), ledger_(ledger), clock_(clock) {}
+               sim::SimClock* clock, obs::Tracer* tracer = nullptr,
+               obs::MetricsRegistry* metrics = nullptr)
+      : backend_(&backend), ledger_(ledger), clock_(clock), tracer_(tracer) {
+    if (metrics != nullptr) {
+      group_size_hist_ = &metrics->histogram("daemon.group_size");
+      queue_depth_hist_ = &metrics->histogram("daemon.queue_depth");
+      flush_group_full_ = &metrics->counter("daemon.flush.group_full");
+      flush_deadline_ = &metrics->counter("daemon.flush.deadline");
+      flush_sync_ = &metrics->counter("daemon.flush.sync");
+      queue_wait_us_ = &metrics->counter("idle.queue_wait_us");
+    }
+  }
   CommitDaemon(const CommitDaemon&) = delete;
   CommitDaemon& operator=(const CommitDaemon&) = delete;
 
@@ -170,18 +189,25 @@ class CommitDaemon : public std::enable_shared_from_this<CommitDaemon> {
   std::size_t queued() const;
 
  private:
-  /// True when the queue warrants a flush: full group (the smallest
-  /// effective max_group among queued tickets -- a small-group session
-  /// flushes everyone sooner) or expired deadline.
-  bool trigger_locked() const;
+  /// The trigger warranting a flush right now, if any: full group (the
+  /// smallest effective max_group among queued tickets -- a small-group
+  /// session flushes everyone sooner) or expired deadline.
+  std::optional<FlushTrigger> trigger_locked() const;
   /// Claim the flusher token, drain the whole queue as one group, run the
   /// backend's commit_group unlocked, settle/publish the tickets, release
   /// the token. `lk` is held on entry and exit.
-  void flush_group(std::unique_lock<std::mutex>& lk);
+  void flush_group(std::unique_lock<std::mutex>& lk, FlushTrigger trigger);
 
   ProvenanceBackend* backend_;
   sim::LatencyLedger* ledger_;
   sim::SimClock* clock_;
+  obs::Tracer* tracer_;
+  obs::Histogram* group_size_hist_ = nullptr;
+  obs::Histogram* queue_depth_hist_ = nullptr;
+  obs::Counter* flush_group_full_ = nullptr;
+  obs::Counter* flush_deadline_ = nullptr;
+  obs::Counter* flush_sync_ = nullptr;
+  obs::Counter* queue_wait_us_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -199,8 +225,14 @@ class Session {
  public:
   /// Built by ProvenanceBackend::open_session. `clock` powers deadline
   /// flushes (null: deadlines disabled, e.g. test backends with no env).
+  /// `tracer`/`metrics` (null: dark) are the env's observability surfaces:
+  /// submits and syncs become spans on the client's track, every ticket
+  /// timeline gets its own named track, and retired closes feed the
+  /// close.latency_us histogram.
   Session(ProvenanceBackend& backend, SessionConfig config,
-          sim::LatencyLedger* ledger, sim::SimClock* clock = nullptr);
+          sim::LatencyLedger* ledger, sim::SimClock* clock = nullptr,
+          obs::Tracer* tracer = nullptr,
+          obs::MetricsRegistry* metrics = nullptr);
   ~Session();
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -244,6 +276,9 @@ class Session {
   SessionConfig config_;
   std::size_t max_group_ = 1;  // effective (1 when no group commit)
   sim::LatencyLedger* ledger_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Histogram* close_latency_ = nullptr;
+  bool named_client_track_ = false;
   std::shared_ptr<CommitDaemon> daemon_;
   std::uint64_t serial_ = 0;
   /// Submit-order tickets not yet reaped (retired prefix pending merge).

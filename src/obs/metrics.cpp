@@ -1,0 +1,160 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace provcloud::obs {
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const unsigned h = 63u - static_cast<unsigned>(std::countl_zero(value));
+  const unsigned shift = h - kSubBits;
+  const std::uint64_t sub = (value >> shift) & (kSubBuckets - 1);
+  return static_cast<std::size_t>(kSubBuckets +
+                                  (h - kSubBits) * kSubBuckets + sub);
+}
+
+std::uint64_t Histogram::bucket_lower(std::size_t index) {
+  if (index < kSubBuckets) return index;
+  const std::uint64_t tier = (index - kSubBuckets) / kSubBuckets;
+  const std::uint64_t sub = (index - kSubBuckets) % kSubBuckets;
+  const unsigned h = static_cast<unsigned>(tier) + kSubBits;
+  return (1ull << h) + sub * (1ull << (h - kSubBits));
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t index) {
+  if (index < kSubBuckets) return index;
+  const std::uint64_t tier = (index - kSubBuckets) / kSubBuckets;
+  const unsigned h = static_cast<unsigned>(tier) + kSubBits;
+  return bucket_lower(index) + (1ull << (h - kSubBits)) - 1;
+}
+
+void Histogram::record(std::uint64_t value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::min() const {
+  const std::uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == ~0ull ? 0 : m;
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(
+             n, static_cast<std::uint64_t>(
+                    std::ceil(q * static_cast<double>(n)))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank)
+      return std::min(bucket_upper(i), max_.load(std::memory_order_relaxed));
+  }
+  // Bucket totals trailed the count snapshot (concurrent recording); the
+  // freshest observed extreme is the best stand-in for the tail.
+  return max_.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+template <typename Map, typename Instrument>
+Instrument& intern(std::mutex& mu, Map& map, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end())
+    it = map.emplace(std::string(name), std::make_unique<Instrument>()).first;
+  return *it->second;
+}
+
+template <typename Map>
+auto find_in(std::mutex& mu, const Map& map, std::string_view name) ->
+    typename Map::mapped_type::element_type const* {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  return it == map.end() ? nullptr : it->second.get();
+}
+
+template <typename Map>
+std::vector<std::string> names_of(std::mutex& mu, const Map& map) {
+  std::lock_guard<std::mutex> lock(mu);
+  std::vector<std::string> out;
+  out.reserve(map.size());
+  for (const auto& [name, instrument] : map) out.push_back(name);
+  return out;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return intern<decltype(counters_), Counter>(mu_, counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return intern<decltype(gauges_), Gauge>(mu_, gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return intern<decltype(histograms_), Histogram>(mu_, histograms_, name);
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  return find_in(mu_, counters_, name);
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  return find_in(mu_, gauges_, name);
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  return find_in(mu_, histograms_, name);
+}
+
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  return names_of(mu_, counters_);
+}
+
+std::vector<std::string> MetricsRegistry::gauge_names() const {
+  return names_of(mu_, gauges_);
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  return names_of(mu_, histograms_);
+}
+
+std::string MetricsRegistry::dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_)
+    out << "counter " << name << " = " << c->value() << "\n";
+  for (const auto& [name, g] : gauges_)
+    out << "gauge " << name << " = " << g->value() << "\n";
+  for (const auto& [name, h] : histograms_) {
+    out << "histogram " << name << " count=" << h->count()
+        << " min=" << h->min() << " max=" << h->max() << " mean=" << h->mean()
+        << " p50=" << h->quantile(0.50) << " p90=" << h->quantile(0.90)
+        << " p99=" << h->quantile(0.99) << " p999=" << h->quantile(0.999)
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace provcloud::obs

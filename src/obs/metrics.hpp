@@ -1,0 +1,142 @@
+// MetricsRegistry: named counters, gauges and log-bucketed histograms.
+//
+// The paper's argument is cost/latency accounting, but sums and means hide
+// the tail: a million-client frontend is judged by its p99/p999, and the
+// ad-hoc stat structs scattered through the codebase (AncestorCache hit
+// counters, commit-daemon group sizes, consistency-read retry counts) were
+// invisible outside their owners. The registry is the one named home for
+// all of them, owned per CloudEnv so every experiment run reports its own
+// numbers.
+//
+// Contracts:
+//   * Recording is wait-free on the hot path (one relaxed atomic add) and
+//     never touches the meter, the ledger or the clock -- metrics can stay
+//     always-on without perturbing billing or elapsed-time accounting.
+//   * counter()/gauge()/histogram() return references that stay valid for
+//     the registry's lifetime; instrumented components resolve them once at
+//     construction, not per event.
+//   * Histograms are fixed log-linear buckets (8 sub-buckets per power of
+//     two): quantile(q) returns the upper edge of the bucket holding the
+//     rank, so the estimate e satisfies  true <= e <= true * 9/8 + 1  --
+//     tight enough for p50/p90/p99/p999 reporting at any magnitude without
+//     storing samples.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace provcloud::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed log-linear histogram over the full uint64 range. Values below
+/// kSubBuckets land in exact unit-width buckets; above, each power of two
+/// splits into kSubBuckets linear sub-buckets, bounding the relative
+/// quantile error at 1/kSubBuckets.
+class Histogram {
+ public:
+  static constexpr unsigned kSubBits = 3;
+  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBits;  // 8
+  static constexpr std::size_t kBucketCount =
+      kSubBuckets + (64 - kSubBits) * kSubBuckets;  // 8 exact + 61*8 log-linear
+
+  /// Which bucket `value` lands in (also the test seam for the bucket math).
+  static std::size_t bucket_index(std::uint64_t value);
+  /// Inclusive value range of a bucket.
+  static std::uint64_t bucket_lower(std::size_t index);
+  static std::uint64_t bucket_upper(std::size_t index);
+
+  void record(std::uint64_t value);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t min() const;  // 0 when empty
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const;
+
+  /// Upper edge of the bucket holding rank ceil(q * count), q in [0, 1].
+  /// 0 when the histogram is empty. Never under-reports: the true quantile
+  /// is <= the estimate <= true * (1 + 1/kSubBuckets) + 1.
+  std::uint64_t quantile(double q) const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ull};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// One name -> instrument namespace. Thread-safe; lookups lock, the
+/// returned references never move. Distinct kinds live in distinct
+/// namespaces (a counter and a histogram may share a name, though the
+/// instrumentation conventions below avoid it).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Existing-only lookups (no creation), for reporting code that must not
+  /// invent empty instruments.
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  std::vector<std::string> counter_names() const;
+  std::vector<std::string> gauge_names() const;
+  std::vector<std::string> histogram_names() const;
+
+  /// Human-readable dump, one line per instrument, sorted by name:
+  ///   counter   ancestor_cache.hits = 123
+  ///   histogram daemon.group_size   count=40 p50=8 p90=24 p99=25 p999=25
+  std::string dump() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace provcloud::obs

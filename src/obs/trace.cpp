@@ -1,0 +1,254 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace provcloud::obs {
+
+namespace {
+
+/// Monotonic span ids for log correlation, global so ids stay unique even
+/// across several tracers (one per CloudEnv) in one process.
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+void json_escape_into(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+int Tracer::track_locked(const void* timeline) {
+  // An open Branch scope shadows any persistent identity of the same
+  // address (stack slots recur across sequential branches).
+  auto open = open_branches_.find(timeline);
+  if (open != open_branches_.end() && !open->second.empty())
+    return open->second.back();
+  auto it = tracks_.find(timeline);
+  if (it != tracks_.end()) return it->second;
+  const int tid = next_tid_++;
+  tracks_.emplace(timeline, tid);
+  track_names_.emplace(tid, "track-" + std::to_string(tid));
+  return tid;
+}
+
+void Tracer::record(Event event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::name_track(const void* timeline, std::string_view name) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int tid = track_locked(timeline);
+  auto& current = track_names_[tid];
+  if (current.compare(0, 6, "track-") == 0)
+    current.assign(name.begin(), name.end());
+}
+
+void Tracer::begin_track(const void* timeline, std::string_view name) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int tid = next_tid_++;
+  tracks_[timeline] = tid;
+  track_names_[tid].assign(name.begin(), name.end());
+}
+
+void Tracer::complete(const void* timeline, std::string_view name,
+                      std::string_view cat, sim::SimTime ts, sim::SimTime dur,
+                      std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{std::string(name), std::string(cat), 'X',
+                          track_locked(timeline), ts, dur, std::move(args)});
+}
+
+void Tracer::instant(std::string_view name, std::string_view cat,
+                     std::vector<TraceArg> args) {
+  if (!enabled() || ledger_ == nullptr || clock_ == nullptr) return;
+  const void* timeline = ledger_->active_timeline_id();
+  const sim::SimTime ts = clock_->now() + ledger_->active_elapsed();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{std::string(name), std::string(cat), 'i',
+                          track_locked(timeline), ts, 0, std::move(args)});
+}
+
+int Tracer::track_id(const void* timeline) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return track_locked(timeline);
+}
+
+sim::SimTime Tracer::now_on_active_track() const {
+  if (clock_ == nullptr || ledger_ == nullptr) return 0;
+  return clock_->now() + ledger_->active_elapsed();
+}
+
+const void* Tracer::active_track() const {
+  return ledger_ == nullptr ? nullptr : ledger_->active_timeline_id();
+}
+
+void Tracer::on_charge(const void* timeline, sim::SimTime start_elapsed,
+                       sim::SimTime latency, std::string_view service) {
+  if (!enabled() || clock_ == nullptr) return;
+  const sim::SimTime ts = clock_->now() + start_elapsed;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{
+      service.empty() ? std::string("charge") : std::string(service),
+      std::string("ledger"), 'X', track_locked(timeline), ts, latency, {}});
+}
+
+void Tracer::on_scope_open(const void* timeline, bool is_branch) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (is_branch) {
+    const int tid = next_tid_++;
+    open_branches_[timeline].push_back(tid);
+    track_names_.emplace(tid, "branch-" + std::to_string(tid));
+  } else {
+    track_locked(timeline);  // ensure the persistent track exists
+  }
+}
+
+void Tracer::on_scope_close(const void* timeline, bool is_branch) {
+  if (!enabled() || !is_branch) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_branches_.find(timeline);
+  if (it != open_branches_.end() && !it->second.empty()) {
+    it->second.pop_back();
+    if (it->second.empty()) open_branches_.erase(it);
+  }
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<Tracer::Event> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  tracks_.clear();
+  open_branches_.clear();
+  track_names_.clear();
+  next_tid_ = 1;
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&out, &first] {
+    if (!first) out += ',';
+    first = false;
+  };
+  comma();
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"provcloud\"}}";
+  for (const auto& [tid, name] : track_names_) {
+    comma();
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    json_escape_into(out, name);
+    out += "\"}}";
+  }
+  for (const Event& e : events_) {
+    comma();
+    out += "{\"name\":\"";
+    json_escape_into(out, e.name);
+    out += "\",\"cat\":\"";
+    json_escape_into(out, e.cat);
+    out += "\",\"ph\":\"";
+    out += e.ph;
+    out += "\",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
+           ",\"ts\":" + std::to_string(e.ts);
+    if (e.ph == 'X') out += ",\"dur\":" + std::to_string(e.dur);
+    if (e.ph == 'i') out += ",\"s\":\"t\"";
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const TraceArg& a : e.args) {
+        if (!first_arg) out += ',';
+        first_arg = false;
+        out += '"';
+        json_escape_into(out, a.key);
+        out += "\":";
+        if (a.quoted) {
+          out += '"';
+          json_escape_into(out, a.value);
+          out += '"';
+        } else {
+          out += a.value;
+        }
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file << to_chrome_json();
+  return static_cast<bool>(file);
+}
+
+Span::Span(Tracer* tracer, std::string_view name, std::string_view cat) {
+  if (tracer == nullptr || !tracer->enabled()) return;
+  tracer_ = tracer;
+  track_ = tracer->active_track();
+  start_ts_ = tracer->now_on_active_track();
+  name_.assign(name.begin(), name.end());
+  cat_.assign(cat.begin(), cat.end());
+  auto& ctx = util::log_context();
+  prev_track_tag_ = ctx.track;
+  prev_span_tag_ = ctx.span;
+  ctx.track = static_cast<std::uint64_t>(tracer->track_id(track_));
+  ctx.span = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+Span::~Span() {
+  if (tracer_ == nullptr) return;
+  auto& ctx = util::log_context();
+  ctx.track = prev_track_tag_;
+  ctx.span = prev_span_tag_;
+  const sim::SimTime end_ts = tracer_->now_on_active_track();
+  const sim::SimTime dur = end_ts > start_ts_ ? end_ts - start_ts_ : 0;
+  tracer_->complete(track_, name_, cat_, start_ts_, dur, std::move(args_));
+}
+
+void Span::arg(std::string_view key, std::string_view value) {
+  if (tracer_ != nullptr) args_.push_back(trace_arg(key, value));
+}
+
+void Span::arg(std::string_view key, std::uint64_t value) {
+  if (tracer_ != nullptr) args_.push_back(trace_arg(key, value));
+}
+
+}  // namespace provcloud::obs

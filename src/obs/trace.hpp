@@ -1,0 +1,186 @@
+// Virtual-time tracing: nested spans stamped in SimTime, exported as Chrome
+// trace-event JSON (load the file at https://ui.perfetto.dev).
+//
+// The ledger already knows, per client timeline, when every simulated AWS
+// call happened in virtual time -- it just throws the structure away and
+// keeps sums. The Tracer is a sim::LedgerObserver that keeps it: every
+// charge becomes a complete ('X') event on the track of the timeline it was
+// charged to, with  ts = SimClock::now() + the timeline's elapsed total at
+// charge time. Both terms are non-decreasing per track (the clock only
+// moves at driver-thread sync points; a timeline's elapsed only grows), so
+// timestamps are monotonic per track by construction and a scatter renders
+// as parallel branch tracks under one gather.
+//
+// Track model: one track per timeline id. Ticket / client timelines are
+// persistent ids and keep one track across all their scopes (name them via
+// name_track); Branch timelines are stack objects whose addresses recur, so
+// every Branch scope gets a fresh track for its lifetime.
+//
+// Cost contract: runtime-off by default. Disabled, every hook is one
+// relaxed atomic load + branch and *nothing* else -- the tracer never
+// touches the meter, the ledger, the clock state, or the RNG, so a traced
+// run and an untraced run are numerically identical (asserted in tests).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/latency_ledger.hpp"
+
+namespace provcloud::obs {
+
+/// One key/value attachment on a trace event. `quoted` false means the
+/// value is emitted as a bare JSON token (numbers).
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool quoted = true;
+};
+
+inline TraceArg trace_arg(std::string_view key, std::string_view value) {
+  return TraceArg{std::string(key), std::string(value), true};
+}
+inline TraceArg trace_arg(std::string_view key, std::uint64_t value) {
+  return TraceArg{std::string(key), std::to_string(value), false};
+}
+
+class Tracer : public sim::LedgerObserver {
+ public:
+  /// One recorded trace event (the JSON is a straight serialization).
+  struct Event {
+    std::string name;
+    std::string cat;
+    char ph;  // 'X' complete, 'i' instant
+    int tid;
+    sim::SimTime ts;
+    sim::SimTime dur;
+    std::vector<TraceArg> args;
+  };
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Wire the virtual clock (timestamp base) and the ledger whose active
+  /// timeline anchors Span/instant events. Both must outlive the tracer's
+  /// use; CloudEnv wires its own.
+  void bind(const sim::SimClock* clock, sim::LatencyLedger* ledger) {
+    clock_ = clock;
+    ledger_ = ledger;
+  }
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_release);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Give the persistent track of `timeline` a human name ("client-A",
+  /// "ticket-17"). First writer wins; later calls are ignored so a track
+  /// keeps its earliest (most specific) identity.
+  void name_track(const void* timeline, std::string_view name);
+
+  /// Force a FRESH track for `timeline`, named `name`, replacing any prior
+  /// mapping of the same address. For short-lived stack timelines whose
+  /// addresses recur (e.g. the per-flush shared group timeline): without
+  /// this, successive incarnations would pile onto one track at the same
+  /// virtual timestamps.
+  void begin_track(const void* timeline, std::string_view name);
+
+  /// Record a complete event on `timeline`'s track. `ts`/`dur` are virtual
+  /// microseconds. No-op when disabled.
+  void complete(const void* timeline, std::string_view name,
+                std::string_view cat, sim::SimTime ts, sim::SimTime dur,
+                std::vector<TraceArg> args = {});
+
+  /// Record an instant event on the calling thread's active timeline track
+  /// at the current virtual time (FailureInjector hits, daemon wakeups).
+  void instant(std::string_view name, std::string_view cat,
+               std::vector<TraceArg> args = {});
+
+  /// The small-integer track id (the Chrome `tid`) of a timeline, creating
+  /// the track on first sight -- log lines tag themselves with it so they
+  /// join up with the exported trace.
+  int track_id(const void* timeline);
+
+  /// Current virtual timestamp of the calling thread's active timeline:
+  /// clock now + timeline elapsed. 0 if unbound.
+  sim::SimTime now_on_active_track() const;
+  /// Active timeline id as seen by span instrumentation (null if unbound).
+  const void* active_track() const;
+
+  // sim::LedgerObserver --------------------------------------------------
+  void on_charge(const void* timeline, sim::SimTime start_elapsed,
+                 sim::SimTime latency, std::string_view service) override;
+  void on_scope_open(const void* timeline, bool is_branch) override;
+  void on_scope_close(const void* timeline, bool is_branch) override;
+
+  std::size_t event_count() const;
+  /// Snapshot of everything recorded so far, in emission order (tests and
+  /// programmatic consumers; the JSON export is the same data).
+  std::vector<Event> events() const;
+  void clear();
+
+  /// Serialize everything recorded so far as Chrome trace-event JSON
+  /// ({"traceEvents":[...]}) — the format Perfetto and chrome://tracing
+  /// load directly.
+  std::string to_chrome_json() const;
+  /// Write to_chrome_json() to `path`; false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  int track_locked(const void* timeline);
+  void record(Event event);
+
+  std::atomic<bool> enabled_{false};
+  const sim::SimClock* clock_ = nullptr;
+  sim::LatencyLedger* ledger_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::map<const void*, int> tracks_;  // persistent timelines
+  /// Open Branch scopes: each open gets a fresh tid (stack addresses
+  /// recur), stacked per pointer for nested branches.
+  std::map<const void*, std::vector<int>> open_branches_;
+  std::map<int, std::string> track_names_;
+  int next_tid_ = 1;
+};
+
+/// RAII span over a region of instrumented code, recorded on the calling
+/// thread's active timeline track: ts is the virtual time at construction,
+/// dur is the virtual time that accumulated (charges, merges, idle) before
+/// destruction. Spans nest by strict scoping, which Perfetto renders as a
+/// flame. Construction with a disabled (or null) tracer costs one branch.
+/// While open, the span tags log lines on this thread with its ids (see
+/// util/logging LogContext).
+class Span {
+ public:
+  Span(Tracer* tracer, std::string_view name, std::string_view cat = "phase");
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a key/value to the span (emitted at close). No-op when the
+  /// span is disabled.
+  void arg(std::string_view key, std::string_view value);
+  void arg(std::string_view key, std::uint64_t value);
+
+  bool recording() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;  // null when disabled at construction
+  const void* track_ = nullptr;
+  sim::SimTime start_ts_ = 0;
+  std::string name_;
+  std::string cat_;
+  std::vector<TraceArg> args_;
+  std::uint64_t prev_track_tag_ = 0;
+  std::uint64_t prev_span_tag_ = 0;
+};
+
+}  // namespace provcloud::obs

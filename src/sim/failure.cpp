@@ -33,6 +33,7 @@ void FailureInjector::crash_point(const std::string& point) {
       crash = true;
     }
   }
+  if (hit_hook_) hit_hook_(point, crash);
   if (crash) throw CrashError(point);
 }
 

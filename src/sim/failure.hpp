@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <stdexcept>
@@ -49,6 +50,16 @@ class FailureInjector {
   /// Number of times `point` has been reached (armed or not).
   std::uint64_t hits(const std::string& point) const;
 
+  /// Observation tap: called (outside the injector's lock, on the hitting
+  /// thread, possibly concurrently) every time execution reaches a crash
+  /// point, with `crashing` true when this hit is about to throw. The
+  /// environment wires this to the tracer so armed crashes show up as
+  /// instant events on the track that died. Set once before concurrent use.
+  void set_hit_hook(
+      std::function<void(const std::string& point, bool crashing)> hook) {
+    hit_hook_ = std::move(hook);
+  }
+
   /// Every distinct crash point reached so far, in first-hit order. Used by
   /// the property checker to enumerate the protocol's crash surface and then
   /// sweep a crash through every step. Driver-thread view: do not call while
@@ -67,6 +78,7 @@ class FailureInjector {
   mutable std::mutex mu_;
   std::map<std::string, PointState> points_;
   std::vector<std::string> observed_order_;
+  std::function<void(const std::string&, bool)> hit_hook_;
 };
 
 }  // namespace provcloud::sim

@@ -60,6 +60,8 @@ void accumulate_service(LatencyLedger::Timeline& t, std::string_view service,
 
 void LatencyLedger::charge(SimTime latency, std::string_view service) {
   Timeline* t = active_timeline();
+  if (LedgerObserver* obs = observer_.load(std::memory_order_acquire))
+    obs->on_charge(t, t->elapsed, latency, service);
   t->elapsed += latency;
   if (!service.empty()) accumulate_service(*t, service, latency);
 }
@@ -91,6 +93,8 @@ void LatencyLedger::merge_critical_path(
       critical = b;
   if (critical == nullptr) return;
   Timeline* t = active_timeline();
+  if (LedgerObserver* obs = observer_.load(std::memory_order_acquire))
+    obs->on_charge(t, t->elapsed, critical->elapsed, "gather");
   t->elapsed += critical->elapsed;
   for (const auto& [service, elapsed] : critical->by_service)
     accumulate_service(*t, service, elapsed);
@@ -99,9 +103,13 @@ void LatencyLedger::merge_critical_path(
 LatencyLedger::Branch::Branch(LatencyLedger& ledger) : ledger_(&ledger) {
   tls_branches.push_back(BranchFrame{ledger_, &timeline_});
   ledger_->open_branches_.fetch_add(1, std::memory_order_acq_rel);
+  if (LedgerObserver* obs = ledger_->observer_.load(std::memory_order_acquire))
+    obs->on_scope_open(&timeline_, /*is_branch=*/true);
 }
 
 LatencyLedger::Branch::~Branch() {
+  if (LedgerObserver* obs = ledger_->observer_.load(std::memory_order_acquire))
+    obs->on_scope_close(&timeline_, /*is_branch=*/true);
   ledger_->open_branches_.fetch_sub(1, std::memory_order_acq_rel);
   PROVCLOUD_REQUIRE(!tls_branches.empty() &&
                     tls_branches.back().timeline == &timeline_);
@@ -112,9 +120,13 @@ LatencyLedger::ScopedTimeline::ScopedTimeline(LatencyLedger& ledger,
                                               Timeline& timeline)
     : ledger_(&ledger), timeline_(&timeline) {
   tls_branches.push_back(BranchFrame{ledger_, timeline_});
+  if (LedgerObserver* obs = ledger_->observer_.load(std::memory_order_acquire))
+    obs->on_scope_open(timeline_, /*is_branch=*/false);
 }
 
 LatencyLedger::ScopedTimeline::~ScopedTimeline() {
+  if (LedgerObserver* obs = ledger_->observer_.load(std::memory_order_acquire))
+    obs->on_scope_close(timeline_, /*is_branch=*/false);
   PROVCLOUD_REQUIRE(!tls_branches.empty() &&
                     tls_branches.back().timeline == timeline_);
   tls_branches.pop_back();

@@ -46,6 +46,28 @@
 
 namespace provcloud::sim {
 
+/// Passive tap on ledger activity, for tracing layers that live above sim.
+/// Timelines are identified by opaque ids (their addresses); an id is stable
+/// for the lifetime of the scope that owns the timeline. Callbacks fire on
+/// the charging thread *before* the ledger mutates its state, may run
+/// concurrently from many threads, and must not call back into the ledger.
+class LedgerObserver {
+ public:
+  virtual ~LedgerObserver() = default;
+
+  /// `latency` is about to be added to `timeline`, whose elapsed total is
+  /// currently `start_elapsed`. `service` is the per-service attribution
+  /// ("gather" for a critical-path merge, empty for an unattributed charge).
+  virtual void on_charge(const void* timeline, SimTime start_elapsed,
+                         SimTime latency, std::string_view service) = 0;
+
+  /// A Branch (is_branch) or ScopedTimeline scope bound `timeline` as the
+  /// calling thread's active timeline / unbound it again. Branch timelines
+  /// die with their scope; ScopedTimeline ids persist across scopes.
+  virtual void on_scope_open(const void* timeline, bool is_branch) = 0;
+  virtual void on_scope_close(const void* timeline, bool is_branch) = 0;
+};
+
 class LatencyLedger {
  public:
   /// One branch of virtual time. Only the thread running the branch (or
@@ -97,6 +119,26 @@ class LatencyLedger {
     return open_branches_.load(std::memory_order_acquire);
   }
 
+  /// Install (or clear, with nullptr) the observer tap. Must happen-before
+  /// any concurrent charging -- CloudEnv wires this at construction. The
+  /// observer is not owned and must outlive its registration.
+  void set_observer(LedgerObserver* observer) {
+    observer_.store(observer, std::memory_order_release);
+  }
+  LedgerObserver* observer() const {
+    return observer_.load(std::memory_order_acquire);
+  }
+
+  /// Opaque id of the calling thread's active timeline (creating the
+  /// thread's root timeline on first use). The same ids an installed
+  /// observer sees; lets span-scoped instrumentation target its track.
+  const void* active_timeline_id() { return active_timeline(); }
+
+  /// Elapsed total of the calling thread's active timeline -- same value
+  /// elapsed() reads, spelled to pair with active_timeline_id() in
+  /// span-scoped instrumentation.
+  SimTime active_elapsed() const { return elapsed(); }
+
   /// RAII scope a fan-out task opens on its worker thread: installs a fresh
   /// branch timeline as the thread's active timeline for this ledger and
   /// restores the previous one on destruction. The gather side reads
@@ -146,6 +188,7 @@ class LatencyLedger {
   mutable std::mutex mu_;
   std::map<std::thread::id, Timeline> roots_;
   std::atomic<int> open_branches_{0};
+  std::atomic<LedgerObserver*> observer_{nullptr};
 };
 
 }  // namespace provcloud::sim

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace provcloud::util {
 namespace {
@@ -25,17 +26,37 @@ LogLevel& level_ref() {
 
 const char* level_name(LogLevel level) {
   switch (level) {
-    case LogLevel::kTrace: return "TRACE";
-    case LogLevel::kDebug: return "DEBUG";
-    case LogLevel::kInfo: return "INFO";
-    case LogLevel::kWarn: return "WARN";
-    case LogLevel::kError: return "ERROR";
-    case LogLevel::kOff: return "OFF";
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
   }
   return "?";
 }
 
+/// msg payloads are free text: quote them, escaping the characters that
+/// would break the key=value framing.
+void append_quoted(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
 }  // namespace
+
+LogContext& log_context() {
+  thread_local LogContext ctx;
+  return ctx;
+}
 
 LogLevel Logger::level() { return level_ref(); }
 
@@ -43,8 +64,27 @@ void Logger::set_level(LogLevel level) { level_ref() = level; }
 
 void Logger::write(LogLevel level, const std::string& component,
                    const std::string& message) {
-  std::cerr << "[" << level_name(level) << "] " << component << ": " << message
-            << '\n';
+  std::string line = "level=";
+  line += level_name(level);
+  line += " comp=";
+  line += component;
+  const LogContext& ctx = log_context();
+  if (ctx.track != 0) {
+    line += " track=";
+    line += std::to_string(ctx.track);
+  }
+  if (ctx.span != 0) {
+    line += " span=";
+    line += std::to_string(ctx.span);
+  }
+  line += " msg=";
+  append_quoted(line, message);
+  line += '\n';
+  // One syscall-ish write per line so concurrent threads do not interleave
+  // mid-line; cerr is unbuffered but operator<< chains are not atomic.
+  static std::mutex io_mu;
+  std::lock_guard<std::mutex> lock(io_mu);
+  std::cerr << line;
 }
 
 }  // namespace provcloud::util

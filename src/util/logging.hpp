@@ -1,14 +1,33 @@
-// Leveled logging to stderr, off by default so tests and benches stay quiet.
-// Enable with Logger::set_level or the PROVCLOUD_LOG environment variable
-// (trace|debug|info|warn|error).
+// Leveled structured logging to stderr, off by default so tests and benches
+// stay quiet. Enable with Logger::set_level or the PROVCLOUD_LOG environment
+// variable (trace|debug|info|warn|error).
+//
+// Lines are key=value structured:
+//
+//   level=info comp=session track=3 span=17 msg="flush group=8"
+//
+// track/span are the calling thread's current trace context (set by
+// obs::Span while a span is open), so log lines correlate 1:1 with spans in
+// an exported trace; they are omitted when no span is open.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
 namespace provcloud::util {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Per-thread trace correlation ids stamped onto log lines. 0 means unset.
+/// obs::Span saves/sets/restores these around its scope; anything else may
+/// read them (they are plain thread-local values, no synchronization).
+struct LogContext {
+  std::uint64_t track = 0;
+  std::uint64_t span = 0;
+};
+
+LogContext& log_context();
 
 class Logger {
  public:
@@ -50,3 +69,5 @@ class LogLine {
   PROVCLOUD_LOG(::provcloud::util::LogLevel::kInfo, component)
 #define PROVCLOUD_WARN(component) \
   PROVCLOUD_LOG(::provcloud::util::LogLevel::kWarn, component)
+#define PROVCLOUD_ERROR(component) \
+  PROVCLOUD_LOG(::provcloud::util::LogLevel::kError, component)
