@@ -77,6 +77,7 @@ struct GroupPoint {
   std::uint64_t closes = 0;            // flush units stored
   std::uint64_t sdb_write_rts = 0;     // PutAttributes + BatchPutAttributes
   std::uint64_t sqs_send_rts = 0;      // SendMessage + SendMessageBatch
+  std::uint64_t write_rts = 0;   // all write RTs: S3 PUT/COPY + sdb writes
   std::uint64_t total_calls = 0;
   sim::SimTime elapsed = 0;
   bench::LatencyPercentiles close;  // per-close latency (close.latency_us)
@@ -98,6 +99,8 @@ GroupPoint run_group_point(Architecture arch, const pass::SyscallTrace& trace,
                     snap.calls("sdb", "BatchPutAttributes");
   p.sqs_send_rts = snap.calls("sqs", "SendMessage") +
                    snap.calls("sqs", "SendMessageBatch");
+  p.write_rts = snap.calls("s3", "PUT") + snap.calls("s3", "COPY") +
+                snap.calls("s3", "DELETE") + p.sdb_write_rts;
   p.total_calls = snap.total_calls();
   p.elapsed = run.env.elapsed_time();
   return p;
@@ -126,11 +129,19 @@ DeadlinePoint run_deadline_point(Architecture arch,
   DeadlinePoint p;
   p.deadline = deadline;
   const auto snap = run.env.meter().snapshot();
-  p.write_rts = arch == Architecture::kS3SimpleDb
-                    ? snap.calls("sdb", "PutAttributes") +
-                          snap.calls("sdb", "BatchPutAttributes")
-                    : snap.calls("sqs", "SendMessage") +
-                          snap.calls("sqs", "SendMessageBatch");
+  if (arch == Architecture::kS3SimpleDb) {
+    p.write_rts = snap.calls("sdb", "PutAttributes") +
+                  snap.calls("sdb", "BatchPutAttributes");
+  } else if (arch == Architecture::kS3SimpleDbSqs) {
+    p.write_rts = snap.calls("sqs", "SendMessage") +
+                  snap.calls("sqs", "SendMessageBatch");
+  } else {
+    // Arch 4: the whole write path -- segment PUTs plus index batches.
+    p.write_rts = snap.calls("s3", "PUT") + snap.calls("s3", "COPY") +
+                  snap.calls("s3", "DELETE") +
+                  snap.calls("sdb", "PutAttributes") +
+                  snap.calls("sdb", "BatchPutAttributes");
+  }
   p.elapsed = run.env.elapsed_time();
   const auto by_service = run.env.elapsed_by_service();
   const auto idle_it = by_service.find("idle");
@@ -160,14 +171,15 @@ int main() {
   bool service_split_sums = true;
   double arch1_total = 0, arch3_total = 0;
   sim::SimTime arch1_elapsed = 0, arch3_elapsed = 0;
-  sim::SimTime arch2_seq_elapsed = 0, arch3_seq_elapsed = 0;
-  std::uint64_t arch2_seq_calls = 0, arch3_seq_calls = 0;
-  std::map<std::string, sim::SimTime, std::less<>> arch_by_service[3];
-  bench::LatencyPercentiles arch_close[3];
+  sim::SimTime arch2_seq_elapsed = 0, arch3_seq_elapsed = 0,
+               arch4_seq_elapsed = 0;
+  std::uint64_t arch2_seq_calls = 0, arch3_seq_calls = 0, arch4_seq_calls = 0;
+  std::map<std::string, sim::SimTime, std::less<>> arch_by_service[4];
+  bench::LatencyPercentiles arch_close[4];
   std::size_t arch_index = 0;
   for (const Architecture arch :
        {Architecture::kS3Only, Architecture::kS3SimpleDb,
-        Architecture::kS3SimpleDbSqs}) {
+        Architecture::kS3SimpleDbSqs, Architecture::kS3SegmentLog}) {
     bench::WorkloadRun run(arch);
     run.run(trace);
     const auto snap = run.env.meter().snapshot();
@@ -213,13 +225,17 @@ int main() {
       arch3_seq_elapsed = elapsed;
       arch3_seq_calls = snap.total_calls();
     }
+    if (arch == Architecture::kS3SegmentLog) {
+      arch4_seq_elapsed = elapsed;
+      arch4_seq_calls = snap.total_calls();
+    }
   }
 
   std::printf("\nelapsed time by service waited on (critical path split):\n");
   arch_index = 0;
   for (const Architecture arch :
        {Architecture::kS3Only, Architecture::kS3SimpleDb,
-        Architecture::kS3SimpleDbSqs}) {
+        Architecture::kS3SimpleDbSqs, Architecture::kS3SegmentLog}) {
     std::printf("%-17s", to_string(arch));
     for (const auto& [service, t] : arch_by_service[arch_index])
       std::printf("  %s %.1f min", service.c_str(), as_min(t));
@@ -231,7 +247,7 @@ int main() {
   arch_index = 0;
   for (const Architecture arch :
        {Architecture::kS3Only, Architecture::kS3SimpleDb,
-        Architecture::kS3SimpleDbSqs}) {
+        Architecture::kS3SimpleDbSqs, Architecture::kS3SegmentLog}) {
     const bench::LatencyPercentiles& p = arch_close[arch_index];
     std::printf("%-17s  p50 %8llu us   p99 %8llu us   p999 %8llu us\n",
                 to_string(arch), static_cast<unsigned long long>(p.p50),
@@ -309,28 +325,32 @@ int main() {
   // per-close runs above exactly.
   const std::vector<std::size_t> group_sizes{1, 8, 25};
   std::printf("\nsession group commit ($ and elapsed vs. group size):\n");
-  std::printf("%-17s %5s %10s %12s %11s %11s %12s\n", "", "group",
-              "$/close", "sdb write RT", "sqs sends", "elapsed min",
-              "total calls");
+  std::printf("%-17s %5s %10s %12s %11s %11s %11s %12s\n", "", "group",
+              "$/close", "sdb write RT", "sqs sends", "write RTs",
+              "elapsed min", "total calls");
   bench::print_rule();
   std::vector<std::pair<Architecture, std::vector<GroupPoint>>> group_sweeps;
   for (const Architecture arch :
-       {Architecture::kS3SimpleDb, Architecture::kS3SimpleDbSqs}) {
+       {Architecture::kS3SimpleDb, Architecture::kS3SimpleDbSqs,
+        Architecture::kS3SegmentLog}) {
     std::vector<GroupPoint> points;
     for (const std::size_t group : group_sizes)
       points.push_back(run_group_point(arch, trace, group));
     for (const GroupPoint& p : points)
-      std::printf("%-17s %5zu %10.6f %12s %11s %11.1f %12s\n", to_string(arch),
-                  p.group,
+      std::printf("%-17s %5zu %10.6f %12s %11s %11s %11.1f %12s\n",
+                  to_string(arch), p.group,
                   p.closes > 0 ? p.usd / static_cast<double>(p.closes) : 0.0,
                   bench::fmt_count(p.sdb_write_rts).c_str(),
-                  bench::fmt_count(p.sqs_send_rts).c_str(), as_min(p.elapsed),
+                  bench::fmt_count(p.sqs_send_rts).c_str(),
+                  bench::fmt_count(p.write_rts).c_str(), as_min(p.elapsed),
                   bench::fmt_count(p.total_calls).c_str());
     group_sweeps.emplace_back(arch, std::move(points));
   }
   // Group 1 == the per-close protocol (same run as the table above);
   // group 25 must actually shed round trips where the architecture
-  // batches: SimpleDB writes for Arch 2, SQS sends for Arch 3.
+  // batches: SimpleDB writes for Arch 2, SQS sends for Arch 3, the whole
+  // write path (one segment PUT per group, a sliver of an index batch) for
+  // Arch 4.
   bool group_ok = true;
   for (const auto& [arch, points] : group_sweeps) {
     const GroupPoint& g1 = points.front();
@@ -339,14 +359,42 @@ int main() {
       group_ok = group_ok && g1.elapsed == arch2_seq_elapsed &&
                  g1.total_calls == arch2_seq_calls;
       group_ok = group_ok && g25.sdb_write_rts * 2 <= g1.sdb_write_rts;
-    } else {
+    } else if (arch == Architecture::kS3SimpleDbSqs) {
       group_ok = group_ok && g1.elapsed == arch3_seq_elapsed &&
                  g1.total_calls == arch3_seq_calls;
       group_ok = group_ok && g25.sqs_send_rts * 2 <= g1.sqs_send_rts;
+    } else {
+      group_ok = group_ok && g1.elapsed == arch4_seq_elapsed &&
+                 g1.total_calls == arch4_seq_calls;
+      group_ok = group_ok && g25.write_rts * 2 <= g1.write_rts;
     }
     // Batching never makes the client's timeline longer.
     group_ok = group_ok && g25.elapsed <= g1.elapsed;
   }
+  // The Arch-4 payoff bar: at group 25 the segment log amortizes a whole
+  // group into one PUT plus a fraction of one index batch, so it must shed
+  // >= 5x the write round trips AND >= 5x the $/close of Arch 2 at the
+  // same group size.
+  const GroupPoint& arch2_g25 = group_sweeps[0].second.back();
+  const GroupPoint& arch4_g25 = group_sweeps[2].second.back();
+  const double arch2_usd_close =
+      arch2_g25.closes > 0
+          ? arch2_g25.usd / static_cast<double>(arch2_g25.closes)
+          : 0.0;
+  const double arch4_usd_close =
+      arch4_g25.closes > 0
+          ? arch4_g25.usd / static_cast<double>(arch4_g25.closes)
+          : 0.0;
+  const bool lsb_payoff_ok =
+      arch4_g25.write_rts * 5 <= arch2_g25.write_rts &&
+      arch4_usd_close * 5.0 <= arch2_usd_close;
+  std::printf("\narch4 vs arch2 at group 25: %.1fx fewer write RTs, %.1fx "
+              "cheaper per close\n",
+              arch4_g25.write_rts > 0
+                  ? static_cast<double>(arch2_g25.write_rts) /
+                        static_cast<double>(arch4_g25.write_rts)
+                  : 0.0,
+              arch4_usd_close > 0 ? arch2_usd_close / arch4_usd_close : 0.0);
 
   // --- adaptive flush deadline at fixed offered load ---
   //
@@ -366,7 +414,8 @@ int main() {
   std::vector<std::pair<Architecture, std::vector<DeadlinePoint>>>
       deadline_sweeps;
   for (const Architecture arch :
-       {Architecture::kS3SimpleDb, Architecture::kS3SimpleDbSqs}) {
+       {Architecture::kS3SimpleDb, Architecture::kS3SimpleDbSqs,
+        Architecture::kS3SegmentLog}) {
     std::vector<DeadlinePoint> points;
     for (const sim::SimTime deadline : deadlines)
       points.push_back(run_deadline_point(arch, trace, deadline));
@@ -387,13 +436,15 @@ int main() {
 
   const bool premium_ok = arch3_total < 4.0 * arch1_total;
   const bool ok = premium_ok && ledger_matches_legacy && parallel_ok &&
-                  group_ok && service_split_sums && deadline_ok;
+                  group_ok && lsb_payoff_ok && service_split_sums &&
+                  deadline_ok;
   std::printf("\nshape check (premium < 4x in USD; sequential ledger == "
               "legacy busy time; parallel critical path <= sequential sum "
               "at equal billing; group 1 == per-close protocol and group 25 "
-              "sheds >= 2x write RTs; per-service split sums to elapsed; "
-              "deadline sweep sheds write RTs as the deadline grows with "
-              "idle wait on the ledger): %s\n",
+              "sheds >= 2x write RTs; arch4 at group 25 sheds >= 5x write "
+              "RTs and >= 5x $/close vs arch2; per-service split sums to "
+              "elapsed; deadline sweep sheds write RTs as the deadline "
+              "grows with idle wait on the ledger): %s\n",
               ok ? "PASS" : "FAIL");
 
   if (const char* path = bench::json_output_path()) {
@@ -405,6 +456,7 @@ int main() {
     j.add("arch1_elapsed_us", static_cast<std::uint64_t>(arch1_elapsed));
     j.add("arch2_elapsed_us", static_cast<std::uint64_t>(arch2_seq_elapsed));
     j.add("arch3_elapsed_us", static_cast<std::uint64_t>(arch3_seq_elapsed));
+    j.add("arch4_elapsed_us", static_cast<std::uint64_t>(arch4_seq_elapsed));
     j.add("arch1_usd", arch1_total);
     j.add("arch3_usd", arch3_total);
     for (const ArchSweep& sweep : sweeps) {
@@ -418,7 +470,7 @@ int main() {
     }
     // Per-service elapsed breakdown of the per-close (group 1) runs.
     arch_index = 0;
-    for (const char* arch_key : {"arch1", "arch2", "arch3"}) {
+    for (const char* arch_key : {"arch1", "arch2", "arch3", "arch4"}) {
       for (const auto& [service, t] : arch_by_service[arch_index])
         j.add(std::string(arch_key) + "_elapsed_" + service + "_us",
               static_cast<std::uint64_t>(t));
@@ -427,9 +479,13 @@ int main() {
       ++arch_index;
     }
     // The session group-commit sweep: $/close and elapsed vs. group size.
+    const auto arch_json_key = [](Architecture arch) {
+      return arch == Architecture::kS3SimpleDb      ? "arch2"
+             : arch == Architecture::kS3SimpleDbSqs ? "arch3"
+                                                    : "arch4";
+    };
     for (const auto& [arch, points] : group_sweeps) {
-      const std::string key =
-          arch == Architecture::kS3SimpleDb ? "arch2" : "arch3";
+      const std::string key = arch_json_key(arch);
       for (const GroupPoint& p : points) {
         const std::string g = key + "_g" + std::to_string(p.group);
         j.add(g + "_elapsed_us", static_cast<std::uint64_t>(p.elapsed));
@@ -437,13 +493,13 @@ int main() {
               p.closes > 0 ? p.usd / static_cast<double>(p.closes) : 0.0);
         j.add(g + "_sdb_write_rts", p.sdb_write_rts);
         j.add(g + "_sqs_send_rts", p.sqs_send_rts);
+        j.add(g + "_write_rts", p.write_rts);
         p.close.add_to(j, g + "_close");
       }
     }
     // The deadline sweep: write RTs vs. idle wait at fixed offered load.
     for (const auto& [arch, points] : deadline_sweeps) {
-      const std::string key =
-          arch == Architecture::kS3SimpleDb ? "arch2" : "arch3";
+      const std::string key = arch_json_key(arch);
       for (const DeadlinePoint& p : points) {
         const std::string d =
             key + "_d" + std::to_string(p.deadline / sim::kMillisecond);

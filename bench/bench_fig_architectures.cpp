@@ -53,6 +53,15 @@ void walk(Architecture arch, const char* figure, const char* caption) {
   run.env.clock().drain();
 
   std::printf("\nfinal state:\n");
+  if (arch == Architecture::kS3SegmentLog) {
+    std::printf("  S3 objects: %llu (sealed immutable segments; data and "
+                "provenance travel together per entry)\n",
+                static_cast<unsigned long long>(
+                    run.services.s3.object_count()));
+    std::printf("  SimpleDB: compact (object,version) -> (segment,offset) "
+                "postings, published in batches\n");
+    return;
+  }
   std::printf("  S3 objects: %llu (data + transient pnodes%s)\n",
               static_cast<unsigned long long>(run.services.s3.object_count()),
               arch == Architecture::kS3Only ? ", provenance in metadata" : "");
@@ -82,6 +91,9 @@ int main() {
        "SimpleDB)");
   walk(Architecture::kS3SimpleDbSqs, "Figure 3",
        "PASS on S3 + SimpleDB with SQS write-ahead log providing atomicity");
+  walk(Architecture::kS3SegmentLog, "Architecture 4",
+       "PASS on a log-structured S3 segment store with a SimpleDB posting "
+       "index and background cleaning");
   std::printf("\n");
   return 0;
 }

@@ -20,6 +20,10 @@ sim::SimTime CloudEnv::charge(const std::string& service, const std::string& op,
   {
     std::lock_guard<util::Spinlock> lock(fabric_mu_);
     latency = latency_model_.sample(rng_, bytes_in, bytes_out);
+    if (!slowdowns_.empty()) {
+      auto it = slowdowns_.find(service);
+      if (it != slowdowns_.end()) latency += it->second;
+    }
   }
   busy_time_.fetch_add(latency, std::memory_order_relaxed);
   ledger_.charge(latency, service);

@@ -144,6 +144,20 @@ class CloudEnv {
   /// decide to write a trace file).
   static bool env_tracing_requested();
 
+  /// Inject extra per-request latency for one service ("s3", "sdb", "sqs").
+  /// Every subsequent charge() against that service pays `extra` on top of
+  /// the sampled latency -- a slow-but-not-failed service (congestion, a
+  /// brown-out) as opposed to the failure injector's hard errors. The time
+  /// lands on the ledger like any other service wait. 0 clears the
+  /// slowdown. Set only at driver-thread quiescence.
+  void set_service_slowdown(const std::string& service, sim::SimTime extra) {
+    std::lock_guard<util::Spinlock> lock(fabric_mu_);
+    if (extra == 0)
+      slowdowns_.erase(service);
+    else
+      slowdowns_[service] = extra;
+  }
+
   /// Pick a uniform propagation delay for a replica. Thread-safe.
   sim::SimTime sample_propagation_delay();
 
@@ -159,6 +173,8 @@ class CloudEnv {
   sim::FailureInjector failures_;
   ConsistencyConfig consistency_;
   sim::LatencyModel latency_model_;
+  /// Per-service injected extra latency (guarded by fabric_mu_).
+  std::map<std::string, sim::SimTime, std::less<>> slowdowns_;
   sim::LatencyLedger ledger_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;

@@ -13,6 +13,8 @@ std::unique_ptr<ProvenanceBackend> make_backend(Architecture arch,
       return make_sdb_backend(services);
     case Architecture::kS3SimpleDbSqs:
       return make_wal_backend(services);
+    case Architecture::kS3SegmentLog:
+      return make_lsb_backend(services);
   }
   PROVCLOUD_REQUIRE_MSG(false, "unknown architecture");
   return nullptr;

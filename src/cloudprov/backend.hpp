@@ -29,6 +29,7 @@ enum class Architecture {
   kS3Only,          // section 4.1
   kS3SimpleDb,      // section 4.2
   kS3SimpleDbSqs,   // section 4.3
+  kS3SegmentLog,    // Arch 4: log-structured segments + SimpleDB index
 };
 
 const char* to_string(Architecture arch);
@@ -112,7 +113,7 @@ struct SessionConfig {
   /// together (Arch 2: cross-close BatchPutAttributes chains; Arch 3:
   /// batched WAL sends). Backends without group commit (Arch 1) treat
   /// every submit as an immediate store regardless of this value.
-  /// 0 defers to the deprecated `group_size` alias (default 1).
+  /// 0 means 1 (no coalescing).
   std::size_t max_group = 0;
   /// Adaptive group flush: a queued submit older than this flushes the
   /// pending group even when it is not full (kivaloo's kvlds deadline).
@@ -124,15 +125,9 @@ struct SessionConfig {
   /// SimpleDB directly (Arch 2). 0 inherits the backend's configured batch
   /// width; 1 forces the legacy one-PutAttributes-per-chunk path.
   std::size_t batch_size = 0;
-  /// Deprecated spelling of `max_group`, kept so existing call sites keep
-  /// compiling; a nonzero value applies only when `max_group` is 0.
-  std::size_t group_size = 0;
 
-  /// The group size after alias resolution (never 0).
-  std::size_t resolved_group() const {
-    if (max_group > 0) return max_group;
-    return group_size > 0 ? group_size : 1;
-  }
+  /// The group size with the zero default resolved (never 0).
+  std::size_t resolved_group() const { return max_group > 0 ? max_group : 1; }
 };
 
 class ProvenanceBackend {
@@ -248,6 +243,7 @@ inline const char* to_string(Architecture arch) {
     case Architecture::kS3Only: return "S3";
     case Architecture::kS3SimpleDb: return "S3+SimpleDB";
     case Architecture::kS3SimpleDbSqs: return "S3+SimpleDB+SQS";
+    case Architecture::kS3SegmentLog: return "S3-segments+SimpleDB";
   }
   return "?";
 }
@@ -275,6 +271,10 @@ struct WalBackendConfig;
 std::unique_ptr<ProvenanceBackend> make_wal_backend(CloudServices& services);
 std::unique_ptr<ProvenanceBackend> make_wal_backend(
     CloudServices& services, const WalBackendConfig& config);
+struct LsbBackendConfig;
+std::unique_ptr<ProvenanceBackend> make_lsb_backend(CloudServices& services);
+std::unique_ptr<ProvenanceBackend> make_lsb_backend(
+    CloudServices& services, const LsbBackendConfig& config);
 std::unique_ptr<ProvenanceBackend> make_backend(Architecture arch,
                                                 CloudServices& services);
 

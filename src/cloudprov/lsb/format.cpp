@@ -1,0 +1,291 @@
+#include "cloudprov/lsb/format.hpp"
+
+#include <cstring>
+
+#include "cloudprov/serialize.hpp"
+
+namespace provcloud::cloudprov::lsb {
+
+namespace {
+
+constexpr const char* kSegmentMagic = "PSG1\n";
+constexpr const char* kEntryMagic = "E1 ";
+/// Stay under SimpleDB's 1 KB attribute-value limit with margin.
+constexpr std::size_t kPostingValueCap = 960;
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+/// Cursor over a length-prefixed buffer (the manifest PMB1 idiom).
+struct Cursor {
+  const std::string& buf;
+  std::size_t pos = 0;
+
+  bool expect(const char* literal) {
+    const std::size_t n = std::char_traits<char>::length(literal);
+    if (buf.compare(pos, n, literal) != 0) return false;
+    pos += n;
+    return true;
+  }
+
+  bool read_u64(std::uint64_t& out) {
+    if (pos >= buf.size() || buf[pos] < '0' || buf[pos] > '9') return false;
+    std::uint64_t v = 0;
+    while (pos < buf.size() && buf[pos] >= '0' && buf[pos] <= '9') {
+      v = v * 10 + static_cast<std::uint64_t>(buf[pos] - '0');
+      ++pos;
+    }
+    out = v;
+    return true;
+  }
+
+  bool read_sep() {
+    if (pos >= buf.size() || buf[pos] != ' ') return false;
+    ++pos;
+    return true;
+  }
+
+  bool read_nl() {
+    if (pos >= buf.size() || buf[pos] != '\n') return false;
+    ++pos;
+    return true;
+  }
+
+  bool read_bytes(std::size_t n, std::string& out) {
+    if (pos + n > buf.size()) return false;
+    out.assign(buf, pos, n);
+    pos += n;
+    return true;
+  }
+};
+
+std::uint64_t kind_code(pass::PnodeKind kind) {
+  switch (kind) {
+    case pass::PnodeKind::kFile: return 0;
+    case pass::PnodeKind::kProcess: return 1;
+    case pass::PnodeKind::kPipe: return 2;
+  }
+  return 0;
+}
+
+bool kind_from_code(std::uint64_t code, pass::PnodeKind& out) {
+  switch (code) {
+    case 0: out = pass::PnodeKind::kFile; return true;
+    case 1: out = pass::PnodeKind::kProcess; return true;
+    case 2: out = pass::PnodeKind::kPipe; return true;
+  }
+  return false;
+}
+
+void encode_record(std::string& out, const pass::ProvenanceRecord& r) {
+  const std::string value = r.value_string();
+  append_u64(out, r.attribute.size());
+  out += ' ';
+  append_u64(out, value.size());
+  out += ' ';
+  out += r.is_xref() ? '1' : '0';
+  out += '\n';
+  out += r.attribute;
+  out += value;
+}
+
+bool decode_record(Cursor& c, pass::ProvenanceRecord& out) {
+  std::uint64_t attr_len = 0, value_len = 0, xref = 0;
+  if (!c.read_u64(attr_len) || !c.read_sep() || !c.read_u64(value_len) ||
+      !c.read_sep() || !c.read_u64(xref) || !c.read_nl())
+    return false;
+  std::string attribute, value;
+  if (!c.read_bytes(attr_len, attribute) || !c.read_bytes(value_len, value))
+    return false;
+  if (xref == 1) {
+    std::string object;
+    std::uint32_t version = 0;
+    if (!parse_item_name(value, object, version)) return false;
+    out = pass::make_xref_record(std::move(attribute),
+                                 pass::ObjectVersion{object, version});
+  } else {
+    out = pass::make_text_record(std::move(attribute), std::move(value));
+  }
+  return true;
+}
+
+bool decode_entry_at(Cursor& c, SegmentEntry& out) {
+  if (!c.expect(kEntryMagic)) return false;
+  std::uint64_t object_len = 0, version = 0, kind = 0, has_data = 0,
+                data_len = 0, record_count = 0;
+  if (!c.read_u64(object_len) || !c.read_sep() || !c.read_u64(version) ||
+      !c.read_sep() || !c.read_u64(kind) || !c.read_sep() ||
+      !c.read_u64(has_data) || !c.read_sep() || !c.read_u64(data_len) ||
+      !c.read_sep() || !c.read_u64(record_count) || !c.read_nl())
+    return false;
+  std::string object;
+  if (!c.read_bytes(object_len, object)) return false;
+  out.id = pass::ObjectVersion{std::move(object),
+                               static_cast<std::uint32_t>(version)};
+  if (!kind_from_code(kind, out.kind)) return false;
+  out.data = nullptr;
+  if (has_data == 1) {
+    std::string data;
+    if (!c.read_bytes(data_len, data)) return false;
+    out.data = util::make_shared_bytes(std::move(data));
+  } else if (data_len != 0) {
+    return false;
+  }
+  out.records.clear();
+  out.records.reserve(record_count);
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    pass::ProvenanceRecord r;
+    if (!decode_record(c, r)) return false;
+    out.records.push_back(std::move(r));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string segment_key(std::uint64_t id) {
+  std::string digits = std::to_string(id);
+  std::string out = kSegmentPrefix;
+  if (digits.size() < 20) out.append(20 - digits.size(), '0');
+  out += digits;
+  return out;
+}
+
+bool parse_segment_key(const std::string& key, std::uint64_t& id) {
+  const std::size_t prefix_len = std::strlen(kSegmentPrefix);
+  if (key.rfind(kSegmentPrefix, 0) != 0 || key.size() <= prefix_len)
+    return false;
+  std::uint64_t v = 0;
+  for (std::size_t i = prefix_len; i < key.size(); ++i) {
+    if (key[i] < '0' || key[i] > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(key[i] - '0');
+  }
+  id = v;
+  return true;
+}
+
+std::string index_item_name(std::uint64_t segment_id, std::size_t chunk) {
+  return std::string(kIndexItemPrefix) + std::to_string(segment_id) + "-" +
+         std::to_string(chunk);
+}
+
+bool parse_index_item_name(const std::string& item, std::uint64_t& segment_id,
+                           std::uint64_t& chunk) {
+  const std::size_t prefix_len = std::strlen(kIndexItemPrefix);
+  if (item.rfind(kIndexItemPrefix, 0) != 0) return false;
+  std::uint64_t v = 0;
+  std::size_t i = prefix_len;
+  if (i >= item.size() || item[i] < '0' || item[i] > '9') return false;
+  for (; i < item.size() && item[i] >= '0' && item[i] <= '9'; ++i)
+    v = v * 10 + static_cast<std::uint64_t>(item[i] - '0');
+  if (i >= item.size() || item[i] != '-') return false;
+  ++i;
+  std::uint64_t c = 0;
+  if (i >= item.size() || item[i] < '0' || item[i] > '9') return false;
+  for (; i < item.size() && item[i] >= '0' && item[i] <= '9'; ++i)
+    c = c * 10 + static_cast<std::uint64_t>(item[i] - '0');
+  if (i != item.size()) return false;
+  segment_id = v;
+  chunk = c;
+  return true;
+}
+
+std::string encode_entry(const SegmentEntry& entry) {
+  std::string out = kEntryMagic;
+  append_u64(out, entry.id.object.size());
+  out += ' ';
+  append_u64(out, entry.id.version);
+  out += ' ';
+  append_u64(out, kind_code(entry.kind));
+  out += ' ';
+  out += entry.data != nullptr ? '1' : '0';
+  out += ' ';
+  append_u64(out, entry.data != nullptr ? entry.data->size() : 0);
+  out += ' ';
+  append_u64(out, entry.records.size());
+  out += '\n';
+  out += entry.id.object;
+  if (entry.data != nullptr) out += *entry.data;
+  for (const pass::ProvenanceRecord& r : entry.records) encode_record(out, r);
+  return out;
+}
+
+std::optional<SegmentEntry> decode_entry(const std::string& blob) {
+  Cursor c{blob};
+  SegmentEntry out;
+  if (!decode_entry_at(c, out) || c.pos != blob.size()) return std::nullopt;
+  return out;
+}
+
+std::string segment_header(std::uint64_t id) {
+  std::string out = kSegmentMagic;
+  append_u64(out, id);
+  out += '\n';
+  return out;
+}
+
+std::optional<DecodedSegment> decode_segment(const std::string& blob) {
+  Cursor c{blob};
+  DecodedSegment out;
+  if (!c.expect(kSegmentMagic) || !c.read_u64(out.id) || !c.read_nl())
+    return std::nullopt;
+  while (c.pos < blob.size()) {
+    PlacedEntry placed;
+    placed.offset = c.pos;
+    if (!decode_entry_at(c, placed.entry)) return std::nullopt;
+    placed.length = c.pos - placed.offset;
+    out.entries.push_back(std::move(placed));
+  }
+  return out;
+}
+
+std::vector<std::string> pack_postings(const std::vector<Posting>& postings) {
+  std::vector<std::string> values;
+  std::string current;
+  for (const auto& [id, loc] : postings) {
+    std::string line;
+    append_u64(line, id.object.size());
+    line += ' ';
+    append_u64(line, id.version);
+    line += ' ';
+    append_u64(line, loc.offset);
+    line += ' ';
+    append_u64(line, loc.length);
+    line += ' ';
+    append_u64(line, loc.data_bytes);
+    line += '\n';
+    line += id.object;
+    line += '\n';
+    if (!current.empty() && current.size() + line.size() > kPostingValueCap) {
+      values.push_back(std::move(current));
+      current.clear();
+    }
+    current += line;
+  }
+  if (!current.empty()) values.push_back(std::move(current));
+  return values;
+}
+
+bool unpack_postings(const std::string& value, std::uint64_t segment_id,
+                     std::vector<Posting>& out) {
+  Cursor c{value};
+  while (c.pos < value.size()) {
+    std::uint64_t object_len = 0, version = 0, offset = 0, length = 0,
+                  data_bytes = 0;
+    if (!c.read_u64(object_len) || !c.read_sep() || !c.read_u64(version) ||
+        !c.read_sep() || !c.read_u64(offset) || !c.read_sep() ||
+        !c.read_u64(length) || !c.read_sep() || !c.read_u64(data_bytes) ||
+        !c.read_nl())
+      return false;
+    std::string object;
+    if (!c.read_bytes(object_len, object) || !c.read_nl()) return false;
+    out.emplace_back(
+        pass::ObjectVersion{std::move(object),
+                            static_cast<std::uint32_t>(version)},
+        EntryLocation{segment_id, offset, length, data_bytes});
+  }
+  return true;
+}
+
+}  // namespace provcloud::cloudprov::lsb

@@ -1,0 +1,109 @@
+// Log-structured segment wire format (Architecture 4).
+//
+// A segment is one immutable S3 object holding many closes. Each entry is a
+// self-contained, length-prefixed encoding of one FlushUnit -- object, kind,
+// version, data bytes and provenance records travel together, so data and
+// provenance of a close are atomic by construction (the LFS answer to the
+// Arch-2 atomicity hole). The SimpleDB index stores only postings:
+// (object, version) -> (segment id, offset, length), packed many per
+// attribute value, kivaloo lbs-dynamodb style, so hundreds of closes cost
+// one segment PUT plus a fraction of one BatchPutAttributes call.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pass/local_cache.hpp"
+#include "pass/pnode.hpp"
+#include "pass/record.hpp"
+#include "util/bytes.hpp"
+
+namespace provcloud::cloudprov::lsb {
+
+/// Bucket all segment objects live in (separate from kDataBucket: segments
+/// are write-once log objects, not per-object latest-data keys).
+inline constexpr const char* kSegmentBucket = "pass-segments";
+/// Key prefix of segment objects; ids are zero-padded so LIST order is id
+/// order and the delete-to watermark is a key-range cutoff.
+inline constexpr const char* kSegmentPrefix = "seg/";
+/// Base name of the sharded SimpleDB index domains.
+inline constexpr const char* kIndexDomainBase = "lsb-index";
+/// Item (in the first shard domain) holding the durable watermarks.
+inline constexpr const char* kMetaItem = "lsb-meta";
+/// Every segment with id < delete-to is dead: its live entries were
+/// rewritten into a younger segment (kivaloo deleteto.c semantics).
+inline constexpr const char* kDeleteToAttr = "delete-to";
+/// Every segment with id <= indexed-to has its postings published; younger
+/// segments are durable but pending publication (recover() replays them).
+inline constexpr const char* kIndexedToAttr = "indexed-to";
+/// Index items are named "idx-<segment id>-<chunk>".
+inline constexpr const char* kIndexItemPrefix = "idx-";
+
+std::string segment_key(std::uint64_t id);
+bool parse_segment_key(const std::string& key, std::uint64_t& id);
+
+std::string index_item_name(std::uint64_t segment_id, std::size_t chunk);
+bool parse_index_item_name(const std::string& item, std::uint64_t& segment_id,
+                           std::uint64_t& chunk);
+
+/// One decoded close inside a segment.
+struct SegmentEntry {
+  pass::ObjectVersion id;
+  pass::PnodeKind kind = pass::PnodeKind::kFile;
+  /// Null for transient objects (processes, pipes) and for superseded file
+  /// versions whose data the cleaner dropped (provenance is kept forever;
+  /// only the latest version's data is retrievable, as in Arch 1-3).
+  util::SharedBytes data;
+  std::vector<pass::ProvenanceRecord> records;
+};
+
+/// Where one close lives in the log.
+struct EntryLocation {
+  std::uint64_t segment = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  /// Data bytes inside the entry: what becomes garbage when a newer version
+  /// of the object supersedes this one.
+  std::uint64_t data_bytes = 0;
+
+  bool operator==(const EntryLocation&) const = default;
+};
+
+/// Self-contained encoding of one close: the blob an index posting's
+/// (offset, length) range delimits inside a segment object, decodable from
+/// a byte-range GET without the rest of the segment.
+std::string encode_entry(const SegmentEntry& entry);
+std::optional<SegmentEntry> decode_entry(const std::string& blob);
+
+/// Segment object header; entries follow back to back.
+std::string segment_header(std::uint64_t id);
+
+/// One entry with its placement, as decoded from a whole segment object.
+struct PlacedEntry {
+  SegmentEntry entry;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+};
+struct DecodedSegment {
+  std::uint64_t id = 0;
+  std::vector<PlacedEntry> entries;
+};
+std::optional<DecodedSegment> decode_segment(const std::string& blob);
+
+/// One index posting.
+using Posting = std::pair<pass::ObjectVersion, EntryLocation>;
+
+/// Pack postings of ONE segment into <= 1 KB SimpleDB attribute values
+/// (the segment id rides in the item name, not the values). Order is
+/// preserved across the returned values.
+std::vector<std::string> pack_postings(const std::vector<Posting>& postings);
+
+/// Unpack one attribute value; `segment_id` (from the item name) fills each
+/// location's segment. Returns false on framing violations.
+bool unpack_postings(const std::string& value, std::uint64_t segment_id,
+                     std::vector<Posting>& out);
+
+}  // namespace provcloud::cloudprov::lsb

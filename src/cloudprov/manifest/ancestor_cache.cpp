@@ -17,11 +17,23 @@ void AncestorCache::bind_metrics(obs::MetricsRegistry& registry) {
 
 void AncestorCache::set_snapshot(std::uint64_t snapshot_id) {
   if (snapshot_id == snapshot_id_) return;
-  stats_.invalidations += entries_.size();
-  if (invalidations_counter_ != nullptr)
-    invalidations_counter_->add(entries_.size());
-  entries_.clear();
-  lru_.clear();
+  // Fragments survive snapshot rolls: records of a version never change
+  // once durable, so only entries decoded from a snapshot NEWER than the
+  // one being bound (a time-travel rebind) could name versions it has never
+  // seen -- drop exactly those.
+  std::uint64_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.origin > snapshot_id) {
+      lru_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.invalidations += dropped;
+  if (invalidations_counter_ != nullptr && dropped > 0)
+    invalidations_counter_->add(dropped);
   snapshot_id_ = snapshot_id;
 }
 
@@ -48,13 +60,14 @@ void AncestorCache::insert(const pass::ObjectVersion& id,
   auto it = entries_.find(id);
   if (it != entries_.end()) {
     it->second.records = std::move(records);
+    it->second.origin = snapshot_id_;
     lru_.erase(it->second.lru_it);
     lru_.push_front(id);
     it->second.lru_it = lru_.begin();
     return;
   }
   lru_.push_front(id);
-  entries_.emplace(id, Entry{std::move(records), lru_.begin()});
+  entries_.emplace(id, Entry{std::move(records), lru_.begin(), snapshot_id_});
   while (entries_.size() > capacity_) {
     entries_.erase(lru_.back());
     lru_.pop_back();

@@ -5,9 +5,11 @@
 // idiom, lifted to the read side), so an ancestry walk that revisits a hot
 // region -- or a later walk over an overlapping closure -- issues no cloud
 // reads at all for it. Entries are tagged with the snapshot they were
-// decoded from: when a newer snapshot lands, set_snapshot invalidates
-// everything (blocks are re-cut per snapshot, so fragments must not leak
-// across).
+// decoded from. A fragment is one (object, version)'s records, written once
+// at close time and merely re-cut into different blocks per snapshot, so
+// moving to a NEWER snapshot keeps every entry valid; only binding an OLDER
+// snapshot (time travel) drops entries decoded from beyond it, which could
+// name versions that snapshot has never seen.
 #pragma once
 
 #include <cstdint>
@@ -32,8 +34,10 @@ class AncestorCache {
  public:
   explicit AncestorCache(std::size_t capacity);
 
-  /// Bind the cache to a snapshot. A different id than the current binding
-  /// drops every entry (counted in stats().invalidations).
+  /// Bind the cache to a snapshot. Entries decoded from a snapshot at or
+  /// below the new binding stay resident (fragments are immutable across
+  /// snapshots); only entries from a newer snapshot than the one being
+  /// bound are dropped (counted in stats().invalidations).
   void set_snapshot(std::uint64_t snapshot_id);
   std::uint64_t snapshot_id() const { return snapshot_id_; }
 
@@ -57,6 +61,8 @@ class AncestorCache {
   struct Entry {
     std::vector<pass::ProvenanceRecord> records;
     std::list<pass::ObjectVersion>::iterator lru_it;
+    /// Snapshot the fragment was decoded from (cross-snapshot validity).
+    std::uint64_t origin = 0;
   };
 
   std::size_t capacity_;

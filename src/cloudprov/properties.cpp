@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "cloudprov/consistency_read.hpp"
+#include "cloudprov/lsb/format.hpp"
+#include "cloudprov/lsb/lsb_backend.hpp"
 #include "cloudprov/manifest/reader.hpp"
 #include "cloudprov/manifest/writer.hpp"
 #include "cloudprov/query.hpp"
@@ -48,6 +50,18 @@ struct Fixture {
         auto wal = std::make_unique<WalBackend>(services, cfg);
         topology = wal->topology();
         backend = std::move(wal);
+        break;
+      }
+      case Architecture::kS3SegmentLog: {
+        LsbBackendConfig cfg;
+        cfg.shard_count = options.shard_count;
+        cfg.parallelism = options.parallelism;
+        // Small publish threshold: index publications (and their crash
+        // points) fire inside the workload, not only at quiesce.
+        cfg.index_publish_entries = 8;
+        auto lsb = std::make_unique<LsbBackend>(services, cfg);
+        topology = lsb->topology();
+        backend = std::move(lsb);
         break;
       }
     }
@@ -170,9 +184,15 @@ bool drive(Fixture& fx, const pass::SyscallTrace& trace,
 }
 
 /// Let the world settle: all propagation delivered; Arch-3 daemons pumped.
+/// An armed crash may fire inside quiesce (Arch 4 publishes its index
+/// checkpoint there): the client dies mid-publication, which is exactly a
+/// scenario the sweep must score, so swallow it and finish draining.
 void settle(Fixture& fx) {
   fx.env.clock().drain();
-  fx.backend->quiesce();
+  try {
+    fx.backend->quiesce();
+  } catch (const sim::CrashError&) {
+  }
   fx.env.clock().drain();
 }
 
@@ -221,6 +241,90 @@ StateViolations check_state(Architecture arch, CloudServices& services,
         if (!services.s3.peek(kDataBucket, spill)) ++v.atomicity;
       for (const pass::ProvenanceRecord& r : decoded.records)
         if (r.is_xref() && data_set.count(r.xref().object) == 0) ++v.causal;
+    }
+    return v;
+  }
+
+  if (arch == Architecture::kS3SegmentLog) {
+    // The log is the ground truth and data + provenance travel inside one
+    // entry, so atomicity can only tear two ways: an undecodable segment
+    // object, or a durable index posting that resolves to nothing. Orphan
+    // segments above indexed-to are fine (recover() replays them); chunk
+    // items outside [delete-to, indexed-to] are in-flight or dead debris
+    // the protocol already discounts.
+    std::map<std::uint64_t, util::SharedBytes> blobs;
+    std::set<pass::ObjectVersion> in_log;
+    for (const std::string& key : services.s3.peek_keys(lsb::kSegmentBucket)) {
+      std::uint64_t id = 0;
+      if (!lsb::parse_segment_key(key, id)) continue;
+      auto obj = services.s3.peek(lsb::kSegmentBucket, key);
+      PROVCLOUD_REQUIRE(obj.has_value());
+      auto seg = lsb::decode_segment(*obj->data);
+      if (!seg || seg->id != id) {
+        ++v.atomicity;  // torn segment object
+        continue;
+      }
+      for (const lsb::PlacedEntry& placed : seg->entries)
+        in_log.insert(placed.entry.id);
+      blobs[id] = obj->data;
+    }
+    // Causal ordering, version-granular: every xref in every entry names
+    // an (object, version) present somewhere in the log. Checked against
+    // the full set (compaction may rewrite an ancestor into a younger
+    // segment than its descendant's).
+    for (const auto& [id, blob] : blobs) {
+      auto seg = lsb::decode_segment(*blob);
+      for (const lsb::PlacedEntry& placed : seg->entries)
+        for (const pass::ProvenanceRecord& r : placed.entry.records)
+          if (r.is_xref() && in_log.count(r.xref()) == 0) ++v.causal;
+    }
+
+    std::uint64_t delete_to = 1;
+    std::uint64_t indexed_to = 0;
+    if (auto meta = services.sdb.peek_item(topology.domains().front(),
+                                           lsb::kMetaItem)) {
+      const auto parse = [&meta](const char* attr, std::uint64_t fallback) {
+        auto it = meta->find(attr);
+        if (it == meta->end() || it->second.empty()) return fallback;
+        try {
+          return static_cast<std::uint64_t>(
+              std::stoull(*it->second.begin()));
+        } catch (...) {
+          return fallback;
+        }
+      };
+      delete_to = parse(lsb::kDeleteToAttr, 1);
+      indexed_to = parse(lsb::kIndexedToAttr, 0);
+    }
+    for (const std::string& domain : topology.domains()) {
+      for (const std::string& item : services.sdb.peek_item_names(domain)) {
+        std::uint64_t seg = 0;
+        std::uint64_t chunk = 0;
+        if (!lsb::parse_index_item_name(item, seg, chunk)) continue;
+        if (seg < delete_to || seg > indexed_to) continue;
+        auto attrs = services.sdb.peek_item(domain, item);
+        PROVCLOUD_REQUIRE(attrs.has_value());
+        for (const auto& [name, values] : *attrs) {
+          for (const std::string& value : values) {
+            std::vector<lsb::Posting> postings;
+            if (!lsb::unpack_postings(value, seg, postings)) {
+              ++v.atomicity;  // unparseable posting value
+              continue;
+            }
+            for (const auto& [ov, loc] : postings) {
+              auto bit = blobs.find(loc.segment);
+              if (bit == blobs.end() ||
+                  loc.offset + loc.length > bit->second->size()) {
+                ++v.atomicity;  // posting into a missing/short segment
+                continue;
+              }
+              auto entry = lsb::decode_entry(
+                  bit->second->substr(loc.offset, loc.length));
+              if (!entry || !(entry->id == ov)) ++v.atomicity;
+            }
+          }
+        }
+      }
     }
     return v;
   }
@@ -371,7 +475,7 @@ PropertyReport check_properties(Architecture arch,
     // durability barrier a reader-visible close implies, so the property
     // stays read-after-durable at every group size.
     auto session = fx.backend->open_session(SessionConfig{
-        .client_id = "client-0", .group_size = options.group_size});
+        .client_id = "client-0", .max_group = options.group_size});
     pass::PassObserver observer([&session](const pass::FlushUnit& unit) {
       session->submit(unit);
       const auto synced = session->sync();
@@ -419,13 +523,14 @@ PropertyReport check_properties(Architecture arch,
       const workloads::CompileWorkload compile;
       drive(fx, compile.generate(wo));
       settle(fx);
-      auto engine = arch == Architecture::kS3Only
-                        ? make_s3_query_engine(fx.services)
-                        : make_sdb_query_engine(
-                              fx.services,
-                              SdbQueryConfig{
-                                  .shard_count = options.shard_count,
-                                  .parallelism = options.parallelism});
+      auto engine =
+          arch == Architecture::kS3Only ? make_s3_query_engine(fx.services)
+          : arch == Architecture::kS3SegmentLog
+              ? make_lsb_query_engine(fx.services)
+              : make_sdb_query_engine(
+                    fx.services,
+                    SdbQueryConfig{.shard_count = options.shard_count,
+                                   .parallelism = options.parallelism});
       const sim::MeterSnapshot before = fx.env.meter().snapshot();
       engine->q2_outputs_of("/usr/bin/gcc");
       const sim::MeterSnapshot diff =
@@ -449,7 +554,8 @@ std::vector<PropertyReport> check_all_architectures(
     const PropertyCheckOptions& options) {
   return {check_properties(Architecture::kS3Only, options),
           check_properties(Architecture::kS3SimpleDb, options),
-          check_properties(Architecture::kS3SimpleDbSqs, options)};
+          check_properties(Architecture::kS3SimpleDbSqs, options),
+          check_properties(Architecture::kS3SegmentLog, options)};
 }
 
 ManifestRollReport check_manifest_roll(Architecture arch,
@@ -525,6 +631,83 @@ ManifestRollReport check_manifest_roll(Architecture arch,
       const AncestryResult as_of =
           engine->ancestry_as_of(first_id, "data/derived1", 1);
       if (!as_of.missing.empty() || !ancestry_equal(as_of, want_frozen))
+        ++report.violations;
+    }
+  }
+  return report;
+}
+
+LsbCrashReport check_lsb_crash_sweep(const PropertyCheckOptions& options) {
+  constexpr Architecture arch = Architecture::kS3SegmentLog;
+  LsbCrashReport report;
+
+  // Discover the lsb.* crash surface (seal, index publication, cleaner)
+  // from an uninjected run that exercises all three phases.
+  std::vector<std::string> points;
+  {
+    Fixture fx(arch, options.seed, aggressive_staleness(), options);
+    drive(fx, mini_trace(options.seed, options.mini_files));
+    settle(fx);
+    auto* lsb = static_cast<LsbBackend*>(fx.backend.get());
+    drive(fx, tail_trace(options.seed));
+    settle(fx);
+    lsb->publish_index();
+    lsb->compact();
+    for (const std::string& p : fx.env.failures().observed_points())
+      if (util::starts_with(p, "lsb.")) points.push_back(p);
+  }
+
+  for (const std::string& point : points) {
+    for (std::uint64_t occurrence : {std::uint64_t{1}, std::uint64_t{2}}) {
+      Fixture fx(arch, options.seed + occurrence, aggressive_staleness(),
+                 options);
+      // Base workload, fully settled and checkpointed: committed ground
+      // truth the crash must never touch.
+      drive(fx, mini_trace(options.seed, options.mini_files));
+      settle(fx);
+      auto* lsb = static_cast<LsbBackend*>(fx.backend.get());
+      lsb->publish_index();
+      // Ground truth from an object the injected phase never touches:
+      // the tail trace re-flushes data/derived1@1 (its observer saw only
+      // the read), and a re-stored (object, version) replaces the record
+      // set -- by design, on every architecture -- so derived1 itself is
+      // not crash-invariant. Its ancestor derived0 is.
+      const AncestryResult want = fetch_ancestry(*fx.backend, "data/derived0", 1);
+
+      // The injected phase: more closes, a publication, a cleaner pass.
+      fx.env.failures().arm_crash(point, occurrence);
+      bool crashed = !drive(fx, tail_trace(options.seed));
+      try {
+        lsb->publish_index();
+      } catch (const sim::CrashError&) {
+        crashed = true;
+      }
+      try {
+        lsb->compact();
+      } catch (const sim::CrashError&) {
+        crashed = true;
+      }
+      fx.env.failures().disarm(point);
+      fx.env.clock().drain();
+      ++report.crash_scenarios;
+      if (crashed) ++report.crashed_runs;
+
+      // No torn index, no causal hole in the raw settled state.
+      const StateViolations v = check_state(arch, fx.services, *fx.topology);
+      report.violations += v.atomicity + v.causal;
+
+      // Client restart: a fresh backend over the same store recovers and
+      // must serve the committed closure bit-identically.
+      LsbBackendConfig cfg;
+      cfg.shard_count = options.shard_count;
+      cfg.parallelism = options.parallelism;
+      LsbBackend fresh(fx.services, cfg);
+      fresh.recover();
+      if (!ancestry_equal(fetch_ancestry(fresh, "data/derived0", 1), want))
+        ++report.violations;
+      // And an uninjected cleaner pass must never change query results.
+      fresh.compact();
+      if (!ancestry_equal(fetch_ancestry(fresh, "data/derived0", 1), want))
         ++report.violations;
     }
   }

@@ -117,4 +117,22 @@ struct ManifestRollReport {
 ManifestRollReport check_manifest_roll(Architecture arch,
                                        const PropertyCheckOptions& options = {});
 
+/// Crash-sweep verdict for the Arch-4 segment log. Every discovered lsb.*
+/// crash point (seal, index publication, cleaner) is swept; after each
+/// injected crash a FRESH backend recovers over the same store (client
+/// restart) and must: serve every committed close, expose no torn index
+/// (every durable posting between the watermarks resolves to a matching
+/// entry in an existing segment), and -- after a subsequent uninjected
+/// cleaner pass -- answer ancestry walks bit-identically to the pre-crash
+/// ground truth.
+struct LsbCrashReport {
+  std::uint64_t crash_scenarios = 0;
+  std::uint64_t crashed_runs = 0;  // scenarios where the armed crash fired
+  std::uint64_t violations = 0;
+
+  bool crash_safe() const { return crash_scenarios > 0 && violations == 0; }
+};
+
+LsbCrashReport check_lsb_crash_sweep(const PropertyCheckOptions& options = {});
+
 }  // namespace provcloud::cloudprov

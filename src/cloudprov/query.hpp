@@ -75,6 +75,12 @@ class QueryEngine {
 /// Arch-1 engine: full metadata scans over the data bucket.
 std::unique_ptr<QueryEngine> make_s3_query_engine(CloudServices& services);
 
+/// Arch-4 engine: linear scan over the segment log (GET every segment,
+/// evaluate locally). The log retains every version's provenance, so
+/// ancestry walks resolve old ancestor versions, but search is scan-based
+/// like Arch 1: query cost grows with the log, not the result.
+std::unique_ptr<QueryEngine> make_lsb_query_engine(CloudServices& services);
+
 /// Arch-2/3 engine: indexed SimpleDB queries ("The query results are the
 /// same for the last two architectures (as they both query SimpleDB)").
 /// With shard_count > 1 every query scatters across the shard domains and

@@ -356,7 +356,7 @@ TEST(AncestorCacheTest, LruEvictsAndCountsStats) {
   EXPECT_GE(cache.stats().misses, 1u);
 }
 
-TEST(AncestorCacheTest, NewSnapshotInvalidatesEverything) {
+TEST(AncestorCacheTest, ForwardSnapshotRollKeepsFragments) {
   World w(/*shards=*/2);
   const pass::SyscallTrace part1 = chain_trace();
   w.store(part1, 0, part1.size());
@@ -367,16 +367,34 @@ TEST(AncestorCacheTest, NewSnapshotInvalidatesEverything) {
   auto engine = make_manifest_query_engine(w.services, reader);
   engine->ancestry("c", 1);
   const std::size_t warmed = reader->cache()->size();
+  const std::uint64_t hits_before = reader->cache()->stats().hits;
   EXPECT_GT(warmed, 0u);
 
-  // A new snapshot lands; rebinding must flush every cached fragment.
+  // A new snapshot lands. Fragments are per-version and immutable, so the
+  // forward rebind keeps them all, and the overlap of the next walk is
+  // served from cache -- the hit-rate regression this guards.
   const pass::SyscallTrace part2 = late_trace();
   w.store(part2, 0, part2.size());
   w.roll();
   const AncestryResult after = engine->ancestry("e", 1);
-  EXPECT_GE(reader->cache()->stats().invalidations, warmed);
+  EXPECT_EQ(reader->cache()->stats().invalidations, 0u);
+  EXPECT_GE(reader->cache()->size(), warmed);
+  EXPECT_GT(reader->cache()->stats().hits, hits_before);
   EXPECT_NE(after.graph.find({"e", 1}), nullptr);
   EXPECT_NE(after.graph.find({"a", 1}), nullptr);
+}
+
+TEST(AncestorCacheTest, TimeTravelRebindDropsNewerFragments) {
+  AncestorCache cache(8);
+  cache.set_snapshot(1);
+  cache.insert({"a", 1}, {pass::make_text_record("TYPE", "file")});
+  cache.set_snapshot(2);
+  cache.insert({"b", 1}, {});
+  // Binding an older snapshot drops only fragments decoded beyond it.
+  cache.set_snapshot(1);
+  EXPECT_NE(cache.find({"a", 1}), nullptr);
+  EXPECT_EQ(cache.find({"b", 1}), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
 }
 
 // ------------------------------------------------------------ crash sweep --

@@ -50,13 +50,16 @@ TEST_P(TableOneRow, MeasuredPropertiesMatchPaperClaims) {
 INSTANTIATE_TEST_SUITE_P(AllArchitectures, TableOneRow,
                          ::testing::Values(Architecture::kS3Only,
                                            Architecture::kS3SimpleDb,
-                                           Architecture::kS3SimpleDbSqs),
+                                           Architecture::kS3SimpleDbSqs,
+                                           Architecture::kS3SegmentLog),
                          [](const auto& info) {
                            switch (info.param) {
                              case Architecture::kS3Only: return "S3";
                              case Architecture::kS3SimpleDb: return "S3SimpleDB";
                              case Architecture::kS3SimpleDbSqs:
                                return "S3SimpleDBSQS";
+                             case Architecture::kS3SegmentLog:
+                               return "S3SegmentLog";
                            }
                            return "unknown";
                          });
@@ -227,12 +230,50 @@ TEST(TableOneTest, ParallelBackendsReportTheSameProperties) {
   EXPECT_TRUE(parallel.efficient_query);
 }
 
-TEST(TableOneTest, CheckAllReturnsThreeRows) {
+TEST(TableOneTest, CheckAllReturnsFourRows) {
   const auto rows = check_all_architectures(fast_options());
-  ASSERT_EQ(rows.size(), 3u);
+  ASSERT_EQ(rows.size(), 4u);
   EXPECT_EQ(rows[0].arch, Architecture::kS3Only);
   EXPECT_EQ(rows[1].arch, Architecture::kS3SimpleDb);
   EXPECT_EQ(rows[2].arch, Architecture::kS3SimpleDbSqs);
+  EXPECT_EQ(rows[3].arch, Architecture::kS3SegmentLog);
+}
+
+TEST(TableOneTest, BatchedShardedArchFourKeepsAcidProperties) {
+  // The segment log makes group commit atomic by construction: the whole
+  // group seals into one immutable object, so a crash leaves either the
+  // full group or an ignorable orphan -- never a torn close.
+  PropertyCheckOptions o = fast_options();
+  o.shard_count = 4;
+  o.group_size = 25;
+  const PropertyReport report =
+      check_properties(Architecture::kS3SegmentLog, o);
+  EXPECT_TRUE(report.atomicity)
+      << "violations: " << report.atomicity_violations;
+  EXPECT_TRUE(report.consistency);
+  EXPECT_TRUE(report.causal_ordering)
+      << "violations: " << report.causal_violations;
+  EXPECT_FALSE(report.efficient_query);  // scan-based search, like Arch 1
+}
+
+TEST(TableOneTest, LsbCrashSweepIsCrashSafe) {
+  // Dedicated Arch-4 sweep: crashes injected mid-seal, mid-index-publish
+  // and mid-compaction must never tear the index or lose a committed
+  // close, and an uninjected cleaner pass after recovery must leave
+  // ancestry walks bit-identical.
+  const LsbCrashReport report = check_lsb_crash_sweep(fast_options());
+  EXPECT_GT(report.crash_scenarios, 8u);
+  EXPECT_GT(report.crashed_runs, 0u);
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_TRUE(report.crash_safe());
+}
+
+TEST(TableOneTest, LsbCrashSweepSurvivesGroupedSubmits) {
+  PropertyCheckOptions o = fast_options();
+  o.group_size = 8;
+  const LsbCrashReport report = check_lsb_crash_sweep(o);
+  EXPECT_TRUE(report.crash_safe()) << report.violations << " violations in "
+                                   << report.crash_scenarios << " scenarios";
 }
 
 }  // namespace

@@ -40,7 +40,7 @@ TEST(SessionTest, TicketsPendUntilTheBarrier) {
   aws::CloudEnv env(11, aws::ConsistencyConfig::strong());
   CloudServices services(env);
   auto backend = make_sdb_backend(services);
-  auto session = backend->open_session(SessionConfig{.group_size = 4});
+  auto session = backend->open_session(SessionConfig{.max_group = 4});
 
   std::vector<Ticket> tickets;
   for (int i = 0; i < 3; ++i)
@@ -73,7 +73,7 @@ TEST(SessionTest, FullGroupFlushesWithoutExplicitSync) {
   aws::CloudEnv env(12, aws::ConsistencyConfig::strong());
   CloudServices services(env);
   auto backend = make_sdb_backend(services);
-  auto session = backend->open_session(SessionConfig{.group_size = 2});
+  auto session = backend->open_session(SessionConfig{.max_group = 2});
   const Ticket a = session->submit(file_unit("a", 1, "x"));
   EXPECT_FALSE(a.done());
   const Ticket b = session->submit(file_unit("b", 1, "y"));  // fills the group
@@ -124,7 +124,7 @@ TEST(SessionTest, ArchOneSubmitsAreImmediateWhateverTheGroupSize) {
   CloudServices services(env);
   auto backend = make_backend(Architecture::kS3Only, services);
   EXPECT_FALSE(backend->supports_group_commit());
-  auto session = backend->open_session(SessionConfig{.group_size = 25});
+  auto session = backend->open_session(SessionConfig{.max_group = 25});
   for (int i = 0; i < 3; ++i) {
     const Ticket t =
         session->submit(file_unit("f" + std::to_string(i), 1, "x"));
@@ -141,7 +141,7 @@ TEST(SessionTest, ArchTwoGroupCommitCoalescesWriteRoundTrips) {
     CloudServices services(env);
     auto backend = make_sdb_backend(services);
     auto session =
-        backend->open_session(SessionConfig{.group_size = group_size});
+        backend->open_session(SessionConfig{.max_group = group_size});
     for (int i = 0; i < 25; ++i)
       session->submit(file_unit("f" + std::to_string(i), 1, "x"));
     EXPECT_TRUE(session->sync().has_value());
@@ -163,7 +163,7 @@ TEST(SessionTest, ArchTwoCausalWavesOrderIntraGroupAncestors) {
   aws::CloudEnv env(15, aws::ConsistencyConfig::strong());
   CloudServices services(env);
   auto backend = make_sdb_backend(services);
-  auto session = backend->open_session(SessionConfig{.group_size = 3});
+  auto session = backend->open_session(SessionConfig{.max_group = 3});
   session->submit(file_unit("a", 1, "va"));
   session->submit(file_unit("b", 1, "vb",
                             {make_text_record("TYPE", "file"),
@@ -181,7 +181,7 @@ TEST(SessionTest, ArchTwoCrashBetweenWavesKeepsCausalOrdering) {
   aws::CloudEnv env(16, aws::ConsistencyConfig::strong());
   CloudServices services(env);
   auto backend = make_sdb_backend(services);
-  auto session = backend->open_session(SessionConfig{.group_size = 3});
+  auto session = backend->open_session(SessionConfig{.max_group = 3});
   // Crash after the second wave's batch call: a and b written, c lost.
   env.failures().arm_crash("sdb.store.mid_putattrs", 2);
   session->submit(file_unit("a", 1, "va"));
@@ -211,7 +211,7 @@ TEST(SessionTest, DuplicateSubmitInOneGroupLaterCloseWins) {
   aws::CloudEnv env(17, aws::ConsistencyConfig::strong());
   CloudServices services(env);
   auto backend = make_sdb_backend(services);
-  auto session = backend->open_session(SessionConfig{.group_size = 2});
+  auto session = backend->open_session(SessionConfig{.max_group = 2});
   session->submit(file_unit("dup", 1, "first"));
   session->submit(file_unit("dup", 1, "second"));
   ASSERT_TRUE(session->sync().has_value());
@@ -372,7 +372,7 @@ class PoisonBackend final : public ProvenanceBackend {
 
 TEST(SessionTest, PerCloseFailureInsideAGroupIsNotLost) {
   PoisonBackend backend;
-  auto session = backend.open_session(SessionConfig{.group_size = 3});
+  auto session = backend.open_session(SessionConfig{.max_group = 3});
   const Ticket ok1 = session->submit(file_unit("fine", 1, "x"));
   const Ticket bad = session->submit(file_unit("poison", 1, "x"));
   const Ticket ok2 = session->submit(file_unit("alsofine", 1, "x"));
@@ -397,7 +397,7 @@ TEST(SessionTest, DroppingAnUnsyncedSessionMarksTicketsCrashed) {
   auto backend = make_sdb_backend(services);
   Ticket abandoned;
   {
-    auto session = backend->open_session(SessionConfig{.group_size = 8});
+    auto session = backend->open_session(SessionConfig{.max_group = 8});
     abandoned = session->submit(file_unit("gone", 1, "x"));
     EXPECT_FALSE(abandoned.done());
   }
@@ -413,7 +413,7 @@ TEST(SessionTest, ArchTwoCrashMidGroupRecoversByOrphanScan) {
   aws::CloudEnv env(19, aws::ConsistencyConfig::strong());
   CloudServices services(env);
   SdbBackend backend(services, SdbBackendConfig{});
-  auto session = backend.open_session(SessionConfig{.group_size = 8});
+  auto session = backend.open_session(SessionConfig{.max_group = 8});
 
   // The atomicity hole, group-wide: every provenance item of the group is
   // written, then the client dies before any data PUT.
@@ -448,7 +448,7 @@ TEST(SessionTest, ArchThreeCrashMidGroupReplaysCommittedPrefixExactlyOnce) {
   WalBackendConfig cfg;
   cfg.commit_threshold = 1;
   WalBackend backend(services, cfg);
-  auto session = backend.open_session(SessionConfig{.group_size = 12});
+  auto session = backend.open_session(SessionConfig{.max_group = 12});
 
   // Twelve closes in one group: the sealing commit records span two
   // SendMessageBatch calls (10 + 2). Crash after the first call lands --
@@ -502,7 +502,7 @@ TEST(SessionTest, ArchThreeGroupLogRidesBatchedSends) {
     cfg.commit_threshold = 1000;  // keep the daemon out of the way
     WalBackend backend(services, cfg);
     auto session =
-        backend.open_session(SessionConfig{.group_size = group_size});
+        backend.open_session(SessionConfig{.max_group = group_size});
     for (int i = 0; i < 10; ++i)
       session->submit(file_unit("f" + std::to_string(i), 1, "x"));
     EXPECT_TRUE(session->sync().has_value());
