@@ -1,9 +1,23 @@
 #include "aws/common/env.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
 namespace provcloud::aws {
+
+sim::SimTime throttle_backoff_delay(std::uint32_t attempt,
+                                    const ThrottleConfig& cfg,
+                                    std::uint64_t jitter_draw) {
+  if (attempt == 0) attempt = 1;
+  sim::SimTime delay = cfg.backoff_base;
+  for (std::uint32_t i = 1; i < attempt && delay < cfg.backoff_cap; ++i)
+    delay *= 2;
+  delay = std::min(delay, cfg.backoff_cap);
+  if (delay <= 1) return delay;
+  const sim::SimTime half = delay / 2;
+  return half + jitter_draw % (delay - half + 1);
+}
 
 bool CloudEnv::env_tracing_requested() {
   const char* env = std::getenv("PROVCLOUD_TRACE");
@@ -15,6 +29,7 @@ bool CloudEnv::env_tracing_requested() {
 sim::SimTime CloudEnv::charge(const std::string& service, const std::string& op,
                               std::uint64_t bytes_in, std::uint64_t bytes_out,
                               const std::string& detail) {
+  if (throttling_.load(std::memory_order_relaxed)) throttle_gate(service);
   meter_.record(service, op, bytes_in, bytes_out, detail);
   sim::SimTime latency = 0;
   {
@@ -28,6 +43,96 @@ sim::SimTime CloudEnv::charge(const std::string& service, const std::string& op,
   busy_time_.fetch_add(latency, std::memory_order_relaxed);
   ledger_.charge(latency, service);
   return latency;
+}
+
+void CloudEnv::set_service_throttle(const std::string& service,
+                                    const ThrottleConfig& cfg) {
+  // Read the clock before taking fabric_mu_: the clock carries its own lock
+  // and advance-time event handlers may re-enter the fabric.
+  const sim::SimTime now = clock_.now();
+  std::lock_guard<util::Spinlock> lock(fabric_mu_);
+  if (!cfg.enabled()) {
+    throttles_.erase(service);
+  } else {
+    ThrottleState st;
+    st.config = cfg;
+    // The bucket starts full: a freshly throttled service still admits its
+    // burst allowance before rate-triggered 503s begin.
+    st.tokens =
+        static_cast<double>(cfg.burst > 0 ? cfg.burst : cfg.rate_per_sec);
+    st.last_refill = now;
+    throttles_[service] = st;
+  }
+  throttling_.store(!throttles_.empty(), std::memory_order_relaxed);
+}
+
+void CloudEnv::throttle_gate(const std::string& service) {
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    ThrottleConfig cfg;
+    bool throttled = false;
+    std::uint64_t jitter_draw = 0;
+    const sim::SimTime now = clock_.now();
+    {
+      std::lock_guard<util::Spinlock> lock(fabric_mu_);
+      auto it = throttles_.find(service);
+      if (it == throttles_.end()) return;
+      ThrottleState& st = it->second;
+      cfg = st.config;
+      if (cfg.rate_per_sec > 0) {
+        const double capacity = static_cast<double>(
+            cfg.burst > 0 ? cfg.burst : cfg.rate_per_sec);
+        if (now > st.last_refill) {
+          st.tokens += static_cast<double>(now - st.last_refill) *
+                       static_cast<double>(cfg.rate_per_sec) /
+                       static_cast<double>(sim::kSecond);
+          st.last_refill = now;
+        }
+        st.tokens = std::min(st.tokens, capacity);
+        if (st.tokens >= 1.0)
+          st.tokens -= 1.0;
+        else
+          throttled = true;
+      }
+      if (!throttled && cfg.probability > 0.0)
+        throttled = rng_.next_bool(cfg.probability);
+      if (throttled) jitter_draw = rng_.next_u64();
+    }
+    if (!throttled) return;
+    if (attempt > cfg.max_attempts) {
+      // Retries exhausted: the service relents and admits the request (a
+      // throttle storm stretches time, it never fails the protocol).
+      metrics_.counter("throttle." + service + ".relented").add(1);
+      return;
+    }
+    // The 503 round trip is free (real throttle responses are not billed);
+    // the client-side backoff wait is honest elapsed time.
+    const sim::SimTime wait = throttle_backoff_delay(attempt, cfg, jitter_draw);
+    ledger_.charge(wait, "idle");
+    metrics_.counter("idle.throttle_backoff_us").add(wait);
+    metrics_.counter("throttle.injected").add(1);
+    metrics_.counter("throttle." + service + ".injected").add(1);
+    if (tracer_.enabled())
+      tracer_.instant("throttle." + service, "throttle",
+                      {obs::trace_arg("attempt", std::to_string(attempt))});
+    if (cfg.rate_per_sec > 0) {
+      // Backoff consumes virtual time but the clock does not advance inside
+      // a burst, so credit the bucket for the wait -- without this a
+      // rate-triggered storm could never drain within one driver step.
+      std::lock_guard<util::Spinlock> lock(fabric_mu_);
+      auto it = throttles_.find(service);
+      if (it != throttles_.end() && it->second.config.rate_per_sec > 0) {
+        const ThrottleConfig& c = it->second.config;
+        const double capacity =
+            static_cast<double>(c.burst > 0 ? c.burst : c.rate_per_sec);
+        it->second.tokens = std::min(
+            capacity, it->second.tokens + static_cast<double>(wait) *
+                                              static_cast<double>(
+                                                  c.rate_per_sec) /
+                                              static_cast<double>(
+                                                  sim::kSecond));
+      }
+    }
+  }
 }
 
 sim::SimTime CloudEnv::sample_propagation_delay() {

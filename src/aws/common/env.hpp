@@ -52,6 +52,40 @@ struct ConsistencyConfig {
   }
 };
 
+/// Service-side 503 throttling for one service. Real SimpleDB/S3/SQS shed
+/// load with 503 "Slow Down" responses; clients retry with capped
+/// exponential backoff. Two triggers compose: `probability` throttles each
+/// request independently (a flaky brown-out), `rate_per_sec` admits at most
+/// that many requests per virtual second through a token bucket with
+/// `burst` credits (an overloaded partition). A zeroed config disables
+/// throttling for the service.
+struct ThrottleConfig {
+  /// Probability each request attempt is throttled (clamped to [0, 1]).
+  double probability = 0.0;
+  /// Admitted requests per virtual second; 0 = unlimited.
+  std::uint64_t rate_per_sec = 0;
+  /// Token-bucket capacity (burst credits); 0 = rate_per_sec.
+  std::uint64_t burst = 0;
+  /// First retry waits backoff_base (pre-jitter); each retry doubles it.
+  sim::SimTime backoff_base = 10 * sim::kMillisecond;
+  /// Ceiling on the pre-jitter backoff delay.
+  sim::SimTime backoff_cap = 1 * sim::kSecond;
+  /// Throttled attempts before the service relents and admits the request
+  /// anyway (the sim never fails a request outright on throttle).
+  std::uint32_t max_attempts = 8;
+
+  bool enabled() const { return probability > 0.0 || rate_per_sec > 0; }
+};
+
+/// Pre-computed backoff wait before retry number `attempt` (1-based):
+/// min(backoff_base * 2^(attempt-1), backoff_cap), then "equal jitter" --
+/// half fixed, half uniform from `jitter_draw` -- so concurrent retries
+/// de-synchronize while the whole schedule stays a pure function of the
+/// RNG stream. Exposed for direct testing.
+sim::SimTime throttle_backoff_delay(std::uint32_t attempt,
+                                    const ThrottleConfig& cfg,
+                                    std::uint64_t jitter_draw);
+
 class CloudEnv {
  public:
   explicit CloudEnv(std::uint64_t seed = 42,
@@ -158,6 +192,18 @@ class CloudEnv {
       slowdowns_[service] = extra;
   }
 
+  /// Install (or, with a zeroed config, clear) 503 throttle injection for
+  /// one service ("s3", "sdb", "sqs", "ebs"). Every subsequent charge()
+  /// against that service passes an admission gate first: a throttled
+  /// attempt is not billed (real 503s are free), its capped-exponential
+  /// backoff wait lands on the caller's ledger timeline as "idle" and on
+  /// the `idle.throttle_backoff_us` / `throttle.injected` counters. While
+  /// no throttle is configured the gate is a single relaxed atomic load --
+  /// billing and elapsed time stay bit-identical to a run without this
+  /// feature. Set only at driver-thread quiescence.
+  void set_service_throttle(const std::string& service,
+                            const ThrottleConfig& cfg);
+
   /// Pick a uniform propagation delay for a replica. Thread-safe.
   sim::SimTime sample_propagation_delay();
 
@@ -167,6 +213,17 @@ class CloudEnv {
   std::uint64_t rng_below(std::uint64_t bound);
 
  private:
+  /// Token-bucket state for one throttled service (guarded by fabric_mu_).
+  struct ThrottleState {
+    ThrottleConfig config;
+    double tokens = 0.0;
+    sim::SimTime last_refill = 0;
+  };
+
+  /// The admission gate charge() runs while any throttle is configured:
+  /// loops attempts until one is admitted, charging each backoff as idle.
+  void throttle_gate(const std::string& service);
+
   sim::SimClock clock_;
   util::Rng rng_;
   sim::Meter meter_;
@@ -175,6 +232,11 @@ class CloudEnv {
   sim::LatencyModel latency_model_;
   /// Per-service injected extra latency (guarded by fabric_mu_).
   std::map<std::string, sim::SimTime, std::less<>> slowdowns_;
+  /// Per-service 503 throttle injection (guarded by fabric_mu_).
+  std::map<std::string, ThrottleState, std::less<>> throttles_;
+  /// Fast-path flag: true iff throttles_ is non-empty, so the disabled
+  /// case costs one relaxed load and draws nothing from the RNG.
+  std::atomic<bool> throttling_{false};
   sim::LatencyLedger ledger_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;

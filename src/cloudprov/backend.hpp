@@ -64,6 +64,12 @@ enum class BackendErrorCode {
   /// The architecture cannot serve this request (e.g. Arch 1 retains only
   /// the latest version's provenance).
   kUnsupported,
+  /// The request was refused by admission control (per-tenant capacity
+  /// exhausted, or a bounded queue rejected/shed it). Distinct from
+  /// kServiceError: the request was well-formed and the services healthy --
+  /// the caller exceeded its provisioned throughput and should retry after
+  /// BackendError::retry_after.
+  kThrottled,
 };
 
 const char* to_string(BackendErrorCode code);
@@ -71,6 +77,9 @@ const char* to_string(BackendErrorCode code);
 struct BackendError {
   BackendErrorCode code = BackendErrorCode::kUnknown;
   std::string message;
+  /// For kThrottled: virtual time until the caller's capacity refills
+  /// enough to admit the request (0 = unknown, retry at caller's pace).
+  sim::SimTime retry_after = 0;
 };
 
 template <typename T>
@@ -78,7 +87,14 @@ using BackendResult = util::Expected<T, BackendError>;
 
 inline util::Unexpected<BackendError> backend_error(BackendErrorCode code,
                                                     std::string message) {
-  return util::Unexpected(BackendError{code, std::move(message)});
+  return util::Unexpected(BackendError{code, std::move(message), 0});
+}
+
+inline util::Unexpected<BackendError> backend_throttled(
+    std::string message, sim::SimTime retry_after) {
+  return util::Unexpected(
+      BackendError{BackendErrorCode::kThrottled, std::move(message),
+                   retry_after});
 }
 
 /// The services a backend runs against. One bundle per experiment; shared
@@ -257,6 +273,7 @@ inline const char* to_string(BackendErrorCode code) {
     case BackendErrorCode::kServiceError: return "service-error";
     case BackendErrorCode::kCrashed: return "crashed";
     case BackendErrorCode::kUnsupported: return "unsupported";
+    case BackendErrorCode::kThrottled: return "throttled";
   }
   return "?";
 }

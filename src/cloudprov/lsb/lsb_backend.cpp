@@ -55,6 +55,7 @@ LsbBackend::LsbBackend(CloudServices& services, LsbBackendConfig config)
   publish_postings_ = &metrics.counter("lsb.index.postings");
   compact_count_ = &metrics.counter("lsb.compactions");
   compact_reclaimed_bytes_ = &metrics.counter("lsb.compact.reclaimed_bytes");
+  compact_rewritten_bytes_ = &metrics.counter("lsb.compact.rewritten_bytes");
   seal_entries_ = &metrics.histogram("lsb.seal.closes");
 }
 
@@ -386,21 +387,56 @@ bool LsbBackend::compact_due_locked() const {
          segments_.size() >= config_.compact_trigger_segments;
 }
 
+const char* to_string(CleanerPolicy policy) {
+  switch (policy) {
+    case CleanerPolicy::kGarbageRatio: return "garbage-ratio";
+    case CleanerPolicy::kOldestFirst: return "oldest-first";
+  }
+  return "?";
+}
+
 std::size_t LsbBackend::compact() {
   aws::CloudEnv& env = *services_->env;
-  // Cleaner precondition: every sealed segment checkpointed, so victims are
-  // exactly the oldest indexed prefix of the log.
+  // Cleaner precondition: every sealed segment checkpointed, so candidates
+  // are exactly the indexed (never the open or unpublished) segments.
   publish_index();
 
   std::vector<std::uint64_t> victims;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    struct Candidate {
+      std::uint64_t id;
+      double ratio;
+    };
+    std::vector<Candidate> candidates;
     for (const auto& [id, info] : segments_) {
       if (id < delete_to_) continue;  // crash debris, purged by recover()
       if (id > indexed_to_) break;
-      victims.push_back(id);
+      candidates.push_back(
+          {id, info.bytes == 0 ? 0.0
+                               : static_cast<double>(info.garbage_bytes) /
+                                     static_cast<double>(info.bytes)});
+    }
+    const bool any_garbage =
+        std::any_of(candidates.begin(), candidates.end(),
+                    [](const Candidate& c) { return c.ratio > 0.0; });
+    if (config_.cleaner_policy == CleanerPolicy::kGarbageRatio &&
+        any_garbage) {
+      // Cost/benefit selection: garbage-richest first (ties older-first via
+      // stable sort), and zero-garbage segments are not worth a rewrite
+      // while richer victims exist.
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [](const Candidate& a, const Candidate& b) {
+                         return a.ratio > b.ratio;
+                       });
+      while (!candidates.empty() && candidates.back().ratio <= 0.0)
+        candidates.pop_back();
+    }
+    for (const Candidate& c : candidates) {
+      victims.push_back(c.id);
       if (victims.size() >= config_.compact_max_segments) break;
     }
+    std::sort(victims.begin(), victims.end());
   }
   if (victims.empty()) return 0;
   env.failures().crash_point("lsb.compact.begin");
@@ -500,16 +536,28 @@ std::size_t LsbBackend::compact() {
   if (!new_postings.empty())
     publish_postings(new_postings, "lsb.compact.mid_republish");
 
-  // One durable watermark write retires the victims: everything below
-  // delete-to is dead. (indexed-to may only advance when no concurrent seal
-  // left unpublished postings in between.)
+  // One durable watermark write retires the victims. (indexed-to may only
+  // advance when no concurrent seal left unpublished postings in between.)
+  // delete-to may only cover the contiguous dead prefix of the log:
+  // garbage-ratio selection can pick mid-log victims, and a watermark past
+  // a surviving segment would let recover() purge live data. Mid-log
+  // victims are still trimmed below -- a crashed trim leaves at worst an
+  // orphan segment whose entries replay as already-superseded duplicates.
   std::uint64_t mark_indexed = 0;
-  const std::uint64_t mark_delete = victims.back() + 1;
+  std::uint64_t mark_delete = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
     mark_indexed = (pending_postings_.empty() && new_max > 0)
                        ? std::max(indexed_to_, new_max)
                        : indexed_to_;
+    mark_delete = delete_to_;
+    for (const auto& [id, info] : segments_) {
+      if (id < mark_delete) continue;
+      if (std::binary_search(victims.begin(), victims.end(), id))
+        mark_delete = id + 1;
+      else
+        break;
+    }
   }
   auto put = services_->sdb.put_attributes(
       topology_->domains().front(), lsb::kMetaItem,
@@ -554,8 +602,10 @@ std::size_t LsbBackend::compact() {
   }
   env.failures().crash_point("lsb.compact.end");
   compact_count_->add(1);
+  compact_rewritten_bytes_->add(new_bytes);
   if (victim_bytes > new_bytes)
     compact_reclaimed_bytes_->add(victim_bytes - new_bytes);
+  span.arg("rewritten_bytes", new_bytes);
   span.arg("reclaimed_bytes",
            victim_bytes > new_bytes ? victim_bytes - new_bytes : 0);
   return victims.size();

@@ -12,8 +12,9 @@
 // the index, and a crashed seal leaves only an ignorable orphan object.
 //
 // A background cleaner runs in the commit-daemon role (inside commit_group
-// / pump, never a thread of its own): it rewrites the live entries of the
-// oldest segments into one consolidated segment -- dropping data bytes of
+// / pump, never a thread of its own): it rewrites the live entries of its
+// victim segments (garbage-richest first by default, see CleanerPolicy)
+// into one consolidated segment -- dropping data bytes of
 // superseded file versions, whose records alone stay retrievable, exactly
 // the retention Arch 1-3 offer -- republishes their postings, advances the
 // durable delete-to watermark (kivaloo deleteto.c style) and deletes the
@@ -32,6 +33,19 @@
 
 namespace provcloud::cloudprov {
 
+/// How the cleaner picks its victims.
+enum class CleanerPolicy {
+  /// Cost/benefit: rewrite the indexed segments with the highest garbage
+  /// fraction first (fewest live bytes copied per byte reclaimed); ties
+  /// break older-first. Falls back to age order when no segment holds
+  /// garbage (consolidation still relieves segment-count pressure).
+  kGarbageRatio,
+  /// Legacy: the oldest contiguous indexed prefix, garbage or not.
+  kOldestFirst,
+};
+
+const char* to_string(CleanerPolicy policy);
+
 /// Storage-path knobs of the log-structured backend.
 struct LsbBackendConfig {
   /// Seal the open segment early once its encoding would exceed this.
@@ -44,6 +58,8 @@ struct LsbBackendConfig {
   std::size_t compact_trigger_segments = 64;
   /// Most segments one cleaner pass rewrites.
   std::size_t compact_max_segments = 32;
+  /// Victim selection (see CleanerPolicy).
+  CleanerPolicy cleaner_policy = CleanerPolicy::kGarbageRatio;
   /// SimpleDB domains the index postings are hashed across.
   std::size_t shard_count = 1;
   /// Items per BatchPutAttributes publication call.
@@ -106,8 +122,9 @@ class LsbBackend final : public ProvenanceBackend {
   /// Force an index publication now (bench/test hook).
   void publish_index();
 
-  /// One cleaner pass over the oldest `compact_max_segments` live segments.
-  /// Returns the number of segments reclaimed (0 = nothing eligible).
+  /// One cleaner pass over up to `compact_max_segments` victims picked by
+  /// `cleaner_policy`. Returns the number of segments reclaimed (0 =
+  /// nothing eligible).
   std::size_t compact();
 
   /// Cleaner-effectiveness counters (in-memory view; exact after quiesce).
@@ -179,6 +196,7 @@ class LsbBackend final : public ProvenanceBackend {
   obs::Counter* publish_postings_ = nullptr;
   obs::Counter* compact_count_ = nullptr;
   obs::Counter* compact_reclaimed_bytes_ = nullptr;
+  obs::Counter* compact_rewritten_bytes_ = nullptr;
   obs::Histogram* seal_entries_ = nullptr;
 };
 

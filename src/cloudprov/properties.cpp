@@ -72,6 +72,20 @@ struct Fixture {
           TopologyConfig{.ledger = &env.latency_ledger()});
     group_size = options.group_size;
     flush_deadline = options.flush_deadline;
+    // Hostile environment: correlated brown-outs and 503 throttle storms
+    // across every service the architectures touch. The checks below must
+    // reach the same verdicts -- slower, never corrupted.
+    for (const char* service : {"s3", "sdb", "sqs", "ebs"}) {
+      if (options.service_slowdown > 0)
+        env.set_service_slowdown(service, options.service_slowdown);
+      if (options.throttle_probability > 0.0 ||
+          options.throttle_rate_per_sec > 0) {
+        aws::ThrottleConfig throttle;
+        throttle.probability = options.throttle_probability;
+        throttle.rate_per_sec = options.throttle_rate_per_sec;
+        env.set_service_throttle(service, throttle);
+      }
+    }
   }
 
   aws::CloudEnv env;

@@ -87,6 +87,16 @@ struct PropertyCheckOptions {
   /// -- the daemon, not the submitter, is in commit_group when the crash
   /// fires.
   sim::SimTime flush_deadline = 0;
+  /// Hostile-environment sweep (ROADMAP 5b). Extra per-request latency
+  /// injected into every service (a correlated brown-out) ...
+  sim::SimTime service_slowdown = 0;
+  /// ... and a service-side 503 throttle storm: each request throttled
+  /// with this probability and/or rate-limited to throttle_rate_per_sec
+  /// admitted requests per virtual second (see aws::ThrottleConfig).
+  /// Verdicts must be environment-independent: a storm may stretch elapsed
+  /// time, never corrupt state or change a Table-1 answer.
+  double throttle_probability = 0.0;
+  std::uint64_t throttle_rate_per_sec = 0;
 };
 
 PropertyReport check_properties(Architecture arch,

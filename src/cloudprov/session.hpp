@@ -129,6 +129,13 @@ class Ticket {
   /// The per-close failure; call only when done() && !ok().
   const BackendError& error() const { return state_->result.error(); }
 
+  /// This close's end-to-end virtual latency: exclusive service time plus
+  /// queued "idle" wait plus the flush group's shared round trips, exactly
+  /// what close.latency_us records. 0 until done().
+  sim::SimTime elapsed() const {
+    return done() ? state_->timeline.elapsed : 0;
+  }
+
  private:
   std::shared_ptr<const TicketState> state_;
 };

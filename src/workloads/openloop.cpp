@@ -1,0 +1,85 @@
+#include "workloads/openloop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace provcloud::workloads {
+
+ZipfianPicker::ZipfianPicker(std::size_t n, double s) {
+  PROVCLOUD_REQUIRE_MSG(n > 0, "ZipfianPicker needs at least one tenant");
+  cdf_.reserve(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += s == 0.0 ? 1.0 : 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+std::size_t ZipfianPicker::pick(util::Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return std::min<std::size_t>(it - cdf_.begin(), cdf_.size() - 1);
+}
+
+namespace {
+
+/// One Poisson process at `rate` arrivals/sec over [start, end), appended
+/// to `out` with tenants drawn by `pick`.
+template <typename PickFn>
+void poisson_process(util::Rng& rng, double rate, sim::SimTime start,
+                     sim::SimTime end, PickFn pick,
+                     std::vector<TenantArrival>& out) {
+  if (rate <= 0.0) return;
+  double t = static_cast<double>(start);
+  while (true) {
+    const double u = rng.next_double();
+    t += -std::log(1.0 - u) * static_cast<double>(sim::kSecond) / rate;
+    if (t >= static_cast<double>(end)) break;
+    out.push_back({static_cast<sim::SimTime>(t), pick(rng)});
+  }
+}
+
+}  // namespace
+
+std::vector<TenantArrival> open_loop_arrivals(const OpenLoopOptions& options) {
+  PROVCLOUD_REQUIRE_MSG(options.tenants > 0, "open loop needs tenants");
+  util::Rng rng(options.seed);
+  std::vector<TenantArrival> arrivals;
+  const ZipfianPicker picker(options.tenants, options.zipf_s);
+  poisson_process(
+      rng, options.arrivals_per_sec, 0, options.duration,
+      [&](util::Rng& r) { return picker.pick(r); }, arrivals);
+  if (options.storm_tenant != kNoStorm && options.storm_rate > 0.0) {
+    PROVCLOUD_REQUIRE_MSG(options.storm_tenant < options.tenants,
+                          "storm tenant out of range");
+    util::Rng storm_rng = rng.fork(0x53544f524dull);  // "STORM"
+    const sim::SimTime end = std::min(
+        options.duration, options.storm_start + options.storm_duration);
+    poisson_process(
+        storm_rng, options.storm_rate, options.storm_start, end,
+        [&](util::Rng&) { return options.storm_tenant; }, arrivals);
+  }
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const TenantArrival& a, const TenantArrival& b) {
+                     return a.at < b.at;
+                   });
+  return arrivals;
+}
+
+pass::FlushUnit make_tenant_close(std::size_t tenant, std::uint64_t seq,
+                                  std::uint64_t bytes) {
+  pass::FlushUnit unit;
+  unit.object = "t" + std::to_string(tenant) + "/o" + std::to_string(seq);
+  unit.kind = pass::PnodeKind::kFile;
+  unit.version = 1;
+  unit.data = util::make_shared_bytes(
+      util::Bytes(static_cast<std::size_t>(bytes), 'x'));
+  unit.records.push_back(pass::make_text_record(pass::attr::kType, "file"));
+  unit.records.push_back(pass::make_text_record(pass::attr::kName, unit.object));
+  return unit;
+}
+
+}  // namespace provcloud::workloads

@@ -1,0 +1,70 @@
+// Open-loop multi-tenant arrival processes for the frontend benches.
+//
+// The paper's workloads are closed-loop traces (one client, next syscall
+// after the last completes). A million-client frontend is judged under
+// OPEN-loop load: arrivals come from a Poisson process that does not slow
+// down when the system does, tenant popularity is zipfian (a few hot
+// tenants dominate), and bursts arrive as storms (one tenant firing far
+// above its provisioned rate for a window). Everything here is a pure
+// function of the options' seed so runs replay bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pass/local_cache.hpp"
+#include "sim/clock.hpp"
+#include "util/rng.hpp"
+
+namespace provcloud::workloads {
+
+/// No storm (OpenLoopOptions::storm_tenant).
+inline constexpr std::size_t kNoStorm = static_cast<std::size_t>(-1);
+
+struct OpenLoopOptions {
+  std::uint64_t seed = 2026;
+  std::size_t tenants = 8;
+  /// Zipf exponent for tenant popularity; 0 = uniform.
+  double zipf_s = 0.0;
+  /// Aggregate Poisson arrival rate (closes per virtual second) across all
+  /// tenants.
+  double arrivals_per_sec = 100.0;
+  sim::SimTime duration = 10 * sim::kSecond;
+  /// Burst storm: this tenant additionally fires a Poisson process of
+  /// `storm_rate` closes/sec during [storm_start, storm_start +
+  /// storm_duration). kNoStorm disables it.
+  std::size_t storm_tenant = kNoStorm;
+  double storm_rate = 0.0;
+  sim::SimTime storm_start = 0;
+  sim::SimTime storm_duration = 0;
+  /// Data bytes per synthesized close.
+  std::uint64_t close_bytes = 256;
+};
+
+struct TenantArrival {
+  sim::SimTime at = 0;
+  std::size_t tenant = 0;
+};
+
+/// Tenant picker with zipfian popularity (tenant 0 hottest): a precomputed
+/// CDF inverted per draw. s == 0 degenerates to uniform.
+class ZipfianPicker {
+ public:
+  ZipfianPicker(std::size_t n, double s);
+  std::size_t pick(util::Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// The merged, time-sorted arrival schedule: base Poisson process with
+/// zipfian tenant attribution, plus the storm process if configured.
+/// Deterministic for a given options.seed.
+std::vector<TenantArrival> open_loop_arrivals(const OpenLoopOptions& options);
+
+/// A synthetic close for one arrival: a fresh object "t<tenant>/o<seq>" at
+/// version 1 with `bytes` of data and a minimal provenance record set.
+pass::FlushUnit make_tenant_close(std::size_t tenant, std::uint64_t seq,
+                                  std::uint64_t bytes);
+
+}  // namespace provcloud::workloads

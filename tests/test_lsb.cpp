@@ -308,8 +308,11 @@ TEST(LsbBackendTest, CompactionReclaimsGarbageAndPreservesAncestry) {
   const AncestryResult want = fetch_ancestry(*backend, "cold", 1);
   const AncestryResult want_hot = fetch_ancestry(*backend, "hot", 3);
 
+  // Garbage-ratio selection (the default): only the segments holding
+  // superseded copies (hot@1, hot@2) are worth rewriting; the all-live
+  // cold@1 and hot@3 segments are left alone.
   const std::size_t reclaimed = backend->compact();
-  EXPECT_GE(reclaimed, 4u);
+  EXPECT_GE(reclaimed, 2u);
 
   const auto after = backend->stats();
   EXPECT_LT(after.segment_count, before.segment_count);
@@ -339,6 +342,84 @@ TEST(LsbBackendTest, CompactionReclaimsGarbageAndPreservesAncestry) {
   auto fresh = make_lsb_backend(services);
   fresh->recover();
   EXPECT_TRUE(ancestry_equal(fetch_ancestry(*fresh, "cold", 1), want));
+}
+
+TEST(LsbBackendTest, GarbageRatioPolicyRewritesFewerBytesThanOldestFirst) {
+  // Garbage concentrated in LATE segments: a live prefix of never-
+  // overwritten objects, then repeated overwrites of one hot object. The
+  // age policy rewrites the live prefix (all copy, no reclaim); the
+  // garbage-ratio policy jumps straight to the overwrite-heavy tail.
+  auto drive = [](CleanerPolicy policy, std::uint64_t seed) {
+    aws::CloudEnv env(seed, aws::ConsistencyConfig::strong());
+    CloudServices services(env);
+    LsbBackendConfig cfg;
+    cfg.compact_trigger_segments = 0;  // manual cleaning only
+    cfg.compact_max_segments = 4;
+    cfg.cleaner_policy = policy;
+    auto backend = std::make_unique<LsbBackend>(services, cfg);
+    for (int i = 0; i < 8; ++i)
+      backend->store(file_unit("cold/f" + std::to_string(i), 1,
+                               std::string(256, 'c')));
+    for (int v = 1; v <= 8; ++v)
+      backend->store(file_unit("hot", v, std::string(256, 'h')));
+    backend->quiesce();
+    const auto before = backend->stats();
+    EXPECT_GT(before.garbage_ratio, 0.0);
+    backend->compact();
+    struct Result {
+      std::uint64_t rewritten;
+      std::uint64_t reclaimed;
+      double garbage_ratio;
+    };
+    return Result{
+        env.metrics().counter("lsb.compact.rewritten_bytes").value(),
+        env.metrics().counter("lsb.compact.reclaimed_bytes").value(),
+        backend->stats().garbage_ratio};
+  };
+
+  const auto by_age = drive(CleanerPolicy::kOldestFirst, 31);
+  const auto by_ratio = drive(CleanerPolicy::kGarbageRatio, 31);
+  // Same pass budget (4 victims): the ratio policy copies fewer live bytes
+  // and reclaims more garbage.
+  EXPECT_LT(by_ratio.rewritten, by_age.rewritten)
+      << "ratio=" << by_ratio.rewritten << " age=" << by_age.rewritten;
+  EXPECT_GT(by_ratio.reclaimed, by_age.reclaimed);
+  EXPECT_LT(by_ratio.garbage_ratio, by_age.garbage_ratio);
+}
+
+TEST(LsbBackendTest, MidLogCompactionKeepsWatermarkBehindSurvivors) {
+  aws::CloudEnv env(32, aws::ConsistencyConfig::strong());
+  CloudServices services(env);
+  LsbBackendConfig cfg;
+  cfg.compact_trigger_segments = 0;
+  cfg.compact_max_segments = 2;
+  auto backend = std::make_unique<LsbBackend>(services, cfg);
+  // Segment 1: live forever. Segments 2-3: superseded by segment 4.
+  backend->store(file_unit("keep", 1, std::string(64, 'k')));
+  backend->store(file_unit("churn", 1, std::string(512, 'a')));
+  backend->store(file_unit("churn", 2, std::string(512, 'b')));
+  backend->store(file_unit("churn", 3, std::string(64, 'z')));
+  backend->quiesce();
+
+  ASSERT_GT(backend->compact(), 0u);
+  const auto stats = backend->stats();
+  // Victims were the mid-log garbage segments; segment 1 survives, so the
+  // delete-to watermark must not advance past it.
+  EXPECT_EQ(stats.delete_to, 1u);
+  auto keep = backend->read("keep");
+  ASSERT_TRUE(keep.has_value());
+  EXPECT_EQ(keep->version, 1u);
+  auto churn = backend->read("churn");
+  ASSERT_TRUE(churn.has_value());
+  EXPECT_EQ(churn->version, 3u);
+
+  // A fresh backend over the store (client restart) agrees: nothing was
+  // purged that a surviving segment still needs.
+  auto fresh = make_lsb_backend(services);
+  fresh->recover();
+  auto again = fresh->read("keep");
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->version, 1u);
 }
 
 TEST(LsbBackendTest, AutomaticCleaningTriggersOnTheWritePath) {

@@ -276,4 +276,33 @@ TEST(TableOneTest, LsbCrashSweepSurvivesGroupedSubmits) {
                                    << report.crash_scenarios << " scenarios";
 }
 
+TEST(TableOneTest, VerdictsSurviveBrownoutsAndThrottleStorms) {
+  // ROADMAP 5b, hostile-environment sweep: a correlated brown-out (every
+  // service 250ms slower per request) composed with a 503 throttle storm
+  // (30% of attempts throttled, plus a 200 req/s admission rate) may
+  // stretch elapsed time arbitrarily, but must not corrupt state or flip
+  // any Table-1 verdict on any of the four architectures.
+  PropertyCheckOptions o = fast_options();
+  o.service_slowdown = 250 * provcloud::sim::kMillisecond;
+  o.throttle_probability = 0.3;
+  o.throttle_rate_per_sec = 200;
+
+  for (const Architecture arch :
+       {Architecture::kS3Only, Architecture::kS3SimpleDb,
+        Architecture::kS3SimpleDbSqs, Architecture::kS3SegmentLog}) {
+    const PropertyReport stormy = check_properties(arch, o);
+    provcloud::aws::CloudEnv env(1);
+    CloudServices services(env);
+    const auto claims = make_backend(arch, services)->claims();
+    EXPECT_TRUE(stormy.matches(claims))
+        << to_string(arch) << ": atomicity=" << stormy.atomicity
+        << " consistency=" << stormy.consistency
+        << " causal=" << stormy.causal_ordering
+        << " query=" << stormy.efficient_query << " (violations: "
+        << stormy.atomicity_violations << "/" << stormy.consistency_violations
+        << "/" << stormy.causal_violations << ")";
+    EXPECT_GT(stormy.crash_scenarios, 4u) << to_string(arch);
+  }
+}
+
 }  // namespace
